@@ -1,0 +1,68 @@
+package repro
+
+import "testing"
+
+func TestPublicAPIEndToEnd(t *testing.T) {
+	g := RandomRegular(512, 32, NewRNG(1))
+	rep, err := RunBestOfThree(g, 0.1, Options{Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Consensus || !rep.RedWon {
+		t.Errorf("report = %+v", rep)
+	}
+	if !CheckPrecondition(g, 0.1).DenseEnough {
+		t.Error("dense instance failed the density check")
+	}
+}
+
+func TestPublicAPIVirtualComplete(t *testing.T) {
+	g := CompleteVirtual(1 << 14)
+	rep, err := RunBestOfThree(g, 0.05, Options{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.RedWon || rep.Rounds > 20 {
+		t.Errorf("K_16384: rounds=%d redWon=%v", rep.Rounds, rep.RedWon)
+	}
+}
+
+func TestPublicAPIBaselines(t *testing.T) {
+	g := Complete(128)
+	rep, err := RunBestOfThree(g, 0.2, Options{Seed: 4, Rule: BestOfTwo, MaxRounds: 5000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Consensus {
+		t.Error("best-of-2 did not converge on K128")
+	}
+	repv, err := RunBestOfThree(g, 0.2, Options{Seed: 5, Rule: Voter, MaxRounds: 100000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !repv.Consensus {
+		t.Error("voter model did not converge on K128")
+	}
+}
+
+func TestPublicAPIGenerators(t *testing.T) {
+	src := NewRNG(6)
+	if g := Gnp(200, 0.1, src); g.N() != 200 {
+		t.Error("Gnp wrong size")
+	}
+	if g := DenseMinDegree(256, 0.5, src); g.MinDegree() < 16 {
+		t.Error("DenseMinDegree too sparse")
+	}
+	if g := Cycle(10); g.M() != 10 {
+		t.Error("Cycle wrong")
+	}
+	if g := Torus2D(4, 4); g.N() != 16 {
+		t.Error("Torus wrong")
+	}
+	if g := Hypercube(3); g.N() != 8 {
+		t.Error("Hypercube wrong")
+	}
+	if g := SBM(50, 50, 0.3, 0.01, src); g.N() != 100 {
+		t.Error("SBM wrong")
+	}
+}

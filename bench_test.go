@@ -1,0 +1,277 @@
+package repro
+
+// One benchmark per reproduction experiment (E1–E13 in DESIGN.md), plus
+// ablation benches for the design choices DESIGN.md calls out. Each
+// experiment bench runs the same code path as cmd/bo3sweep at the Quick
+// scale and reports a domain metric via b.ReportMetric, so
+// `go test -bench=. -benchmem` regenerates every table's data shape.
+
+import (
+	"testing"
+
+	"repro/internal/dynamics"
+	"repro/internal/experiments"
+	"repro/internal/graph"
+	"repro/internal/opinion"
+	"repro/internal/rng"
+)
+
+func benchCfg(i int) experiments.Config {
+	c := experiments.Quick()
+	c.Seed = uint64(i) + 1
+	return c
+}
+
+func BenchmarkE1ConsensusScalingN(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.E1ConsensusScaling(benchCfg(i))
+		last := res.Rows[len(res.Rows)-1]
+		b.ReportMetric(last.MeanRounds, "rounds@maxN")
+		b.ReportMetric(last.RedWins.P, "redwin-rate")
+	}
+}
+
+func BenchmarkE2DeltaSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.E2DeltaSweep(benchCfg(i))
+		b.ReportMetric(res.SlopePerLogInvDelta().Slope, "rounds-per-ln(1/delta)")
+	}
+}
+
+func BenchmarkE3IdealRecursion(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.E3IdealRecursion(benchCfg(i))
+		b.ReportMetric(res.MaxAbsError(), "max-abs-error")
+	}
+}
+
+func BenchmarkE4SprinklingMajorisation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.E4SprinklingMajorisation(benchCfg(i))
+		ok := 0.0
+		if res.AllMajorised() {
+			ok = 1
+		}
+		b.ReportMetric(ok, "majorised")
+	}
+}
+
+func BenchmarkE5TernaryThreshold(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.E5TernaryThreshold(benchCfg(i))
+		b.ReportMetric(float64(res.Violations()), "violations")
+	}
+}
+
+func BenchmarkE6CollisionTransform(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.E6CollisionTransform(benchCfg(i))
+		ok := 0.0
+		if res.AllSound() {
+			ok = 1
+		}
+		b.ReportMetric(ok, "sound")
+	}
+}
+
+func BenchmarkE7CollisionTail(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.E7CollisionTail(benchCfg(i))
+		ok := 0.0
+		if res.AllMajorised() {
+			ok = 1
+		}
+		b.ReportMetric(ok, "majorised")
+	}
+}
+
+func BenchmarkE8DeltaGrowth(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.E8DeltaGrowth(benchCfg(i))
+		b.ReportMetric(res.MinGrowthBelowFixedPoint(), "min-growth-factor")
+	}
+}
+
+func BenchmarkE9BaselineComparison(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.E9BaselineComparison(benchCfg(i))
+		voter := res.MeanRoundsFor("best-of-1", experiments.KindComplete)
+		bo3 := res.MeanRoundsFor("best-of-3", experiments.KindComplete)
+		if bo3 > 0 {
+			b.ReportMetric(voter/bo3, "voter/bo3-speedup")
+		}
+	}
+}
+
+func BenchmarkE10DensityGate(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.E10DensityGate(benchCfg(i))
+		var dense, sparse float64
+		for _, row := range res.Rows {
+			if row.Kind == experiments.KindRegular {
+				dense = row.MeanRounds
+			}
+			if row.Kind == experiments.KindTorus {
+				sparse = row.MeanRounds
+			}
+		}
+		if dense > 0 {
+			b.ReportMetric(sparse/dense, "sparse/dense-slowdown")
+		}
+	}
+}
+
+func BenchmarkE11CobraDuality(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.E11CobraDuality(benchCfg(i))
+		b.ReportMetric(res.MaxRelError(), "max-rel-error")
+	}
+}
+
+func BenchmarkE12SprinklingFigure(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.E12SprinklingFigure(benchCfg(i))
+		b.ReportMetric(float64(res.ArtificialAdded), "artificial-nodes")
+	}
+}
+
+func BenchmarkE13PhaseSchedule(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.E13PhaseSchedule(benchCfg(i))
+		for _, row := range res.Rows {
+			if row.Phase == "total" {
+				b.ReportMetric(float64(row.Measured), "measured-total-rounds")
+			}
+		}
+	}
+}
+
+func BenchmarkE14PluralityConsensus(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.E14PluralityConsensus(benchCfg(i))
+		last := res.Rows[len(res.Rows)-1]
+		b.ReportMetric(last.MeanRounds, "rounds@maxQ")
+	}
+}
+
+func BenchmarkE15StubbornZealots(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.E15StubbornZealots(benchCfg(i))
+		last := res.Rows[len(res.Rows)-1]
+		b.ReportMetric(last.FinalBlueFrac, "blue-frac@maxZealots")
+	}
+}
+
+func BenchmarkE16AdversarialPlacement(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.E16AdversarialPlacement(benchCfg(i))
+		b.ReportMetric(res.SlowdownOnTorus(), "torus-clustered-slowdown")
+	}
+}
+
+func BenchmarkE17ForwardBackwardDuality(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.E17ForwardBackwardDuality(benchCfg(i))
+		ok := 0.0
+		if res.AllCompatible() {
+			ok = 1
+		}
+		b.ReportMetric(ok, "compatible")
+	}
+}
+
+func BenchmarkE18AsyncVsSync(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.E18AsyncVsSync(benchCfg(i))
+		if len(res.Rows) == 2 && res.Rows[0].MeanRounds > 0 {
+			b.ReportMetric(res.Rows[1].MeanRounds/res.Rows[0].MeanRounds, "async/sync-ratio")
+		}
+	}
+}
+
+func BenchmarkE19NoiseThreshold(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.E19NoiseThreshold(benchCfg(i))
+		last := res.Rows[len(res.Rows)-1]
+		b.ReportMetric(last.FinalBlueFrac, "blue-frac@noise0.5")
+	}
+}
+
+func BenchmarkE20ExactChainValidation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.E20ExactChainValidation(benchCfg(i))
+		ok := 0.0
+		if res.AllWithinIntervals() {
+			ok = 1
+		}
+		b.ReportMetric(ok, "agree")
+	}
+}
+
+func BenchmarkE21SpectralComparison(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.E21SpectralComparison(benchCfg(i))
+		b.ReportMetric(res.Rows[0].MeanRounds, "dense-rounds")
+	}
+}
+
+// --- Ablation benches (design choices listed in DESIGN.md) ---
+
+// benchStepOnce builds a process and times repeated Step calls.
+func benchStep(b *testing.B, g dynamics.Topology, rule dynamics.Rule, workers int) {
+	b.Helper()
+	cfg := opinion.RandomConfig(g.N(), 0.4, rng.New(7))
+	p, err := dynamics.New(g, rule, cfg, dynamics.Options{Seed: 8, Workers: workers})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Step()
+	}
+	b.ReportMetric(float64(g.N())*float64(b.N)/b.Elapsed().Seconds()/1e6, "Mvertex/s")
+}
+
+func BenchmarkAblationStepSequential(b *testing.B) {
+	g := graph.RandomRegular(1<<15, 32, rng.New(1))
+	benchStep(b, g, dynamics.BestOfThree, 1)
+}
+
+func BenchmarkAblationStepParallel(b *testing.B) {
+	g := graph.RandomRegular(1<<15, 32, rng.New(1))
+	benchStep(b, g, dynamics.BestOfThree, 0)
+}
+
+func BenchmarkAblationWithReplacement(b *testing.B) {
+	g := graph.RandomRegular(1<<14, 32, rng.New(2))
+	benchStep(b, g, dynamics.Rule{K: 3}, 0)
+}
+
+func BenchmarkAblationWithoutReplacement(b *testing.B) {
+	g := graph.RandomRegular(1<<14, 32, rng.New(2))
+	benchStep(b, g, dynamics.Rule{K: 3, WithoutReplacement: true}, 0)
+}
+
+func BenchmarkAblationTieKeepVsRandom(b *testing.B) {
+	g := graph.RandomRegular(1<<14, 32, rng.New(3))
+	b.Run("keep", func(b *testing.B) { benchStep(b, g, dynamics.Rule{K: 2, Tie: dynamics.TieKeep}, 0) })
+	b.Run("random", func(b *testing.B) { benchStep(b, g, dynamics.Rule{K: 2, Tie: dynamics.TieRandom}, 0) })
+}
+
+func BenchmarkAblationVirtualVsMaterialisedComplete(b *testing.B) {
+	const n = 4096
+	b.Run("virtual", func(b *testing.B) { benchStep(b, graph.NewKn(n), dynamics.BestOfThree, 0) })
+	b.Run("materialised", func(b *testing.B) { benchStep(b, graph.Complete(n), dynamics.BestOfThree, 0) })
+}
+
+func BenchmarkEndToEndConsensus(b *testing.B) {
+	g := graph.RandomRegular(1<<14, 128, rng.New(4))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep, err := RunBestOfThree(g, 0.05, Options{Seed: uint64(i)})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(rep.Rounds), "rounds")
+	}
+}

@@ -1,0 +1,94 @@
+// Command bo3dag samples random voting-DAGs (the paper's dual object,
+// Section 2) on a chosen graph and prints their structural statistics:
+// level sizes, collision levels, sprinkling effects, and the Lemma 5/6
+// quantities.
+//
+// Usage:
+//
+//	bo3dag -n 4096 -alpha 0.6 -height 6 -samples 200 -seed 1
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math"
+	"os"
+
+	"repro/internal/graph"
+	"repro/internal/opinion"
+	"repro/internal/rng"
+	"repro/internal/stats"
+	"repro/internal/table"
+	"repro/internal/theory"
+	"repro/internal/votingdag"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("bo3dag: ")
+
+	var (
+		n       = flag.Int("n", 4096, "number of vertices")
+		alpha   = flag.Float64("alpha", 0.6, "density exponent (regular graph d = n^alpha)")
+		height  = flag.Int("height", 6, "DAG height T")
+		samples = flag.Int("samples", 200, "number of DAGs to sample")
+		pblue   = flag.Float64("pblue", 0.4, "leaf blue probability for the colouring stats")
+		seed    = flag.Uint64("seed", 1, "RNG seed")
+	)
+	flag.Parse()
+
+	d := int(math.Ceil(math.Pow(float64(*n), *alpha)))
+	if (*n*d)%2 != 0 {
+		d++
+	}
+	if d >= *n {
+		log.Fatalf("alpha %.2f yields degree %d >= n", *alpha, d)
+	}
+	src := rng.New(*seed)
+	g := graph.RandomRegular(*n, d, src)
+	fmt.Printf("graph %s, DAG height %d, %d samples\n", g.Name(), *height, *samples)
+
+	levelSum := make([]float64, *height+1)
+	var collisions, artificial []float64
+	blueRootCount := 0
+	for s := 0; s < *samples; s++ {
+		dag := votingdag.Build(g, src.Intn(*n), *height, src)
+		for t, sz := range dag.LevelSizes() {
+			levelSum[t] += float64(sz)
+		}
+		collisions = append(collisions, float64(dag.CollisionLevelCount()))
+		spr := dag.Sprinkle(*height)
+		artificial = append(artificial, float64(spr.ArtificialCount()))
+		leaf := votingdag.RandomLeafColouring(*pblue, src)
+		if spr.Colour(leaf).RootColour() == opinion.Blue {
+			blueRootCount++
+		}
+	}
+
+	lvl := table.New("mean level sizes (level 0 = leaves)", "level", "mean size", "ternary-tree max")
+	max := 1.0
+	for t := *height; t >= 0; t-- {
+		lvl.AddRow(t, levelSum[t]/float64(*samples), max)
+		max *= 3
+	}
+	if err := lvl.Render(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+
+	csum := stats.Summarize(collisions)
+	asum := stats.Summarize(artificial)
+	fmt.Printf("\ncollision levels C: mean=%.3f max=%.0f (Lemma 7 per-level bound %.3g, tail bound %.3g)\n",
+		csum.Mean, csum.Max,
+		theory.CollisionLevelProb(*height, float64(d)),
+		theory.CollisionTailBound(*height, float64(d)))
+	fmt.Printf("sprinkled artificial nodes: mean=%.3f max=%.0f\n", asum.Mean, asum.Max)
+	rootProp := stats.WilsonInterval(blueRootCount, *samples, 1.96)
+	rec := theory.SprinkleRecursion(*pblue, *height, float64(d), false)
+	fmt.Printf("sprinkled blue-root rate: %.4f [%.4f, %.4f]; equation (2) recursion p_T = %.4g\n",
+		rootProp.P, rootProp.Lo, rootProp.Hi, rec[*height])
+	fmt.Printf("Lemma 5 threshold for blue root at height %d: 2^%d = %d blue leaves\n",
+		*height, *height, votingdag.MinBlueLeavesForBlueRoot(*height))
+	fmt.Printf("equation (6) upper-level bound at leaf prob %.3g: %.4g\n",
+		*pblue, theory.RootBlueBound(*height, float64(d), *pblue, stats.BinomialTail))
+}

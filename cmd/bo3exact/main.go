@@ -1,0 +1,54 @@
+// Command bo3exact computes exact quantities of the Best-of-k dynamic on
+// the complete graph K_n by iterating the blue-count Markov chain: the red
+// consensus probability and the mean absorption time, for a sweep of
+// initial blue probabilities.
+//
+// Usage:
+//
+//	bo3exact -n 256 -k 3 -pblue 0.45
+//	bo3exact -n 256 -sweep                # pBlue from 0.30 to 0.50
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/markov"
+	"repro/internal/table"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("bo3exact: ")
+
+	var (
+		n         = flag.Int("n", 256, "number of vertices (exact iteration is O(n^2) per active state)")
+		k         = flag.Int("k", 3, "neighbours sampled per round (odd)")
+		pblue     = flag.Float64("pblue", 0.45, "initial blue probability")
+		sweep     = flag.Bool("sweep", false, "sweep pBlue over 0.30..0.50 instead of a single value")
+		maxRounds = flag.Int("maxrounds", 10000, "absorption horizon")
+	)
+	flag.Parse()
+
+	if *n > 4096 {
+		log.Fatalf("n = %d too large for exact iteration (use the simulator)", *n)
+	}
+	chain := markov.New(*n, *k)
+
+	ps := []float64{*pblue}
+	if *sweep {
+		ps = []float64{0.30, 0.35, 0.40, 0.43, 0.45, 0.47, 0.49, 0.50}
+	}
+	t := table.New(
+		fmt.Sprintf("exact best-of-%d on K_%d (i.i.d. initial opinions)", *k, *n),
+		"P(blue)", "red wins", "blue wins", "unabsorbed", "mean rounds")
+	for _, p := range ps {
+		res := chain.Absorb(chain.InitialDistribution(p), 1e-12, *maxRounds)
+		t.AddRow(p, res.RedWins, res.BlueWins, res.Escaped, res.MeanRounds)
+	}
+	if err := t.Render(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}

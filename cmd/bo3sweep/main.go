@@ -1,0 +1,129 @@
+// Command bo3sweep regenerates the full reproduction suite (experiments
+// E1–E13 of DESIGN.md) and prints one table per experiment, in the format
+// recorded in EXPERIMENTS.md.
+//
+// Usage:
+//
+//	bo3sweep                 # default scale (minutes)
+//	bo3sweep -quick          # reduced scale (seconds)
+//	bo3sweep -only E1,E7     # subset
+//	bo3sweep -csv out/       # additionally write CSV files
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/table"
+)
+
+type runner struct {
+	id  string
+	run func(experiments.Config) *table.Table
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("bo3sweep: ")
+
+	var (
+		quick   = flag.Bool("quick", false, "reduced scale (seconds instead of minutes)")
+		only    = flag.String("only", "", "comma-separated experiment ids to run (default: all)")
+		csvDir  = flag.String("csv", "", "directory to write per-experiment CSV files")
+		trials  = flag.Int("trials", 0, "override trial count")
+		maxN    = flag.Int("maxn", 0, "override largest graph size")
+		seed    = flag.Uint64("seed", 1, "experiment seed")
+		workers = flag.Int("workers", 0, "harness parallelism (0 = GOMAXPROCS)")
+	)
+	flag.Parse()
+
+	cfg := experiments.Default()
+	if *quick {
+		cfg = experiments.Quick()
+	}
+	if *trials > 0 {
+		cfg.Trials = *trials
+	}
+	if *maxN > 0 {
+		cfg.MaxN = *maxN
+	}
+	cfg.Seed = *seed
+	cfg.Workers = *workers
+
+	all := []runner{
+		{"E1", func(c experiments.Config) *table.Table { return experiments.E1ConsensusScaling(c).Table() }},
+		{"E2", func(c experiments.Config) *table.Table { return experiments.E2DeltaSweep(c).Table() }},
+		{"E3", func(c experiments.Config) *table.Table { return experiments.E3IdealRecursion(c).Table() }},
+		{"E4", func(c experiments.Config) *table.Table { return experiments.E4SprinklingMajorisation(c).Table() }},
+		{"E5", func(c experiments.Config) *table.Table { return experiments.E5TernaryThreshold(c).Table() }},
+		{"E6", func(c experiments.Config) *table.Table { return experiments.E6CollisionTransform(c).Table() }},
+		{"E7", func(c experiments.Config) *table.Table { return experiments.E7CollisionTail(c).Table() }},
+		{"E8", func(c experiments.Config) *table.Table { return experiments.E8DeltaGrowth(c).Table() }},
+		{"E9", func(c experiments.Config) *table.Table { return experiments.E9BaselineComparison(c).Table() }},
+		{"E10", func(c experiments.Config) *table.Table { return experiments.E10DensityGate(c).Table() }},
+		{"E11", func(c experiments.Config) *table.Table { return experiments.E11CobraDuality(c).Table() }},
+		{"E12", func(c experiments.Config) *table.Table { return experiments.E12SprinklingFigure(c).Table() }},
+		{"E13", func(c experiments.Config) *table.Table { return experiments.E13PhaseSchedule(c).Table() }},
+		{"E14", func(c experiments.Config) *table.Table { return experiments.E14PluralityConsensus(c).Table() }},
+		{"E15", func(c experiments.Config) *table.Table { return experiments.E15StubbornZealots(c).Table() }},
+		{"E16", func(c experiments.Config) *table.Table { return experiments.E16AdversarialPlacement(c).Table() }},
+		{"E17", func(c experiments.Config) *table.Table { return experiments.E17ForwardBackwardDuality(c).Table() }},
+		{"E18", func(c experiments.Config) *table.Table { return experiments.E18AsyncVsSync(c).Table() }},
+		{"E19", func(c experiments.Config) *table.Table { return experiments.E19NoiseThreshold(c).Table() }},
+		{"E20", func(c experiments.Config) *table.Table { return experiments.E20ExactChainValidation(c).Table() }},
+		{"E21", func(c experiments.Config) *table.Table { return experiments.E21SpectralComparison(c).Table() }},
+	}
+
+	selected := all
+	if *only != "" {
+		want := map[string]bool{}
+		for _, id := range strings.Split(*only, ",") {
+			want[strings.ToUpper(strings.TrimSpace(id))] = true
+		}
+		selected = selected[:0]
+		for _, r := range all {
+			if want[r.id] {
+				selected = append(selected, r)
+			}
+		}
+		if len(selected) == 0 {
+			log.Fatalf("no experiments match -only=%q", *only)
+		}
+	}
+
+	if *csvDir != "" {
+		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	for _, r := range selected {
+		start := time.Now()
+		t := r.run(cfg)
+		fmt.Println()
+		if err := t.Render(os.Stdout); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("(%s completed in %v)\n", r.id, time.Since(start).Round(time.Millisecond))
+		if *csvDir != "" {
+			path := filepath.Join(*csvDir, strings.ToLower(r.id)+".csv")
+			f, err := os.Create(path)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if err := t.RenderCSV(f); err != nil {
+				f.Close()
+				log.Fatal(err)
+			}
+			if err := f.Close(); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+}

@@ -1,0 +1,31 @@
+// Package repro is a from-scratch Go reproduction of "Best-of-Three Voting
+// on Dense Graphs" (Nan Kang and Nicolás Rivera, SPAA 2019,
+// arXiv:1903.09524).
+//
+// The paper studies the synchronous Best-of-Three opinion dynamic: every
+// vertex of a graph holds opinion Red or Blue, and in each round every
+// vertex samples three random neighbours (with replacement) and adopts the
+// majority opinion among the samples. The main theorem says that on any
+// graph with minimum degree d = n^α, α = Ω(1/log log n), started from
+// i.i.d. opinions with P(Blue) = 1/2 − δ and δ ≥ (log d)^−C, the dynamic
+// reaches Red consensus within O(log log n) + O(log δ⁻¹) rounds with high
+// probability.
+//
+// The root package exposes the high-level API:
+//
+//	g := repro.RandomRegular(1<<14, 128, repro.NewRNG(1))
+//	report, err := repro.RunBestOfThree(g, 0.05, repro.Options{Seed: 2})
+//	// report.RedWon, report.Rounds, report.PredictedRounds, ...
+//
+// Underneath sit the substrates, each its own package under internal/:
+// graph generators and analyses (internal/graph), the parallel Best-of-k
+// engine and baselines (internal/dynamics), the voting-DAG dual object
+// with the Sprinkling process and the ternary-tree lemmas
+// (internal/votingdag), the paper's recursions in exact form
+// (internal/theory), the COBRA walk of Remark 2 (internal/cobra), and the
+// experiment harness (internal/sim, internal/experiments).
+//
+// Every quantitative claim of the paper has a reproduction experiment
+// (E1–E21 in DESIGN.md), regenerable via cmd/bo3sweep or the benchmarks in
+// bench_test.go; EXPERIMENTS.md records paper-vs-measured outcomes.
+package repro

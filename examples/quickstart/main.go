@@ -1,0 +1,34 @@
+// Quickstart: run the paper's Best-of-Three protocol once on a dense random
+// regular graph and print what Theorem 1 predicts versus what happened.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+func main() {
+	// A graph inside the paper's class: n = 2^14 vertices with minimum
+	// degree d = 128 = n^0.5, i.e. density exponent alpha = 0.5.
+	g := repro.RandomRegular(1<<14, 128, repro.NewRNG(1))
+
+	// Each vertex starts Blue with probability 1/2 - delta, Red otherwise.
+	const delta = 0.05
+
+	pre := repro.CheckPrecondition(g, delta)
+	fmt.Println("Theorem 1 preconditions:", pre)
+
+	report, err := repro.RunBestOfThree(g, delta, repro.Options{Seed: 2})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("consensus reached: %v (red won: %v)\n", report.Consensus, report.RedWon)
+	fmt.Printf("rounds: %d (paper predicts O(log log n + log 1/delta) ~ %d)\n",
+		report.Rounds, report.PredictedRounds)
+	fmt.Println("blue count per round:", report.BlueTrajectory)
+}

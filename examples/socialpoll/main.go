@@ -1,0 +1,88 @@
+// Socialpoll: a scenario from the paper's motivation — distributed
+// consensus in a social network. Two communities hold opposing opinions
+// (community A is 70% Red, community B is 70% Blue) on a stochastic block
+// model; members repeatedly poll three random contacts and adopt the
+// majority answer.
+//
+// With enough cross-community links the network behaves like the paper's
+// dense graphs and the global initial majority (Red, since A is larger)
+// wins quickly. As the communities segregate, community B converges Blue
+// internally and global consensus stalls or flips — the dynamics leave the
+// regime Theorem 1 covers.
+//
+//	go run ./examples/socialpoll
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/dynamics"
+	"repro/internal/graph"
+	"repro/internal/opinion"
+	"repro/internal/rng"
+)
+
+func main() {
+	const (
+		sizeA  = 3000 // 70% red
+		sizeB  = 2000 // 70% blue
+		pin    = 0.03
+		trials = 15
+		budget = 2000
+	)
+
+	fmt.Println("two-community polling: A(3000, 70% red) vs B(2000, 70% blue), pin=0.03")
+	fmt.Printf("%-28s %12s %10s %12s\n", "network", "mean rounds", "red wins", "consensus")
+
+	for _, tc := range []struct {
+		name string
+		pout float64
+	}{
+		{"well-mixed (pout=0.02)", 0.02},
+		{"connected  (pout=0.003)", 0.003},
+		{"segregated (pout=0.0002)", 0.0002},
+	} {
+		rounds, redWins, consensus := 0, 0, 0
+		for trial := 0; trial < trials; trial++ {
+			src := rng.NewFrom(99, uint64(trial))
+			g := graph.SBM(sizeA, sizeB, pin, tc.pout, src)
+
+			// Community-correlated initial opinions: A red-leaning, B
+			// blue-leaning. Globally red holds (0.7·3000 + 0.3·2000)/5000 =
+			// 54% — a delta of 0.04 in the paper's terms.
+			init := opinion.NewConfig(g.N())
+			for v := 0; v < sizeA; v++ {
+				if src.Bernoulli(0.30) {
+					init.Set(v, opinion.Blue)
+				}
+			}
+			for v := sizeA; v < g.N(); v++ {
+				if src.Bernoulli(0.70) {
+					init.Set(v, opinion.Blue)
+				}
+			}
+
+			p, err := dynamics.New(g, dynamics.BestOfThree, init, dynamics.Options{Seed: uint64(trial)})
+			if err != nil {
+				panic(err)
+			}
+			res := p.RunQuiet(budget)
+			rounds += res.Rounds
+			if res.Winner == opinion.Red {
+				redWins++
+			}
+			if res.Consensus {
+				consensus++
+			}
+		}
+		fmt.Printf("%-28s %12.1f %7d/%d %9d/%d\n",
+			tc.name, float64(rounds)/trials, redWins, trials, consensus, trials)
+	}
+
+	fmt.Println()
+	fmt.Println("Well-mixed networks satisfy the paper's dense-graph intuition: the")
+	fmt.Println("global majority (red) wins in O(log log n) rounds. Segregated")
+	fmt.Println("communities lock into opposing local consensus — the run exhausts its")
+	fmt.Println("round budget without global agreement, showing why the theorem needs")
+	fmt.Println("the whole graph to be dense, not just each community.")
+}

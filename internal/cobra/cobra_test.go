@@ -1,0 +1,157 @@
+package cobra
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/rng"
+	"repro/internal/stats"
+	"repro/internal/votingdag"
+)
+
+func TestNewPanics(t *testing.T) {
+	g := graph.Complete(4)
+	for name, fn := range map[string]func(){
+		"k zero":      func() { New(g, 0, []int{0}, rng.New(1)) },
+		"no starts":   func() { New(g, 3, nil, rng.New(1)) },
+		"start range": func() { New(g, 3, []int{4}, rng.New(1)) },
+		"start neg":   func() { New(g, 3, []int{-1}, rng.New(1)) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestSingleParticleVoterWalk(t *testing.T) {
+	// k = 1 is a plain coalescing walk: a single particle stays single.
+	g := graph.Cycle(10)
+	w := New(g, 1, []int{0}, rng.New(2))
+	for i := 0; i < 50; i++ {
+		if got := w.Step(); got != 1 {
+			t.Fatalf("single particle split into %d", got)
+		}
+	}
+	if w.StepCount() != 50 {
+		t.Errorf("StepCount = %d", w.StepCount())
+	}
+}
+
+func TestOccupancyBounds(t *testing.T) {
+	// Occupancy can at most triple per step with k = 3 and never exceeds n.
+	g := graph.RandomRegular(128, 8, rng.New(3))
+	w := New(g, 3, []int{5}, rng.New(4))
+	prev := w.Occupied()
+	if prev != 1 {
+		t.Fatalf("initial occupancy = %d", prev)
+	}
+	for i := 0; i < 30; i++ {
+		cur := w.Step()
+		if cur > 3*prev {
+			t.Fatalf("occupancy more than tripled: %d -> %d", prev, cur)
+		}
+		if cur > g.N() || cur < 1 {
+			t.Fatalf("occupancy out of range: %d", cur)
+		}
+		prev = cur
+	}
+}
+
+func TestKnGrowthMatchesDAGLevels(t *testing.T) {
+	// Remark 2 duality: the distribution of the COBRA occupancy at time t
+	// matches the voting-DAG level size at level T−t. Compare means over
+	// trials on the same large complete graph.
+	g := graph.NewKn(4096)
+	const T = 5
+	const trials = 60
+	walkOcc := make([][]float64, T+1)
+	dagOcc := make([][]float64, T+1)
+	for i := range walkOcc {
+		walkOcc[i] = make([]float64, 0, trials)
+		dagOcc[i] = make([]float64, 0, trials)
+	}
+	for trial := 0; trial < trials; trial++ {
+		w := New(g, 3, []int{trial % g.N()}, rng.New(uint64(trial)))
+		tr := w.Trajectory(T)
+		d := votingdag.Build(g, trial%g.N(), T, rng.New(uint64(trial+10000)))
+		sizes := d.LevelSizes()
+		for s := 0; s <= T; s++ {
+			walkOcc[s] = append(walkOcc[s], float64(tr[s]))
+			dagOcc[s] = append(dagOcc[s], float64(sizes[T-s]))
+		}
+	}
+	for s := 0; s <= T; s++ {
+		wm := stats.Summarize(walkOcc[s]).Mean
+		dm := stats.Summarize(dagOcc[s]).Mean
+		if wm < 0.9*dm-1 || wm > 1.1*dm+1 {
+			t.Errorf("step %d: walk mean %.2f vs DAG level mean %.2f", s, wm, dm)
+		}
+	}
+}
+
+func TestCoverTimeCompleteGraph(t *testing.T) {
+	g := graph.Complete(64)
+	w := New(g, 3, []int{0}, rng.New(7))
+	ct := w.CoverTime(10000)
+	if ct < 1 {
+		t.Fatalf("cover time = %d", ct)
+	}
+	// k=3 on K64: occupancy roughly triples until saturation, then coupon-
+	// collector-ish tail; anything above 100 steps indicates a bug.
+	if ct > 100 {
+		t.Errorf("cover time = %d, implausibly slow", ct)
+	}
+}
+
+func TestCoverTimeAlreadyCovered(t *testing.T) {
+	g := graph.Complete(4)
+	w := New(g, 2, []int{0, 1, 2, 3}, rng.New(8))
+	if ct := w.CoverTime(10); ct != 0 {
+		t.Errorf("cover time from full occupancy = %d", ct)
+	}
+}
+
+func TestCoverTimeBudgetExhausted(t *testing.T) {
+	// k = 1 on a long cycle: a single random walk needs Θ(n²) steps; a tiny
+	// budget must report -1.
+	g := graph.Cycle(200)
+	w := New(g, 1, []int{0}, rng.New(9))
+	if ct := w.CoverTime(10); ct != -1 {
+		t.Errorf("cover time = %d, want -1 on exhausted budget", ct)
+	}
+}
+
+func TestTrajectoryShape(t *testing.T) {
+	g := graph.RandomRegular(64, 4, rng.New(10))
+	w := New(g, 3, []int{1}, rng.New(11))
+	tr := w.Trajectory(8)
+	if len(tr) != 9 || tr[0] != 1 {
+		t.Fatalf("trajectory = %v", tr)
+	}
+}
+
+func TestIsOccupiedAndSet(t *testing.T) {
+	g := graph.Complete(5)
+	w := New(g, 3, []int{2}, rng.New(12))
+	if !w.IsOccupied(2) || w.IsOccupied(0) {
+		t.Error("initial occupancy wrong")
+	}
+	set := w.OccupiedSet()
+	if len(set) != 1 || set[0] != 2 {
+		t.Errorf("OccupiedSet = %v", set)
+	}
+}
+
+func BenchmarkStepK3(b *testing.B) {
+	g := graph.RandomRegular(8192, 32, rng.New(1))
+	w := New(g, 3, []int{0}, rng.New(2))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w.Step()
+	}
+}

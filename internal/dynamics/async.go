@@ -1,0 +1,114 @@
+package dynamics
+
+import (
+	"fmt"
+
+	"repro/internal/opinion"
+	"repro/internal/rng"
+)
+
+// AsyncProcess is the asynchronous (sequential-activation) variant of
+// Best-of-k: at each tick a single uniformly random vertex wakes up,
+// samples k neighbours and updates. n ticks form one "sweep", the natural
+// unit comparable to one synchronous round.
+//
+// The paper analyses the synchronous dynamic; the asynchronous variant is
+// provided as an extension so that the examples can contrast the two
+// activation models on the same workloads.
+type AsyncProcess struct {
+	g     Topology
+	rule  Rule
+	cfg   *opinion.Config
+	src   *rng.Source
+	ticks int
+	blues int
+}
+
+// NewAsync returns an asynchronous process. The initial configuration is
+// copied.
+func NewAsync(g Topology, rule Rule, init *opinion.Config, seed uint64) (*AsyncProcess, error) {
+	if err := rule.Validate(); err != nil {
+		return nil, err
+	}
+	if g.N() != init.N() {
+		return nil, fmt.Errorf("dynamics: graph has %d vertices, configuration has %d", g.N(), init.N())
+	}
+	if g.N() == 0 {
+		return nil, fmt.Errorf("dynamics: async process requires a non-empty graph")
+	}
+	if g.MinDegree() == 0 {
+		return nil, fmt.Errorf("dynamics: graph %s has an isolated vertex", g.Name())
+	}
+	cfg := init.Clone()
+	return &AsyncProcess{g: g, rule: rule, cfg: cfg, src: rng.New(seed), blues: cfg.Blues()}, nil
+}
+
+// Config returns the current configuration (aliased, do not mutate).
+func (a *AsyncProcess) Config() *opinion.Config { return a.cfg }
+
+// Ticks returns the number of single-vertex updates performed.
+func (a *AsyncProcess) Ticks() int { return a.ticks }
+
+// Sweeps returns the number of completed sweeps (ticks / n).
+func (a *AsyncProcess) Sweeps() int { return a.ticks / a.g.N() }
+
+// Tick activates one uniformly random vertex.
+func (a *AsyncProcess) Tick() {
+	v := a.src.Intn(a.g.N())
+	deg := a.g.Degree(v)
+	k := a.rule.K
+	blues := 0
+	for i := 0; i < k; i++ {
+		w := a.g.Neighbor(v, a.src.Intn(deg))
+		if a.cfg.Get(w) == opinion.Blue {
+			blues++
+		}
+	}
+	var col opinion.Colour
+	switch {
+	case 2*blues > k:
+		col = opinion.Blue
+	case 2*blues < k:
+		col = opinion.Red
+	default:
+		if a.rule.Tie == TieKeep {
+			col = a.cfg.Get(v)
+		} else if a.src.Bernoulli(0.5) {
+			col = opinion.Blue
+		} else {
+			col = opinion.Red
+		}
+	}
+	old := a.cfg.Get(v)
+	if old != col {
+		if col == opinion.Blue {
+			a.blues++
+		} else {
+			a.blues--
+		}
+		a.cfg.Set(v, col)
+	}
+	a.ticks++
+}
+
+// Run advances until consensus or maxSweeps·n ticks. The returned Rounds
+// counts sweeps, with the tick remainder rounded up, so results are
+// comparable to the synchronous engine.
+func (a *AsyncProcess) Run(maxSweeps int) Result {
+	n := a.g.N()
+	maxTicks := maxSweeps * n
+	for a.ticks < maxTicks {
+		if a.blues == 0 || a.blues == n {
+			break
+		}
+		a.Tick()
+	}
+	res := Result{Rounds: (a.ticks + n - 1) / n}
+	if col, ok := a.cfg.IsConsensus(); ok {
+		res.Consensus = true
+		res.Winner = col
+	} else {
+		res.Winner = a.cfg.Majority()
+	}
+	return res
+}

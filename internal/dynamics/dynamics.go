@@ -1,0 +1,362 @@
+// Package dynamics implements the synchronous Best-of-k opinion dynamics
+// studied by the paper, together with the baseline protocols it compares
+// against.
+//
+// In one round of Best-of-k, every vertex simultaneously samples k
+// neighbours uniformly at random with replacement and adopts the majority
+// opinion among the samples; ties (possible only for even k) are resolved
+// by a configurable rule. Best-of-1 is the classical voter model and
+// Best-of-3 is the paper's protocol.
+//
+// The engine double-buffers the configuration and shards the vertex range
+// across a worker pool; each shard owns an independent RNG stream, so runs
+// are deterministic for a fixed (seed, worker count) pair and configuration
+// updates are race-free by construction.
+package dynamics
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/opinion"
+	"repro/internal/rng"
+)
+
+// Topology is the minimal neighbour-query interface the engine needs. Both
+// *graph.Graph (CSR) and graph.Kn (virtual complete graph) satisfy it; the
+// engine is deliberately agnostic so complete-graph experiments avoid the
+// Θ(n²) edge list.
+type Topology interface {
+	// N returns the number of vertices.
+	N() int
+	// Degree returns the degree of vertex v.
+	Degree(v int) int
+	// Neighbor returns the i-th neighbour of v, 0 <= i < Degree(v).
+	Neighbor(v, i int) int
+	// MinDegree returns the minimum degree over all vertices.
+	MinDegree() int
+	// Name identifies the topology in logs and tables.
+	Name() string
+}
+
+// TieRule determines the adopted opinion when the k sampled neighbours
+// split evenly (even k only; for odd k the rule is never consulted).
+type TieRule uint8
+
+const (
+	// TieKeep keeps the vertex's current opinion on a tie (rule (i) in the
+	// paper's introduction).
+	TieKeep TieRule = iota
+	// TieRandom adopts a uniformly random opinion among the tied ones
+	// (rule (ii)).
+	TieRandom
+)
+
+// String implements fmt.Stringer.
+func (t TieRule) String() string {
+	switch t {
+	case TieKeep:
+		return "keep"
+	case TieRandom:
+		return "random"
+	default:
+		return fmt.Sprintf("TieRule(%d)", uint8(t))
+	}
+}
+
+// Rule describes a Best-of-k protocol instance.
+type Rule struct {
+	// K is the number of neighbours sampled per vertex per round; must be
+	// at least 1. K = 3 is the paper's protocol.
+	K int
+	// Tie is the tie-breaking rule for even K.
+	Tie TieRule
+	// WithoutReplacement samples K distinct neighbours instead of the
+	// paper's with-replacement sampling. Vertices with degree < K fall
+	// back to with-replacement sampling. Used by the ablation bench.
+	WithoutReplacement bool
+	// Noise is the per-sample misreporting probability: each sampled
+	// opinion is independently flipped with this probability before the
+	// majority is taken. 0 is the paper's noiseless protocol; the E19
+	// extension sweeps the noise threshold. Must lie in [0, 1/2].
+	Noise float64
+}
+
+// BestOfThree is the paper's protocol: 3 samples with replacement.
+var BestOfThree = Rule{K: 3}
+
+// Voter is the Best-of-1 baseline (the classical voter model).
+var Voter = Rule{K: 1}
+
+// BestOfTwo is the Best-of-2 baseline with the keep-own tie rule of
+// Cooper–Elsässer–Radzik.
+var BestOfTwo = Rule{K: 2, Tie: TieKeep}
+
+// Validate reports whether the rule is well-formed.
+func (r Rule) Validate() error {
+	if r.K < 1 {
+		return fmt.Errorf("dynamics: rule K = %d, want >= 1", r.K)
+	}
+	if r.Noise < 0 || r.Noise > 0.5 {
+		return fmt.Errorf("dynamics: rule noise = %v, want in [0, 0.5]", r.Noise)
+	}
+	return nil
+}
+
+// Name returns a short identifier such as "best-of-3" or
+// "best-of-2/random".
+func (r Rule) Name() string {
+	s := fmt.Sprintf("best-of-%d", r.K)
+	if r.K%2 == 0 {
+		s += "/" + r.Tie.String()
+	}
+	if r.WithoutReplacement {
+		s += "/noreplace"
+	}
+	if r.Noise > 0 {
+		s += fmt.Sprintf("/noise=%.3g", r.Noise)
+	}
+	return s
+}
+
+// Process is a running dynamic on a fixed graph. It owns two configuration
+// buffers and a set of per-shard RNG streams. A Process is not safe for
+// concurrent use by multiple goroutines; the internal parallelism of Step
+// is self-contained.
+type Process struct {
+	g       Topology
+	rule    Rule
+	cur     *opinion.Config
+	next    *opinion.Config
+	shards  []shard
+	round   int
+	workers int
+}
+
+type shard struct {
+	lo, hi int
+	src    *rng.Source
+}
+
+// Options configures a Process.
+type Options struct {
+	// Workers is the number of parallel shards; 0 means GOMAXPROCS.
+	Workers int
+	// Seed drives all sampling; equal seeds with equal worker counts give
+	// identical trajectories.
+	Seed uint64
+}
+
+// New returns a Process evolving init under the rule on g. The initial
+// configuration is copied; the caller's value is not mutated.
+func New(g Topology, rule Rule, init *opinion.Config, opt Options) (*Process, error) {
+	if err := rule.Validate(); err != nil {
+		return nil, err
+	}
+	if g.N() != init.N() {
+		return nil, fmt.Errorf("dynamics: graph has %d vertices, configuration has %d", g.N(), init.N())
+	}
+	if g.N() > 0 && g.MinDegree() == 0 {
+		return nil, fmt.Errorf("dynamics: graph %s has an isolated vertex; every vertex must be able to sample a neighbour", g.Name())
+	}
+	w := opt.Workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > g.N() {
+		w = g.N()
+	}
+	if w < 1 {
+		w = 1
+	}
+	p := &Process{
+		g:       g,
+		rule:    rule,
+		cur:     init.Clone(),
+		next:    opinion.NewConfig(g.N()),
+		workers: w,
+	}
+	n := g.N()
+	// Shard boundaries are aligned to 64-vertex blocks: configurations are
+	// packed bitsets, and two shards writing different bits of one word
+	// would be a read-modify-write data race with lost updates.
+	bounds := make([]int, w+1)
+	for i := 1; i < w; i++ {
+		bounds[i] = (i * n / w) &^ 63
+		if bounds[i] < bounds[i-1] {
+			bounds[i] = bounds[i-1]
+		}
+	}
+	bounds[w] = n
+	for i := 0; i < w; i++ {
+		p.shards = append(p.shards, shard{
+			lo:  bounds[i],
+			hi:  bounds[i+1],
+			src: rng.NewFrom(opt.Seed, uint64(i)),
+		})
+	}
+	return p, nil
+}
+
+// Graph returns the underlying topology.
+func (p *Process) Graph() Topology { return p.g }
+
+// Rule returns the protocol being simulated.
+func (p *Process) Rule() Rule { return p.rule }
+
+// Round returns the number of completed rounds.
+func (p *Process) Round() int { return p.round }
+
+// Config returns the current configuration. The returned value aliases the
+// process state and is invalidated by the next Step; Clone it to keep it.
+func (p *Process) Config() *opinion.Config { return p.cur }
+
+// Step performs one synchronous round. All vertices sample from the
+// pre-round configuration, so the update is a simultaneous one as the paper
+// requires.
+func (p *Process) Step() {
+	if p.g.N() == 0 {
+		p.round++
+		return
+	}
+	if p.workers == 1 {
+		p.stepRange(p.shards[0].lo, p.shards[0].hi, p.shards[0].src)
+	} else {
+		var wg sync.WaitGroup
+		for i := range p.shards {
+			wg.Add(1)
+			go func(s *shard) {
+				defer wg.Done()
+				p.stepRange(s.lo, s.hi, s.src)
+			}(&p.shards[i])
+		}
+		wg.Wait()
+	}
+	p.cur, p.next = p.next, p.cur
+	p.round++
+}
+
+// stepRange updates vertices [lo, hi) into p.next.
+func (p *Process) stepRange(lo, hi int, src *rng.Source) {
+	k := p.rule.K
+	noise := p.rule.Noise
+	for v := lo; v < hi; v++ {
+		deg := p.g.Degree(v)
+		blues := 0
+		if p.rule.WithoutReplacement && deg >= k {
+			blues = p.sampleDistinct(v, deg, k, src)
+		} else {
+			for i := 0; i < k; i++ {
+				w := p.g.Neighbor(v, src.Intn(deg))
+				if p.cur.Get(w) == opinion.Blue {
+					blues++
+				}
+			}
+		}
+		if noise > 0 {
+			// Flip each of the k observed opinions independently: of the
+			// `blues` blue samples, Bin(blues, noise) flip to red; of the
+			// red samples, Bin(k−blues, noise) flip to blue.
+			blues += src.Binomial(k-blues, noise) - src.Binomial(blues, noise)
+		}
+		var col opinion.Colour
+		switch {
+		case 2*blues > k:
+			col = opinion.Blue
+		case 2*blues < k:
+			col = opinion.Red
+		default: // tie, even k
+			switch p.rule.Tie {
+			case TieKeep:
+				col = p.cur.Get(v)
+			default: // TieRandom
+				if src.Bernoulli(0.5) {
+					col = opinion.Blue
+				} else {
+					col = opinion.Red
+				}
+			}
+		}
+		p.next.Set(v, col)
+	}
+}
+
+// sampleDistinct counts blue opinions among k distinct uniform neighbours
+// of v via a partial Floyd sample. Only used for the ablation rule; k is
+// tiny (≤ 5), so the rejection loop is cheap.
+func (p *Process) sampleDistinct(v, deg, k int, src *rng.Source) int {
+	var chosen [8]int
+	blues := 0
+	for i := 0; i < k; i++ {
+	retry:
+		idx := src.Intn(deg)
+		for j := 0; j < i; j++ {
+			if chosen[j] == idx {
+				goto retry
+			}
+		}
+		chosen[i] = idx
+		if p.cur.Get(p.g.Neighbor(v, idx)) == opinion.Blue {
+			blues++
+		}
+	}
+	return blues
+}
+
+// Result summarises a completed run.
+type Result struct {
+	// Consensus reports whether every vertex held one opinion when the run
+	// stopped.
+	Consensus bool
+	// Winner is the consensus opinion when Consensus is true; otherwise the
+	// majority opinion at stop time.
+	Winner opinion.Colour
+	// Rounds is the number of rounds executed.
+	Rounds int
+	// BlueTrajectory records the number of blue vertices after each round,
+	// starting with the initial count (index 0).
+	BlueTrajectory []int
+}
+
+// Run advances the process until consensus or maxRounds, whichever comes
+// first, recording the blue-count trajectory.
+func (p *Process) Run(maxRounds int) Result {
+	res := Result{BlueTrajectory: []int{p.cur.Blues()}}
+	for p.round < maxRounds {
+		if col, ok := p.cur.IsConsensus(); ok {
+			res.Consensus = true
+			res.Winner = col
+			res.Rounds = p.round
+			return res
+		}
+		p.Step()
+		res.BlueTrajectory = append(res.BlueTrajectory, p.cur.Blues())
+	}
+	res.Rounds = p.round
+	if col, ok := p.cur.IsConsensus(); ok {
+		res.Consensus = true
+		res.Winner = col
+	} else {
+		res.Winner = p.cur.Majority()
+	}
+	return res
+}
+
+// RunQuiet is Run without trajectory recording, for the benchmark hot path.
+func (p *Process) RunQuiet(maxRounds int) Result {
+	for p.round < maxRounds {
+		if col, ok := p.cur.IsConsensus(); ok {
+			return Result{Consensus: true, Winner: col, Rounds: p.round}
+		}
+		p.Step()
+	}
+	res := Result{Rounds: p.round}
+	if col, ok := p.cur.IsConsensus(); ok {
+		res.Consensus = true
+		res.Winner = col
+	} else {
+		res.Winner = p.cur.Majority()
+	}
+	return res
+}

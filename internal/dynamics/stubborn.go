@@ -1,0 +1,79 @@
+package dynamics
+
+import (
+	"fmt"
+
+	"repro/internal/bitset"
+	"repro/internal/opinion"
+)
+
+// StubbornProcess is Best-of-k with a set of stubborn (zealot) vertices
+// that never update their opinion. It is the dynamic analogue of the
+// Sprinkling process's artificial always-Blue vertices (Section 3 of the
+// paper): the analysis there majorises collisions by pretending some
+// queried vertices are deterministically Blue, and this process realises
+// that adversary in the forward dynamic. The E15 experiment measures how
+// many stubborn Blue vertices the Red majority tolerates.
+type StubbornProcess struct {
+	*Process
+	stubborn *bitset.Set
+	frozen   *opinion.Config
+}
+
+// NewStubborn wraps a Process so the listed vertices keep their initial
+// opinion forever. Duplicate vertices are allowed; out-of-range vertices
+// are an error.
+func NewStubborn(g Topology, rule Rule, init *opinion.Config, stubborn []int, opt Options) (*StubbornProcess, error) {
+	p, err := New(g, rule, init, opt)
+	if err != nil {
+		return nil, err
+	}
+	set := bitset.New(g.N())
+	for _, v := range stubborn {
+		if v < 0 || v >= g.N() {
+			return nil, fmt.Errorf("dynamics: stubborn vertex %d out of range [0,%d)", v, g.N())
+		}
+		set.Set(v)
+	}
+	return &StubbornProcess{Process: p, stubborn: set, frozen: init.Clone()}, nil
+}
+
+// StubbornCount returns the number of stubborn vertices.
+func (s *StubbornProcess) StubbornCount() int { return s.stubborn.Count() }
+
+// Step performs one synchronous round and then restores the stubborn
+// vertices' frozen opinions. Restoring after the parallel update keeps the
+// inner engine unchanged while giving exactly the zealot semantics: other
+// vertices sampled the frozen opinions (the pre-round configuration), and
+// the zealots themselves ignore their computed update.
+func (s *StubbornProcess) Step() {
+	s.Process.Step()
+	s.stubborn.ForEach(func(v int) {
+		s.cur.Set(v, s.frozen.Get(v))
+	})
+}
+
+// Run advances until consensus or maxRounds. Note that with stubborn
+// vertices of both colours present, consensus is impossible; Run then
+// always exhausts the budget and reports the final majority.
+func (s *StubbornProcess) Run(maxRounds int) Result {
+	res := Result{BlueTrajectory: []int{s.cur.Blues()}}
+	for s.round < maxRounds {
+		if col, ok := s.cur.IsConsensus(); ok {
+			res.Consensus = true
+			res.Winner = col
+			res.Rounds = s.round
+			return res
+		}
+		s.Step()
+		res.BlueTrajectory = append(res.BlueTrajectory, s.cur.Blues())
+	}
+	res.Rounds = s.round
+	if col, ok := s.cur.IsConsensus(); ok {
+		res.Consensus = true
+		res.Winner = col
+	} else {
+		res.Winner = s.cur.Majority()
+	}
+	return res
+}

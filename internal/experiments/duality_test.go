@@ -1,0 +1,68 @@
+package experiments
+
+import "testing"
+
+func TestE17DualityCompatible(t *testing.T) {
+	res := E17ForwardBackwardDuality(quickCfg())
+	if len(res.Rows) != 4 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	if !res.AllCompatible() {
+		t.Errorf("forward and backward estimators disagree:\n%s", res.Table())
+	}
+	// Blue probability must shrink with T (the dynamic amplifies red).
+	for i := 1; i < len(res.Rows); i++ {
+		if res.Rows[i].Forward.P > res.Rows[i-1].Forward.P+0.05 {
+			t.Errorf("forward blue probability rose at T=%d:\n%s", res.Rows[i].T, res.Table())
+		}
+	}
+}
+
+func TestE18BothModelsConvergeRed(t *testing.T) {
+	res := E18AsyncVsSync(quickCfg())
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	for _, row := range res.Rows {
+		if row.RedWins.P < 0.9 {
+			t.Errorf("%s: red wins %.2f", row.Model, row.RedWins.P)
+		}
+		if row.MeanRounds > 60 {
+			t.Errorf("%s: %.1f rounds, not double-log-ish", row.Model, row.MeanRounds)
+		}
+	}
+	// Both in the same regime: within a factor 4 of each other.
+	a, b := res.Rows[0].MeanRounds, res.Rows[1].MeanRounds
+	if a > 4*b || b > 4*a {
+		t.Errorf("activation models diverged: %.1f vs %.1f", a, b)
+	}
+}
+
+func TestE19NoiseShape(t *testing.T) {
+	res := E19NoiseThreshold(quickCfg())
+	if len(res.Rows) < 6 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	// Noiseless: blue mass gone; red dominates.
+	if res.Rows[0].FinalBlueFrac > 0.01 || res.Rows[0].RedDominates.P < 0.95 {
+		t.Errorf("noiseless row wrong: %+v", res.Rows[0])
+	}
+	// Max noise: half-half, red cannot dominate.
+	last := res.Rows[len(res.Rows)-1]
+	if last.FinalBlueFrac < 0.4 || last.FinalBlueFrac > 0.6 {
+		t.Errorf("max-noise blue frac %.2f, want ~0.5", last.FinalBlueFrac)
+	}
+	if last.RedDominates.P > 0.2 {
+		t.Errorf("red dominates %.2f at max noise", last.RedDominates.P)
+	}
+	// Blue mass grows with noise (allow one inversion for sampling noise).
+	inversions := 0
+	for i := 1; i < len(res.Rows); i++ {
+		if res.Rows[i].FinalBlueFrac < res.Rows[i-1].FinalBlueFrac-0.01 {
+			inversions++
+		}
+	}
+	if inversions > 1 {
+		t.Errorf("blue mass not monotone in noise:\n%s", res.Table())
+	}
+}

@@ -1,0 +1,65 @@
+package experiments
+
+import "testing"
+
+func TestE20ExactValidation(t *testing.T) {
+	res := E20ExactChainValidation(quickCfg())
+	if len(res.Rows) != 5 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	if !res.AllWithinIntervals() {
+		t.Errorf("simulator disagrees with the exact chain:\n%s", res.Table())
+	}
+	for _, row := range res.Rows {
+		// Exact values themselves: symmetric start near 1/2, strong red
+		// advantage from pBlue < 1/2 at large n.
+		if row.PBlue == 0.5 && (row.ExactRedWin < 0.4 || row.ExactRedWin > 0.65) {
+			t.Errorf("n=%d symmetric exact red win %v", row.N, row.ExactRedWin)
+		}
+		// At these small n the initial binomial sample flips the majority
+		// with probability ~Φ(−2δ√n/1): e.g. the exact value at n = 256,
+		// pBlue = 0.45 is 0.884. Demand a clear advantage, not w.h.p.
+		if row.PBlue <= 0.47 && row.PBlue < 0.5 && row.N >= 256 && row.ExactRedWin < 0.8 {
+			t.Errorf("n=%d pBlue=%v exact red win %v", row.N, row.PBlue, row.ExactRedWin)
+		}
+		// Mean rounds double-log-ish in both columns.
+		if row.ExactMeanT > 25 || row.SimMeanT > 25 {
+			t.Errorf("n=%d mean rounds exact %v sim %v", row.N, row.ExactMeanT, row.SimMeanT)
+		}
+	}
+}
+
+func TestE21ConditionCoverage(t *testing.T) {
+	res := E21SpectralComparison(quickCfg())
+	if len(res.Rows) != 4 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	byName := map[string]E21Row{}
+	for _, row := range res.Rows {
+		byName[row.Graph] = row
+	}
+	dense := byName["dense regular (n^0.6)"]
+	if !dense.DensityHolds {
+		t.Errorf("dense instance fails the density condition: %+v", dense)
+	}
+	if dense.RedWins.P < 0.9 || dense.MeanRounds > 40 {
+		t.Errorf("dense instance did not converge fast: %+v", dense)
+	}
+	// The torus satisfies neither condition and is slow.
+	torus := byName["torus"]
+	if torus.DensityHolds || torus.SpectralHolds {
+		t.Errorf("torus should satisfy neither condition: %+v", torus)
+	}
+	if torus.MeanRounds < 2*dense.MeanRounds {
+		t.Errorf("torus (%.1f) not clearly slower than dense (%.1f)", torus.MeanRounds, dense.MeanRounds)
+	}
+	// The constant-degree expander fails the paper's density condition but
+	// has a real spectral gap (lambda2 bounded away from 1).
+	exp := byName["expander (d=16)"]
+	if exp.DensityHolds {
+		t.Errorf("constant-degree expander should fail the density condition: %+v", exp)
+	}
+	if exp.Lambda2 > 0.9 {
+		t.Errorf("expander lambda2 = %v, want a gap", exp.Lambda2)
+	}
+}

@@ -1,0 +1,100 @@
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Builder accumulates edges and produces an immutable Graph. Duplicate
+// edges and self-loops are rejected at Build time (self-loops immediately).
+// Builders are not safe for concurrent use.
+type Builder struct {
+	n     int
+	edges [][2]int32
+	name  string
+}
+
+// NewBuilder returns a Builder for a graph on n vertices. It panics if n is
+// negative.
+func NewBuilder(n int) *Builder {
+	if n < 0 {
+		panic("graph: negative vertex count")
+	}
+	return &Builder{n: n}
+}
+
+// SetName records a descriptive name for the built graph.
+func (b *Builder) SetName(name string) { b.name = name }
+
+// N returns the number of vertices the builder was created with.
+func (b *Builder) N() int { return b.n }
+
+// AddEdge records the undirected edge {u, v}. It panics on out-of-range
+// endpoints or self-loops; duplicate edges are deduplicated at Build time.
+func (b *Builder) AddEdge(u, v int) {
+	if u < 0 || u >= b.n || v < 0 || v >= b.n {
+		panic(fmt.Sprintf("graph: edge (%d,%d) out of range [0,%d)", u, v, b.n))
+	}
+	if u == v {
+		panic(fmt.Sprintf("graph: self-loop at vertex %d", u))
+	}
+	if u > v {
+		u, v = v, u
+	}
+	b.edges = append(b.edges, [2]int32{int32(u), int32(v)})
+}
+
+// Build constructs the immutable CSR graph. Duplicate edges collapse to a
+// single edge.
+func (b *Builder) Build() *Graph {
+	// Sort and deduplicate the canonical (u < v) edge list.
+	sort.Slice(b.edges, func(i, j int) bool {
+		if b.edges[i][0] != b.edges[j][0] {
+			return b.edges[i][0] < b.edges[j][0]
+		}
+		return b.edges[i][1] < b.edges[j][1]
+	})
+	dedup := b.edges[:0]
+	for i, e := range b.edges {
+		if i == 0 || e != b.edges[i-1] {
+			dedup = append(dedup, e)
+		}
+	}
+	b.edges = dedup
+
+	offsets := make([]int32, b.n+1)
+	for _, e := range b.edges {
+		offsets[e[0]+1]++
+		offsets[e[1]+1]++
+	}
+	for v := 0; v < b.n; v++ {
+		offsets[v+1] += offsets[v]
+	}
+	adj := make([]int32, 2*len(b.edges))
+	cursor := make([]int32, b.n)
+	for _, e := range b.edges {
+		u, v := e[0], e[1]
+		adj[offsets[u]+cursor[u]] = v
+		cursor[u]++
+		adj[offsets[v]+cursor[v]] = u
+		cursor[v]++
+	}
+	g := &Graph{offsets: offsets, adj: adj, name: b.name}
+	// Adjacency lists are sorted because edges were processed in canonical
+	// order for the low endpoint but not the high one; sort each list.
+	for v := 0; v < b.n; v++ {
+		list := g.adj[offsets[v]:offsets[v+1]]
+		sort.Slice(list, func(i, j int) bool { return list[i] < list[j] })
+	}
+	return g
+}
+
+// FromEdges builds a graph on n vertices directly from an edge list.
+func FromEdges(n int, edges [][2]int, name string) *Graph {
+	b := NewBuilder(n)
+	b.SetName(name)
+	for _, e := range edges {
+		b.AddEdge(e[0], e[1])
+	}
+	return b.Build()
+}

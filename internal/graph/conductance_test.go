@@ -1,0 +1,89 @@
+package graph
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func TestConductanceOfKnownCuts(t *testing.T) {
+	// Barbell(4): the bridge cut has 1 crossing edge; each side's volume is
+	// 4·3 + 1 = 13 (three clique vertices of degree 3, the junction has 4).
+	g := Barbell(4)
+	phi := g.ConductanceOf([]int{0, 1, 2, 3})
+	if math.Abs(phi-1.0/13) > 1e-12 {
+		t.Errorf("barbell bridge conductance = %v, want 1/13", phi)
+	}
+	// K4: any single vertex has cut 3, volume 3: conductance 1.
+	k := Complete(4)
+	if got := k.ConductanceOf([]int{0}); math.Abs(got-1) > 1e-12 {
+		t.Errorf("K4 singleton conductance = %v", got)
+	}
+}
+
+func TestConductanceOfDegenerate(t *testing.T) {
+	g := Complete(4)
+	if !math.IsInf(g.ConductanceOf(nil), 1) {
+		t.Error("empty set should have infinite conductance")
+	}
+	if !math.IsInf(g.ConductanceOf([]int{0, 1, 2, 3}), 1) {
+		t.Error("full set should have infinite conductance")
+	}
+}
+
+func TestConductanceOfPanicsOutOfRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range vertex did not panic")
+		}
+	}()
+	Complete(3).ConductanceOf([]int{5})
+}
+
+func TestCheegerSweepFindsBarbellBottleneck(t *testing.T) {
+	// The sweep cut must locate the bridge: conductance ~1/(k(k-1)+1).
+	g := Barbell(8)
+	phi := g.CheegerSweep(300)
+	want := 1.0 / (8*7 + 1)
+	if phi > 2*want {
+		t.Errorf("barbell sweep conductance = %v, want ≈ %v", phi, want)
+	}
+}
+
+func TestCheegerSweepExpanderIsLarge(t *testing.T) {
+	// A random 8-regular graph is an expander: conductance bounded well
+	// away from 0.
+	g := RandomRegular(256, 8, rng.New(5))
+	phi := g.CheegerSweep(300)
+	if phi < 0.1 {
+		t.Errorf("expander sweep conductance = %v, suspiciously small", phi)
+	}
+}
+
+func TestCheegerSweepRespectsCheegerInequality(t *testing.T) {
+	// Φ_sweep ≥ (1 − λ₂)/2 must hold for any cut, in particular the sweep's.
+	for _, g := range []*Graph{Barbell(6), Cycle(40), RandomRegular(128, 6, rng.New(6))} {
+		l2 := g.SecondEigenvalue(300)
+		phi := g.CheegerSweep(300)
+		if phi < (1-l2)/2-1e-6 {
+			t.Errorf("%s: sweep conductance %v below Cheeger lower bound %v", g.Name(), phi, (1-l2)/2)
+		}
+	}
+}
+
+func TestCheegerSweepSBMSplitsCommunities(t *testing.T) {
+	// Two dense blocks with few cross edges: the sweep should find a cut of
+	// conductance roughly pout/(pin + pout) scale, far below an expander's.
+	g := SBM(100, 100, 0.3, 0.005, rng.New(7))
+	phi := g.CheegerSweep(300)
+	if phi > 0.1 {
+		t.Errorf("SBM sweep conductance = %v, want a small community cut", phi)
+	}
+}
+
+func TestCheegerSweepTiny(t *testing.T) {
+	if !math.IsInf(NewBuilder(1).Build().CheegerSweep(10), 1) {
+		t.Error("single-vertex sweep should be infinite")
+	}
+}

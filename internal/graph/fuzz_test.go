@@ -1,0 +1,39 @@
+package graph
+
+import "testing"
+
+// FuzzBuilderInvariants feeds arbitrary byte strings interpreted as edge
+// lists into the builder and checks that every successfully built graph
+// satisfies the CSR invariants. Run with `go test -fuzz=FuzzBuilder` for a
+// live campaign; the seed corpus runs in every plain `go test`.
+func FuzzBuilderInvariants(f *testing.F) {
+	f.Add([]byte{1, 0, 1, 2, 3, 0})
+	f.Add([]byte{})
+	f.Add([]byte{5, 0, 1, 1, 2, 2, 3, 3, 4, 4, 0, 0, 1})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) == 0 {
+			return
+		}
+		n := int(data[0])%64 + 2
+		b := NewBuilder(n)
+		for i := 1; i+1 < len(data); i += 2 {
+			u, v := int(data[i])%n, int(data[i+1])%n
+			if u == v {
+				continue
+			}
+			b.AddEdge(u, v)
+		}
+		g := b.Build()
+		if err := g.Validate(); err != nil {
+			t.Fatalf("built graph fails validation: %v", err)
+		}
+		// Handshake invariant.
+		sum := 0
+		for v := 0; v < n; v++ {
+			sum += g.Degree(v)
+		}
+		if sum != 2*g.M() {
+			t.Fatalf("degree sum %d != 2M %d", sum, 2*g.M())
+		}
+	})
+}

@@ -1,0 +1,181 @@
+// Package graph provides the graph substrate for the voting-dynamics
+// simulators: an immutable compressed-sparse-row (CSR) adjacency
+// representation, a mutable builder, a library of generators covering the
+// graph families discussed in the paper (dense minimum-degree families,
+// random regular graphs, Erdős–Rényi graphs, the complete graph, sparse
+// baselines), and structural analyses (connectivity, bipartiteness, degree
+// statistics, a spectral-gap estimate).
+//
+// The CSR layout stores all adjacency lists in one contiguous int32 slice,
+// which is what makes the dynamics hot loop — "pick a uniform random
+// neighbour of v" — a single bounded-random index plus one array load.
+package graph
+
+import (
+	"fmt"
+	"math"
+)
+
+// Graph is an immutable simple undirected graph in CSR form. Vertices are
+// the integers [0, N()). The zero value is an empty graph.
+type Graph struct {
+	offsets []int32 // len N()+1; adjacency of v is adj[offsets[v]:offsets[v+1]]
+	adj     []int32 // concatenated sorted adjacency lists; len 2·M()
+	name    string
+}
+
+// N returns the number of vertices.
+func (g *Graph) N() int {
+	if len(g.offsets) == 0 {
+		return 0
+	}
+	return len(g.offsets) - 1
+}
+
+// M returns the number of undirected edges.
+func (g *Graph) M() int { return len(g.adj) / 2 }
+
+// Name returns a human-readable description of the graph's construction,
+// e.g. "regular(n=4096,d=64)". It is used in experiment table rows.
+func (g *Graph) Name() string {
+	if g.name == "" {
+		return fmt.Sprintf("graph(n=%d,m=%d)", g.N(), g.M())
+	}
+	return g.name
+}
+
+// Degree returns the degree of vertex v.
+func (g *Graph) Degree(v int) int {
+	return int(g.offsets[v+1] - g.offsets[v])
+}
+
+// Neighbors returns the sorted adjacency list of v. The returned slice
+// aliases the graph's internal storage and must not be modified.
+func (g *Graph) Neighbors(v int) []int32 {
+	return g.adj[g.offsets[v]:g.offsets[v+1]]
+}
+
+// Neighbor returns the i-th neighbour of v (0-indexed into the sorted
+// adjacency list). This is the hot-path accessor used by the dynamics
+// engine: sampling a uniform neighbour is Neighbor(v, rng.Intn(Degree(v))).
+func (g *Graph) Neighbor(v, i int) int {
+	return int(g.adj[int(g.offsets[v])+i])
+}
+
+// HasEdge reports whether {u, v} is an edge, by binary search over the
+// sorted adjacency list of the lower-degree endpoint.
+func (g *Graph) HasEdge(u, v int) bool {
+	if g.Degree(u) > g.Degree(v) {
+		u, v = v, u
+	}
+	list := g.Neighbors(u)
+	lo, hi := 0, len(list)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if int(list[mid]) < v {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo < len(list) && int(list[lo]) == v
+}
+
+// MinDegree returns the minimum degree, or 0 for an empty graph.
+func (g *Graph) MinDegree() int {
+	n := g.N()
+	if n == 0 {
+		return 0
+	}
+	min := g.Degree(0)
+	for v := 1; v < n; v++ {
+		if d := g.Degree(v); d < min {
+			min = d
+		}
+	}
+	return min
+}
+
+// MaxDegree returns the maximum degree, or 0 for an empty graph.
+func (g *Graph) MaxDegree() int {
+	max := 0
+	for v := 0; v < g.N(); v++ {
+		if d := g.Degree(v); d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// AvgDegree returns the average degree 2M/N, or 0 for an empty graph.
+func (g *Graph) AvgDegree() float64 {
+	if g.N() == 0 {
+		return 0
+	}
+	return 2 * float64(g.M()) / float64(g.N())
+}
+
+// DegreeHistogram returns a map from degree to the number of vertices with
+// that degree.
+func (g *Graph) DegreeHistogram() map[int]int {
+	h := make(map[int]int)
+	for v := 0; v < g.N(); v++ {
+		h[g.Degree(v)]++
+	}
+	return h
+}
+
+// DensityExponent returns α such that MinDegree = N^α, the paper's density
+// parameter. It returns 0 for graphs with fewer than 2 vertices or with an
+// isolated vertex.
+func (g *Graph) DensityExponent() float64 {
+	n, d := g.N(), g.MinDegree()
+	if n < 2 || d < 1 {
+		return 0
+	}
+	return math.Log(float64(d)) / math.Log(float64(n))
+}
+
+// Degrees returns a fresh slice of all vertex degrees.
+func (g *Graph) Degrees() []int {
+	out := make([]int, g.N())
+	for v := range out {
+		out[v] = g.Degree(v)
+	}
+	return out
+}
+
+// Validate checks the structural invariants of the CSR representation:
+// monotone offsets, sorted adjacency lists, no self-loops, no parallel
+// edges, and symmetry (u ∈ adj(v) ⇔ v ∈ adj(u)). It is used by generator
+// tests and returns a descriptive error on the first violation.
+func (g *Graph) Validate() error {
+	n := g.N()
+	if len(g.offsets) > 0 && g.offsets[0] != 0 {
+		return fmt.Errorf("graph: offsets[0] = %d, want 0", g.offsets[0])
+	}
+	for v := 0; v < n; v++ {
+		if g.offsets[v+1] < g.offsets[v] {
+			return fmt.Errorf("graph: offsets not monotone at vertex %d", v)
+		}
+		list := g.Neighbors(v)
+		for i, w := range list {
+			if int(w) < 0 || int(w) >= n {
+				return fmt.Errorf("graph: vertex %d has out-of-range neighbour %d", v, w)
+			}
+			if int(w) == v {
+				return fmt.Errorf("graph: self-loop at vertex %d", v)
+			}
+			if i > 0 && list[i-1] >= w {
+				return fmt.Errorf("graph: adjacency of %d not strictly sorted at position %d", v, i)
+			}
+			if !g.HasEdge(int(w), v) {
+				return fmt.Errorf("graph: edge (%d,%d) not symmetric", v, w)
+			}
+		}
+	}
+	if len(g.offsets) > 0 && int(g.offsets[n]) != len(g.adj) {
+		return fmt.Errorf("graph: offsets[n] = %d, want %d", g.offsets[n], len(g.adj))
+	}
+	return nil
+}

@@ -1,0 +1,30 @@
+package markov_test
+
+import (
+	"fmt"
+
+	"repro/internal/markov"
+)
+
+// The exact red-consensus probability of Best-of-Three on K_64 from an
+// i.i.d. start: no simulation, no asymptotics — the blue-count chain is
+// iterated to absorption.
+func ExampleChain_RedWinProbability() {
+	chain := markov.New(64, 3)
+	fmt.Printf("P(red wins | pBlue=0.40) = %.4f\n", chain.RedWinProbability(0.40, 2000))
+	fmt.Printf("P(red wins | pBlue=0.50) = %.4f\n", chain.RedWinProbability(0.50, 2000))
+	// Output:
+	// P(red wins | pBlue=0.40) = 0.8865
+	// P(red wins | pBlue=0.50) = 0.5000
+}
+
+// Absorb reports the full absorption picture, including the exact expected
+// number of rounds to consensus.
+func ExampleChain_Absorb() {
+	chain := markov.New(128, 3)
+	res := chain.Absorb(chain.PointDistribution(32), 1e-12, 2000)
+	fmt.Printf("red wins %.4f, blue wins %.4f, mean rounds %.2f\n",
+		res.RedWins, res.BlueWins, res.MeanRounds)
+	// Output:
+	// red wins 1.0000, blue wins 0.0000, mean rounds 3.84
+}

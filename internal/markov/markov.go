@@ -1,0 +1,209 @@
+// Package markov computes exact distributions of the Best-of-Three dynamic
+// on the complete graph K_n.
+//
+// On K_n the number of Blue vertices B_t is itself a Markov chain on
+// {0, …, n}: conditional on B_t = b, every vertex updates independently,
+// a Red vertex turning Blue with probability β(b) = P(Bin(3, b/(n−1)) ≥ 2)
+// and a Blue vertex staying Blue with probability β(b−1)-shifted —
+// self-exclusion means a Blue vertex sees b−1 Blue among its n−1
+// neighbours. Hence
+//
+//	B_{t+1} ~ Bin(n−b, pRed(b)) + Bin(b, pBlue(b)) ,
+//
+// and the full distribution vector can be iterated exactly in O(n²) per
+// round using binomial convolutions. This gives exact red-win
+// probabilities and consensus-time distributions for small n, against
+// which the simulator and the paper's asymptotic predictions are checked
+// (experiment E20).
+package markov
+
+import (
+	"math"
+
+	"repro/internal/stats"
+)
+
+// Chain is the exact blue-count chain of Best-of-k on K_n.
+type Chain struct {
+	n int
+	k int
+	// rowRed[b] and rowBlue[b] are the per-vertex blue-adoption
+	// probabilities given the current blue count b.
+	rowRed, rowBlue []float64
+}
+
+// New returns the chain for Best-of-k on K_n (odd k; n ≥ 2).
+func New(n, k int) *Chain {
+	if n < 2 {
+		panic("markov: need n >= 2")
+	}
+	if k < 1 || k%2 == 0 {
+		panic("markov: k must be odd (no tie rule in the exact chain)")
+	}
+	c := &Chain{n: n, k: k, rowRed: make([]float64, n+1), rowBlue: make([]float64, n+1)}
+	maj := k/2 + 1
+	for b := 0; b <= n; b++ {
+		// A Red vertex samples from the other n−1 vertices, of which b are
+		// blue; a Blue vertex sees b−1 blues.
+		c.rowRed[b] = stats.BinomialTail(k, maj, float64(b)/float64(n-1))
+		bb := b - 1
+		if bb < 0 {
+			bb = 0
+		}
+		c.rowBlue[b] = stats.BinomialTail(k, maj, float64(bb)/float64(n-1))
+	}
+	return c
+}
+
+// N returns the vertex count.
+func (c *Chain) N() int { return c.n }
+
+// StepDistribution advances a distribution over blue counts by one round:
+// out[j] = Σ_b pi[b]·P(B' = j | B = b). pi must have length n+1; the
+// returned vector is fresh.
+func (c *Chain) StepDistribution(pi []float64) []float64 {
+	if len(pi) != c.n+1 {
+		panic("markov: distribution length mismatch")
+	}
+	out := make([]float64, c.n+1)
+	for b, mass := range pi {
+		if mass == 0 {
+			continue
+		}
+		row := c.transitionRow(b)
+		for j, p := range row {
+			out[j] += mass * p
+		}
+	}
+	return out
+}
+
+// transitionRow returns P(B' = · | B = b) as the convolution of
+// Bin(n−b, rowRed[b]) and Bin(b, rowBlue[b]).
+func (c *Chain) transitionRow(b int) []float64 {
+	red := binomialPMF(c.n-b, c.rowRed[b])
+	blue := binomialPMF(b, c.rowBlue[b])
+	out := make([]float64, c.n+1)
+	for i, pi := range red {
+		if pi == 0 {
+			continue
+		}
+		for j, pj := range blue {
+			out[i+j] += pi * pj
+		}
+	}
+	return out
+}
+
+// binomialPMF returns the probability mass function of Bin(n, p) as a
+// slice of length n+1, computed by the stable multiplicative recurrence.
+func binomialPMF(n int, p float64) []float64 {
+	out := make([]float64, n+1)
+	if n == 0 {
+		out[0] = 1
+		return out
+	}
+	if p <= 0 {
+		out[0] = 1
+		return out
+	}
+	if p >= 1 {
+		out[n] = 1
+		return out
+	}
+	// Start from the mode's neighbourhood via logs to avoid underflow for
+	// large n, then fill multiplicatively in both directions.
+	logs := make([]float64, n+1)
+	lp, lq := math.Log(p), math.Log1p(-p)
+	for k := 0; k <= n; k++ {
+		logs[k] = lchoose(n, k) + float64(k)*lp + float64(n-k)*lq
+	}
+	for k := range out {
+		out[k] = math.Exp(logs[k])
+	}
+	return out
+}
+
+func lchoose(n, k int) float64 {
+	a, _ := math.Lgamma(float64(n + 1))
+	b, _ := math.Lgamma(float64(k + 1))
+	c, _ := math.Lgamma(float64(n - k + 1))
+	return a - b - c
+}
+
+// InitialDistribution returns the exact distribution of the initial blue
+// count when every vertex is independently Blue with probability pBlue:
+// Bin(n, pBlue).
+func (c *Chain) InitialDistribution(pBlue float64) []float64 {
+	return binomialPMF(c.n, pBlue)
+}
+
+// PointDistribution returns the distribution concentrated at blue count b.
+func (c *Chain) PointDistribution(b int) []float64 {
+	if b < 0 || b > c.n {
+		panic("markov: blue count out of range")
+	}
+	pi := make([]float64, c.n+1)
+	pi[b] = 1
+	return pi
+}
+
+// Absorption iterates the chain until the probability mass outside the two
+// absorbing states {0, n} is below tol (or maxRounds elapses) and reports
+// the exact outcome.
+type Absorption struct {
+	// RedWins is the probability of absorbing at blue count 0.
+	RedWins float64
+	// BlueWins is the probability of absorbing at blue count n.
+	BlueWins float64
+	// Escaped is the mass still unabsorbed when iteration stopped.
+	Escaped float64
+	// MeanRounds is the expected number of rounds to absorption,
+	// conditioned on absorbing within the horizon.
+	MeanRounds float64
+	// Rounds is the number of iterated rounds.
+	Rounds int
+}
+
+// Absorb runs the chain from the distribution pi.
+func (c *Chain) Absorb(pi []float64, tol float64, maxRounds int) Absorption {
+	cur := append([]float64(nil), pi...)
+	var res Absorption
+	// Mass already absorbed at round 0 counts as 0 rounds.
+	res.RedWins = cur[0]
+	res.BlueWins = cur[c.n]
+	absorbedMass := cur[0] + cur[c.n]
+	weightedRounds := 0.0
+	cur[0], cur[c.n] = 0, 0
+	for t := 1; t <= maxRounds; t++ {
+		rest := 0.0
+		for _, m := range cur {
+			rest += m
+		}
+		if rest < tol {
+			break
+		}
+		cur = c.StepDistribution(cur)
+		res.Rounds = t
+		// Newly absorbed mass this round.
+		res.RedWins += cur[0]
+		res.BlueWins += cur[c.n]
+		weightedRounds += float64(t) * (cur[0] + cur[c.n])
+		absorbedMass += cur[0] + cur[c.n]
+		cur[0], cur[c.n] = 0, 0
+	}
+	for _, m := range cur {
+		res.Escaped += m
+	}
+	if absorbedMass > 0 {
+		res.MeanRounds = weightedRounds / absorbedMass
+	}
+	return res
+}
+
+// RedWinProbability is a convenience wrapper: the exact probability that
+// Best-of-k on K_n started from i.i.d. P(Blue) = pBlue reaches Red
+// consensus (within maxRounds, with tol mass tolerance).
+func (c *Chain) RedWinProbability(pBlue float64, maxRounds int) float64 {
+	return c.Absorb(c.InitialDistribution(pBlue), 1e-12, maxRounds).RedWins
+}

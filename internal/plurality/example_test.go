@@ -1,0 +1,29 @@
+package plurality_test
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/plurality"
+	"repro/internal/rng"
+)
+
+// Five opinions on a complete graph, opinion 0 holding 30% of the vertices
+// (1.5x the balanced share): the q-opinion Best-of-Three dynamic drives the
+// initial plurality to consensus.
+func Example() {
+	g := graph.NewKn(2048)
+	init := plurality.RandomBiasedConfig(2048, 5, 0.30, rng.New(1))
+	p, err := plurality.New(g, init, plurality.Options{Seed: 2, Tie: plurality.TieRandomSample, Workers: 1})
+	if err != nil {
+		panic(err)
+	}
+	res := p.Run(1000)
+	fmt.Println("consensus:", res.Consensus)
+	fmt.Println("winner is the initial plurality:", res.Winner == 0)
+	fmt.Println("double-log-fast:", res.Rounds < 30)
+	// Output:
+	// consensus: true
+	// winner is the initial plurality: true
+	// double-log-fast: true
+}

@@ -1,0 +1,290 @@
+// Package plurality extends the two-party Best-of-Three dynamic to q ≥ 2
+// opinions — the plurality-consensus setting of Becchetti, Clementi,
+// Natale, Pasquale, Silvestri and Trevisan (SPAA 2014), reference [2] of
+// the paper. Every vertex samples three random neighbours; if at least two
+// share an opinion the vertex adopts it, otherwise (three distinct
+// opinions) a tie rule applies.
+//
+// The paper's Theorem 1 is the q = 2 case on dense graphs; this package
+// lets the experiment suite reproduce the q-opinion claims the paper cites:
+// the initial plurality wins w.h.p. given enough initial advantage, with
+// consensus time growing with q.
+package plurality
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/rng"
+)
+
+// Topology is the neighbour-query interface shared with the two-party
+// engine.
+type Topology interface {
+	N() int
+	Degree(v int) int
+	Neighbor(v, i int) int
+	MinDegree() int
+	Name() string
+}
+
+// TieRule decides the adopted opinion when the three samples are pairwise
+// distinct.
+type TieRule uint8
+
+const (
+	// TieKeep keeps the current opinion (rule (i) of the paper's intro).
+	TieKeep TieRule = iota
+	// TieRandomSample adopts one of the three sampled opinions uniformly
+	// (rule (ii); the rule analysed in [2]).
+	TieRandomSample
+)
+
+// Config is an assignment of one of q opinions to each vertex.
+type Config struct {
+	opinions []uint8
+	q        int
+}
+
+// NewConfig returns an all-zeros configuration with q possible opinions
+// (2 ≤ q ≤ 256).
+func NewConfig(n, q int) *Config {
+	if q < 2 || q > 256 {
+		panic("plurality: q must be in [2, 256]")
+	}
+	if n < 0 {
+		panic("plurality: negative n")
+	}
+	return &Config{opinions: make([]uint8, n), q: q}
+}
+
+// N returns the number of vertices; Q the number of opinions.
+func (c *Config) N() int { return len(c.opinions) }
+
+// Q returns the opinion alphabet size.
+func (c *Config) Q() int { return c.q }
+
+// Get returns the opinion of vertex v.
+func (c *Config) Get(v int) int { return int(c.opinions[v]) }
+
+// Set assigns opinion op to vertex v.
+func (c *Config) Set(v, op int) {
+	if op < 0 || op >= c.q {
+		panic(fmt.Sprintf("plurality: opinion %d out of range [0,%d)", op, c.q))
+	}
+	c.opinions[v] = uint8(op)
+}
+
+// Counts returns the per-opinion vertex counts.
+func (c *Config) Counts() []int {
+	counts := make([]int, c.q)
+	for _, op := range c.opinions {
+		counts[op]++
+	}
+	return counts
+}
+
+// Plurality returns the most frequent opinion (lowest index on ties) and
+// its count.
+func (c *Config) Plurality() (op, count int) {
+	counts := c.Counts()
+	for i, cnt := range counts {
+		if cnt > count {
+			op, count = i, cnt
+		}
+	}
+	return op, count
+}
+
+// IsConsensus reports whether all vertices share one opinion, and which.
+// An empty configuration counts as consensus on opinion 0.
+func (c *Config) IsConsensus() (int, bool) {
+	if len(c.opinions) == 0 {
+		return 0, true
+	}
+	first := c.opinions[0]
+	for _, op := range c.opinions[1:] {
+		if op != first {
+			return int(first), false
+		}
+	}
+	return int(first), true
+}
+
+// Clone returns a deep copy.
+func (c *Config) Clone() *Config {
+	out := &Config{opinions: make([]uint8, len(c.opinions)), q: c.q}
+	copy(out.opinions, c.opinions)
+	return out
+}
+
+// RandomBiasedConfig draws each vertex's opinion i.i.d.: opinion 0 with
+// probability share0, the remaining mass split evenly over opinions
+// 1..q−1. share0 = 1/q is the balanced case; share0 > 1/q gives opinion 0
+// the initial plurality (the analogue of the paper's 1/2 + δ).
+func RandomBiasedConfig(n, q int, share0 float64, src *rng.Source) *Config {
+	if share0 < 0 || share0 > 1 {
+		panic("plurality: share0 outside [0,1]")
+	}
+	c := NewConfig(n, q)
+	rest := (1 - share0) / float64(q-1)
+	for v := 0; v < n; v++ {
+		u := src.Float64()
+		if u < share0 {
+			continue // opinion 0
+		}
+		op := 1 + int((u-share0)/rest)
+		if op >= q {
+			op = q - 1
+		}
+		c.opinions[v] = uint8(op)
+	}
+	return c
+}
+
+// Process runs the q-opinion Best-of-Three dynamic. Like the two-party
+// engine it double-buffers the configuration and shards the vertex range
+// over deterministic per-shard RNG streams.
+type Process struct {
+	g       Topology
+	tie     TieRule
+	cur     *Config
+	next    *Config
+	shards  []shard
+	round   int
+	workers int
+}
+
+type shard struct {
+	lo, hi int
+	src    *rng.Source
+}
+
+// Options configures a Process.
+type Options struct {
+	Workers int
+	Seed    uint64
+	Tie     TieRule
+}
+
+// New returns a Process evolving init on g. The initial configuration is
+// copied.
+func New(g Topology, init *Config, opt Options) (*Process, error) {
+	if g.N() != init.N() {
+		return nil, fmt.Errorf("plurality: graph has %d vertices, configuration has %d", g.N(), init.N())
+	}
+	if g.N() > 0 && g.MinDegree() == 0 {
+		return nil, fmt.Errorf("plurality: graph %s has an isolated vertex", g.Name())
+	}
+	w := opt.Workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > g.N() {
+		w = g.N()
+	}
+	if w < 1 {
+		w = 1
+	}
+	p := &Process{
+		g:       g,
+		tie:     opt.Tie,
+		cur:     init.Clone(),
+		next:    NewConfig(g.N(), init.Q()),
+		workers: w,
+	}
+	n := g.N()
+	for i := 0; i < w; i++ {
+		p.shards = append(p.shards, shard{
+			lo:  i * n / w,
+			hi:  (i + 1) * n / w,
+			src: rng.NewFrom(opt.Seed, uint64(i)),
+		})
+	}
+	return p, nil
+}
+
+// Config returns the current configuration (aliased; clone to keep).
+func (p *Process) Config() *Config { return p.cur }
+
+// Round returns the number of completed rounds.
+func (p *Process) Round() int { return p.round }
+
+// Step performs one synchronous round.
+func (p *Process) Step() {
+	if p.g.N() == 0 {
+		p.round++
+		return
+	}
+	if p.workers == 1 {
+		p.stepRange(p.shards[0].lo, p.shards[0].hi, p.shards[0].src)
+	} else {
+		var wg sync.WaitGroup
+		for i := range p.shards {
+			wg.Add(1)
+			go func(s *shard) {
+				defer wg.Done()
+				p.stepRange(s.lo, s.hi, s.src)
+			}(&p.shards[i])
+		}
+		wg.Wait()
+	}
+	p.cur, p.next = p.next, p.cur
+	p.round++
+}
+
+func (p *Process) stepRange(lo, hi int, src *rng.Source) {
+	for v := lo; v < hi; v++ {
+		deg := p.g.Degree(v)
+		a := p.cur.opinions[p.g.Neighbor(v, src.Intn(deg))]
+		b := p.cur.opinions[p.g.Neighbor(v, src.Intn(deg))]
+		c := p.cur.opinions[p.g.Neighbor(v, src.Intn(deg))]
+		var adopt uint8
+		switch {
+		case a == b || a == c:
+			adopt = a
+		case b == c:
+			adopt = b
+		default: // three distinct opinions
+			if p.tie == TieKeep {
+				adopt = p.cur.opinions[v]
+			} else {
+				switch src.Intn(3) {
+				case 0:
+					adopt = a
+				case 1:
+					adopt = b
+				default:
+					adopt = c
+				}
+			}
+		}
+		p.next.opinions[v] = adopt
+	}
+}
+
+// Result summarises a run.
+type Result struct {
+	Consensus bool
+	Winner    int // consensus opinion, or current plurality at stop
+	Rounds    int
+}
+
+// Run advances until consensus or maxRounds.
+func (p *Process) Run(maxRounds int) Result {
+	for p.round < maxRounds {
+		if op, ok := p.cur.IsConsensus(); ok {
+			return Result{Consensus: true, Winner: op, Rounds: p.round}
+		}
+		p.Step()
+	}
+	res := Result{Rounds: p.round}
+	if op, ok := p.cur.IsConsensus(); ok {
+		res.Consensus = true
+		res.Winner = op
+	} else {
+		res.Winner, _ = p.cur.Plurality()
+	}
+	return res
+}

@@ -1,0 +1,287 @@
+package plurality
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/graph"
+	"repro/internal/rng"
+)
+
+func TestNewConfigPanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"q too small": func() { NewConfig(4, 1) },
+		"q too big":   func() { NewConfig(4, 257) },
+		"negative n":  func() { NewConfig(-1, 3) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestConfigBasics(t *testing.T) {
+	c := NewConfig(5, 4)
+	if c.N() != 5 || c.Q() != 4 {
+		t.Fatalf("N=%d Q=%d", c.N(), c.Q())
+	}
+	c.Set(2, 3)
+	if c.Get(2) != 3 {
+		t.Error("Get after Set")
+	}
+	counts := c.Counts()
+	if counts[0] != 4 || counts[3] != 1 {
+		t.Errorf("Counts = %v", counts)
+	}
+	op, cnt := c.Plurality()
+	if op != 0 || cnt != 4 {
+		t.Errorf("Plurality = (%d, %d)", op, cnt)
+	}
+}
+
+func TestConfigSetPanicsOutOfRange(t *testing.T) {
+	c := NewConfig(3, 3)
+	for _, op := range []int{-1, 3} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Set(%d) did not panic", op)
+				}
+			}()
+			c.Set(0, op)
+		}()
+	}
+}
+
+func TestIsConsensus(t *testing.T) {
+	c := NewConfig(4, 3)
+	if op, ok := c.IsConsensus(); !ok || op != 0 {
+		t.Error("uniform config not consensus")
+	}
+	c.Set(1, 2)
+	if _, ok := c.IsConsensus(); ok {
+		t.Error("mixed config reported consensus")
+	}
+	if op, ok := NewConfig(0, 2).IsConsensus(); !ok || op != 0 {
+		t.Error("empty config should be consensus on 0")
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	c := NewConfig(4, 3)
+	c.Set(0, 1)
+	d := c.Clone()
+	d.Set(0, 2)
+	if c.Get(0) != 1 {
+		t.Error("clone mutation leaked")
+	}
+}
+
+func TestRandomBiasedConfigShares(t *testing.T) {
+	src := rng.New(1)
+	const n, q = 100000, 5
+	c := RandomBiasedConfig(n, q, 0.4, src)
+	counts := c.Counts()
+	if got := float64(counts[0]) / n; got < 0.38 || got > 0.42 {
+		t.Errorf("opinion 0 share = %v, want ~0.4", got)
+	}
+	for op := 1; op < q; op++ {
+		if got := float64(counts[op]) / n; got < 0.13 || got > 0.17 {
+			t.Errorf("opinion %d share = %v, want ~0.15", op, got)
+		}
+	}
+}
+
+func TestRandomBiasedConfigPanics(t *testing.T) {
+	for _, s := range []float64{-0.1, 1.1} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("share %v did not panic", s)
+				}
+			}()
+			RandomBiasedConfig(10, 3, s, rng.New(1))
+		}()
+	}
+}
+
+func TestNewRejectsBadInput(t *testing.T) {
+	g := graph.Complete(4)
+	if _, err := New(g, NewConfig(5, 3), Options{}); err == nil {
+		t.Error("size mismatch accepted")
+	}
+	iso := graph.FromEdges(3, [][2]int{{0, 1}}, "isolated")
+	if _, err := New(iso, NewConfig(3, 3), Options{}); err == nil {
+		t.Error("isolated vertex accepted")
+	}
+}
+
+func TestConsensusAbsorbing(t *testing.T) {
+	g := graph.Complete(16)
+	c := NewConfig(16, 4)
+	for v := 0; v < 16; v++ {
+		c.Set(v, 2)
+	}
+	p, err := New(g, c, Options{Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		p.Step()
+	}
+	if op, ok := p.Config().IsConsensus(); !ok || op != 2 {
+		t.Error("consensus not absorbing")
+	}
+}
+
+func TestPluralityWinsOnComplete(t *testing.T) {
+	// Opinion 0 with a solid initial advantage must win on K_n.
+	g := graph.NewKn(4096)
+	wins := 0
+	const trials = 10
+	for trial := uint64(0); trial < trials; trial++ {
+		src := rng.New(trial)
+		init := RandomBiasedConfig(4096, 4, 0.45, src)
+		p, err := New(g, init, Options{Seed: trial, Tie: TieRandomSample})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res := p.Run(2000)
+		if !res.Consensus {
+			t.Fatalf("trial %d: no consensus", trial)
+		}
+		if res.Winner == 0 {
+			wins++
+		}
+	}
+	if wins < trials-1 {
+		t.Errorf("plurality opinion won only %d/%d", wins, trials)
+	}
+}
+
+func TestQEquals2MatchesTwoPartyShape(t *testing.T) {
+	// q = 2 with a 60/40 split on a dense regular graph: consensus on the
+	// majority within double-log-ish rounds, mirroring the two-party
+	// engine.
+	g := graph.RandomRegular(1024, 64, rng.New(3))
+	init := RandomBiasedConfig(1024, 2, 0.6, rng.New(4))
+	p, err := New(g, init, Options{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := p.Run(300)
+	if !res.Consensus || res.Winner != 0 {
+		t.Errorf("result = %+v", res)
+	}
+	if res.Rounds > 30 {
+		t.Errorf("rounds = %d", res.Rounds)
+	}
+}
+
+func TestTieKeepVsRandomBothConverge(t *testing.T) {
+	g := graph.Complete(128)
+	for _, tie := range []TieRule{TieKeep, TieRandomSample} {
+		init := RandomBiasedConfig(128, 3, 0.5, rng.New(6))
+		p, err := New(g, init, Options{Seed: 7, Tie: tie})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res := p.Run(5000); !res.Consensus {
+			t.Errorf("tie rule %d did not converge", tie)
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	g := graph.RandomRegular(256, 8, rng.New(8))
+	init := RandomBiasedConfig(256, 5, 0.3, rng.New(9))
+	run := func() []int {
+		p, err := New(g, init, Options{Seed: 10, Workers: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		p.Run(20)
+		return p.Config().Counts()
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("runs diverged: %v vs %v", a, b)
+		}
+	}
+}
+
+// Property: counts always sum to n and stay non-negative after any number
+// of steps.
+func TestQuickCountsConserved(t *testing.T) {
+	g := graph.Complete(32)
+	f := func(seed uint64, qRaw uint8) bool {
+		q := int(qRaw)%6 + 2
+		init := RandomBiasedConfig(32, q, 1/float64(q), rng.New(seed))
+		p, err := New(g, init, Options{Seed: seed})
+		if err != nil {
+			return false
+		}
+		for i := 0; i < 5; i++ {
+			p.Step()
+		}
+		total := 0
+		for _, c := range p.Config().Counts() {
+			if c < 0 {
+				return false
+			}
+			total += c
+		}
+		return total == 32
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: opinions never leave the alphabet (adopted opinions are always
+// sampled from neighbours).
+func TestQuickOpinionsClosedUnderDynamics(t *testing.T) {
+	g := graph.Cycle(24)
+	f := func(seed uint64) bool {
+		init := RandomBiasedConfig(24, 4, 0.25, rng.New(seed))
+		present := map[int]bool{}
+		for v := 0; v < 24; v++ {
+			present[init.Get(v)] = true
+		}
+		p, err := New(g, init, Options{Seed: seed, Tie: TieRandomSample})
+		if err != nil {
+			return false
+		}
+		for i := 0; i < 10; i++ {
+			p.Step()
+		}
+		for v := 0; v < 24; v++ {
+			if !present[p.Config().Get(v)] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkStepQ5(b *testing.B) {
+	g := graph.RandomRegular(1<<14, 32, rng.New(1))
+	init := RandomBiasedConfig(1<<14, 5, 0.3, rng.New(2))
+	p, err := New(g, init, Options{Seed: 3})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Step()
+	}
+}

@@ -1,0 +1,127 @@
+package rng
+
+import "math"
+
+// Binomial returns a sample from Bin(n, p). For small n it sums Bernoulli
+// trials; for large n it uses the BTRS transformed-rejection sampler of
+// Hörmann (1993), which runs in O(1) expected time independent of n. The
+// split keeps the small-n path exact and branch-predictable, which is the
+// common case when sampling per-vertex collision counts.
+func (s *Source) Binomial(n int, p float64) int {
+	if n <= 0 || p <= 0 {
+		return 0
+	}
+	if p >= 1 {
+		return n
+	}
+	// Exploit symmetry so the rejection sampler works with p <= 1/2.
+	if p > 0.5 {
+		return n - s.Binomial(n, 1-p)
+	}
+	if float64(n)*p < 10 || n < 32 {
+		return s.binomialDirect(n, p)
+	}
+	return s.binomialBTRS(n, p)
+}
+
+// binomialDirect sums n Bernoulli(p) draws. Exact and fast for small n·p.
+func (s *Source) binomialDirect(n int, p float64) int {
+	// Geometric skipping: the number of failures before the next success is
+	// Geometric(p), so we jump between successes instead of testing every
+	// trial. Expected work O(n·p + 1).
+	if p < 0.1 {
+		count := 0
+		i := 0
+		logq := math.Log1p(-p)
+		for {
+			// Number of failures until next success.
+			skip := int(math.Floor(math.Log(1-s.Float64()) / logq))
+			i += skip + 1
+			if i > n {
+				return count
+			}
+			count++
+		}
+	}
+	count := 0
+	for i := 0; i < n; i++ {
+		if s.Float64() < p {
+			count++
+		}
+	}
+	return count
+}
+
+// binomialBTRS implements the BTRS algorithm (Hörmann, "The generation of
+// binomial random variates", J. Stat. Comput. Simul. 46, 1993) for
+// n·p >= 10 and p <= 1/2.
+func (s *Source) binomialBTRS(n int, p float64) int {
+	nf := float64(n)
+	q := 1 - p
+	spq := math.Sqrt(nf * p * q)
+
+	b := 1.15 + 2.53*spq
+	a := -0.0873 + 0.0248*b + 0.01*p
+	c := nf*p + 0.5
+	vr := 0.92 - 4.2/b
+
+	alpha := (2.83 + 5.1/b) * spq
+	lpq := math.Log(p / q)
+	m := math.Floor((nf + 1) * p)
+	h := lgamma(m+1) + lgamma(nf-m+1)
+
+	for {
+		u := s.Float64() - 0.5
+		v := s.Float64()
+		us := 0.5 - math.Abs(u)
+		k := math.Floor((2*a/us+b)*u + c)
+		if k < 0 || k > nf {
+			continue
+		}
+		if us >= 0.07 && v <= vr {
+			return int(k)
+		}
+		v = math.Log(v * alpha / (a/(us*us) + b))
+		if v <= h-lgamma(k+1)-lgamma(nf-k+1)+(k-m)*lpq {
+			return int(k)
+		}
+	}
+}
+
+// lgamma is math.Lgamma without the sign result; the arguments used here
+// are always positive.
+func lgamma(x float64) float64 {
+	v, _ := math.Lgamma(x)
+	return v
+}
+
+// Geometric returns the number of Bernoulli(p) failures before the first
+// success, i.e. a sample from the geometric distribution on {0, 1, 2, ...}.
+// It panics if p <= 0 or p > 1.
+func (s *Source) Geometric(p float64) int {
+	if p <= 0 || p > 1 {
+		panic("rng: Geometric requires 0 < p <= 1")
+	}
+	if p == 1 {
+		return 0
+	}
+	return int(math.Floor(math.Log(1-s.Float64()) / math.Log1p(-p)))
+}
+
+// NormFloat64 returns a standard normal sample via the polar (Marsaglia)
+// method. Used for randomised test inputs, not in the dynamics hot path.
+func (s *Source) NormFloat64() float64 {
+	for {
+		u := 2*s.Float64() - 1
+		v := 2*s.Float64() - 1
+		q := u*u + v*v
+		if q > 0 && q < 1 {
+			return u * math.Sqrt(-2*math.Log(q)/q)
+		}
+	}
+}
+
+// ExpFloat64 returns an Exp(1) sample by inversion.
+func (s *Source) ExpFloat64() float64 {
+	return -math.Log(1 - s.Float64())
+}

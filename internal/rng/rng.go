@@ -1,0 +1,166 @@
+// Package rng provides fast, deterministic, splittable pseudo-random number
+// generation for the voting-dynamics simulators in this repository.
+//
+// The Best-of-Three dynamic draws three uniform random neighbours per vertex
+// per round; a simulation of n = 2^17 vertices for a few dozen rounds
+// therefore consumes tens of millions of uniform variates. The generator
+// here is xoshiro256**, seeded through splitmix64, which passes standard
+// statistical batteries, has a 2^256−1 period, and generates a 64-bit word
+// in a handful of instructions with no locking. Independent streams for
+// parallel workers are derived by jumping the seed through splitmix64, which
+// guarantees distinct, well-separated initial states.
+//
+// All generators in this package are deterministic functions of their seed:
+// every experiment in the repository is exactly reproducible.
+package rng
+
+import "math/bits"
+
+// Source is a xoshiro256** pseudo-random generator. The zero value is not a
+// valid generator; use New or NewFrom.
+type Source struct {
+	s0, s1, s2, s3 uint64
+}
+
+// splitmix64 advances the state x and returns the next splitmix64 output.
+// It is used only for seeding: any 64-bit seed, including 0, expands into a
+// full-entropy 256-bit xoshiro state.
+func splitmix64(x *uint64) uint64 {
+	*x += 0x9e3779b97f4a7c15
+	z := *x
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// New returns a generator seeded from the given 64-bit seed. Equal seeds
+// yield identical streams.
+func New(seed uint64) *Source {
+	var s Source
+	s.Reseed(seed)
+	return &s
+}
+
+// NewFrom returns a generator whose state is derived from both a seed and a
+// stream index. Distinct (seed, stream) pairs yield independent streams;
+// this is how per-worker and per-trial generators are created.
+func NewFrom(seed, stream uint64) *Source {
+	x := seed
+	_ = splitmix64(&x)
+	x ^= stream * 0xd1342543de82ef95 // odd multiplier spreads stream indices
+	var s Source
+	s.s0 = splitmix64(&x)
+	s.s1 = splitmix64(&x)
+	s.s2 = splitmix64(&x)
+	s.s3 = splitmix64(&x)
+	s.normalize()
+	return &s
+}
+
+// Reseed resets the generator state as if it had been created by New(seed).
+func (s *Source) Reseed(seed uint64) {
+	x := seed
+	s.s0 = splitmix64(&x)
+	s.s1 = splitmix64(&x)
+	s.s2 = splitmix64(&x)
+	s.s3 = splitmix64(&x)
+	s.normalize()
+}
+
+// normalize guards against the all-zero state, which is the single fixed
+// point of xoshiro256**. It cannot occur from splitmix64 seeding in
+// practice, but the guard makes the invariant local and checkable.
+func (s *Source) normalize() {
+	if s.s0|s.s1|s.s2|s.s3 == 0 {
+		s.s0 = 0x9e3779b97f4a7c15
+	}
+}
+
+// Uint64 returns the next 64 uniformly distributed bits.
+func (s *Source) Uint64() uint64 {
+	result := bits.RotateLeft64(s.s1*5, 7) * 9
+	t := s.s1 << 17
+	s.s2 ^= s.s0
+	s.s3 ^= s.s1
+	s.s1 ^= s.s2
+	s.s0 ^= s.s3
+	s.s2 ^= t
+	s.s3 = bits.RotateLeft64(s.s3, 45)
+	return result
+}
+
+// Uint64n returns a uniform integer in [0, n). It panics if n == 0.
+// It uses Lemire's multiply-shift rejection method, which needs slightly
+// more than one multiplication per draw on average and no division in the
+// common case.
+func (s *Source) Uint64n(n uint64) uint64 {
+	if n == 0 {
+		panic("rng: Uint64n with n == 0")
+	}
+	hi, lo := bits.Mul64(s.Uint64(), n)
+	if lo < n {
+		thresh := -n % n
+		for lo < thresh {
+			hi, lo = bits.Mul64(s.Uint64(), n)
+		}
+	}
+	return hi
+}
+
+// Intn returns a uniform integer in [0, n). It panics if n <= 0.
+func (s *Source) Intn(n int) int {
+	if n <= 0 {
+		panic("rng: Intn with n <= 0")
+	}
+	return int(s.Uint64n(uint64(n)))
+}
+
+// Float64 returns a uniform float64 in [0, 1) with 53 random bits.
+func (s *Source) Float64() float64 {
+	return float64(s.Uint64()>>11) / (1 << 53)
+}
+
+// Bernoulli returns true with probability p. Probabilities outside [0, 1]
+// are clamped.
+func (s *Source) Bernoulli(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	if p >= 1 {
+		return true
+	}
+	return s.Float64() < p
+}
+
+// Perm returns a uniformly random permutation of [0, n) as a fresh slice.
+func (s *Source) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	s.ShuffleInts(p)
+	return p
+}
+
+// ShuffleInts permutes p uniformly at random in place (Fisher–Yates).
+func (s *Source) ShuffleInts(p []int) {
+	for i := len(p) - 1; i > 0; i-- {
+		j := s.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+}
+
+// Shuffle permutes n elements in place using the provided swap function.
+func (s *Source) Shuffle(n int, swap func(i, j int)) {
+	for i := n - 1; i > 0; i-- {
+		j := s.Intn(i + 1)
+		swap(i, j)
+	}
+}
+
+// Jump produces a new Source whose stream is independent of the receiver's
+// continued output, by reseeding from two fresh words of the receiver. This
+// gives a cheap split operation for spawning trial-local generators.
+func (s *Source) Jump() *Source {
+	return NewFrom(s.Uint64(), s.Uint64())
+}

@@ -1,0 +1,466 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewDeterministic(t *testing.T) {
+	a := New(42)
+	b := New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("streams from equal seeds diverged at step %d", i)
+		}
+	}
+}
+
+func TestDifferentSeedsDiverge(t *testing.T) {
+	a := New(1)
+	b := New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Errorf("seeds 1 and 2 produced %d equal outputs out of 100", same)
+	}
+}
+
+func TestNewFromStreamsIndependent(t *testing.T) {
+	a := NewFrom(7, 0)
+	b := NewFrom(7, 1)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Errorf("streams 0 and 1 produced %d equal outputs out of 100", same)
+	}
+}
+
+func TestReseedRestartsStream(t *testing.T) {
+	s := New(99)
+	first := make([]uint64, 16)
+	for i := range first {
+		first[i] = s.Uint64()
+	}
+	s.Reseed(99)
+	for i := range first {
+		if got := s.Uint64(); got != first[i] {
+			t.Fatalf("after Reseed, output %d = %d, want %d", i, got, first[i])
+		}
+	}
+}
+
+func TestNormalizeZeroState(t *testing.T) {
+	var s Source // all-zero state
+	s.normalize()
+	if s.s0|s.s1|s.s2|s.s3 == 0 {
+		t.Fatal("normalize left an all-zero state")
+	}
+	// The generator must now produce non-constant output.
+	x, y := s.Uint64(), s.Uint64()
+	if x == y {
+		t.Errorf("degenerate output after normalize: %d == %d", x, y)
+	}
+}
+
+func TestUint64nBounds(t *testing.T) {
+	s := New(3)
+	for _, n := range []uint64{1, 2, 3, 7, 64, 1000, 1 << 40} {
+		for i := 0; i < 200; i++ {
+			if v := s.Uint64n(n); v >= n {
+				t.Fatalf("Uint64n(%d) = %d out of range", n, v)
+			}
+		}
+	}
+}
+
+func TestUint64nPanicsOnZero(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Uint64n(0) did not panic")
+		}
+	}()
+	New(1).Uint64n(0)
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	for _, n := range []int{0, -1, -100} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Intn(%d) did not panic", n)
+				}
+			}()
+			New(1).Intn(n)
+		}()
+	}
+}
+
+func TestUint64nUniformity(t *testing.T) {
+	// Chi-squared-ish sanity check over 8 buckets.
+	s := New(1234)
+	const n, draws = 8, 80000
+	counts := make([]int, n)
+	for i := 0; i < draws; i++ {
+		counts[s.Uint64n(n)]++
+	}
+	want := float64(draws) / n
+	for b, c := range counts {
+		if math.Abs(float64(c)-want) > 5*math.Sqrt(want) {
+			t.Errorf("bucket %d: count %d too far from expected %.0f", b, c, want)
+		}
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	s := New(5)
+	for i := 0; i < 10000; i++ {
+		f := s.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64() = %v out of [0,1)", f)
+		}
+	}
+}
+
+func TestFloat64Mean(t *testing.T) {
+	s := New(6)
+	sum := 0.0
+	const n = 200000
+	for i := 0; i < n; i++ {
+		sum += s.Float64()
+	}
+	mean := sum / n
+	if math.Abs(mean-0.5) > 0.005 {
+		t.Errorf("Float64 mean = %v, want ~0.5", mean)
+	}
+}
+
+func TestBernoulliExtremes(t *testing.T) {
+	s := New(7)
+	for i := 0; i < 100; i++ {
+		if s.Bernoulli(0) {
+			t.Fatal("Bernoulli(0) returned true")
+		}
+		if !s.Bernoulli(1) {
+			t.Fatal("Bernoulli(1) returned false")
+		}
+		if s.Bernoulli(-0.5) {
+			t.Fatal("Bernoulli(-0.5) returned true")
+		}
+		if !s.Bernoulli(1.5) {
+			t.Fatal("Bernoulli(1.5) returned false")
+		}
+	}
+}
+
+func TestBernoulliFrequency(t *testing.T) {
+	s := New(8)
+	const n = 100000
+	for _, p := range []float64{0.1, 0.5, 0.9} {
+		hits := 0
+		for i := 0; i < n; i++ {
+			if s.Bernoulli(p) {
+				hits++
+			}
+		}
+		got := float64(hits) / n
+		if math.Abs(got-p) > 0.01 {
+			t.Errorf("Bernoulli(%v) frequency = %v", p, got)
+		}
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	s := New(9)
+	for _, n := range []int{0, 1, 2, 5, 100} {
+		p := s.Perm(n)
+		if len(p) != n {
+			t.Fatalf("Perm(%d) has length %d", n, len(p))
+		}
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				t.Fatalf("Perm(%d) = %v is not a permutation", n, p)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+func TestPermUniformFirstElement(t *testing.T) {
+	s := New(10)
+	const n, draws = 5, 50000
+	counts := make([]int, n)
+	for i := 0; i < draws; i++ {
+		counts[s.Perm(n)[0]]++
+	}
+	want := float64(draws) / n
+	for v, c := range counts {
+		if math.Abs(float64(c)-want) > 6*math.Sqrt(want) {
+			t.Errorf("Perm first element %d occurred %d times, want ~%.0f", v, c, want)
+		}
+	}
+}
+
+func TestShuffleSwapCount(t *testing.T) {
+	s := New(11)
+	calls := 0
+	s.Shuffle(10, func(i, j int) { calls++ })
+	if calls != 9 {
+		t.Errorf("Shuffle(10) made %d swap calls, want 9", calls)
+	}
+	// n <= 1 must not call swap at all.
+	calls = 0
+	s.Shuffle(1, func(i, j int) { calls++ })
+	s.Shuffle(0, func(i, j int) { calls++ })
+	if calls != 0 {
+		t.Errorf("Shuffle of size <= 1 called swap %d times", calls)
+	}
+}
+
+func TestJumpIndependence(t *testing.T) {
+	s := New(12)
+	j := s.Jump()
+	same := 0
+	for i := 0; i < 100; i++ {
+		if s.Uint64() == j.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Errorf("jumped stream matched parent %d/100 times", same)
+	}
+}
+
+func TestBinomialBounds(t *testing.T) {
+	s := New(13)
+	cases := []struct {
+		n int
+		p float64
+	}{{0, 0.5}, {1, 0.5}, {10, 0.0}, {10, 1.0}, {10, 0.3}, {1000, 0.01},
+		{1000, 0.5}, {100000, 0.25}, {100000, 0.9}}
+	for _, c := range cases {
+		for i := 0; i < 50; i++ {
+			v := s.Binomial(c.n, c.p)
+			if v < 0 || v > c.n {
+				t.Fatalf("Binomial(%d, %v) = %d out of range", c.n, c.p, v)
+			}
+		}
+	}
+}
+
+func TestBinomialDegenerate(t *testing.T) {
+	s := New(14)
+	if v := s.Binomial(10, 0); v != 0 {
+		t.Errorf("Binomial(10, 0) = %d", v)
+	}
+	if v := s.Binomial(10, 1); v != 10 {
+		t.Errorf("Binomial(10, 1) = %d", v)
+	}
+	if v := s.Binomial(0, 0.7); v != 0 {
+		t.Errorf("Binomial(0, 0.7) = %d", v)
+	}
+	if v := s.Binomial(-3, 0.7); v != 0 {
+		t.Errorf("Binomial(-3, 0.7) = %d", v)
+	}
+}
+
+func TestBinomialMoments(t *testing.T) {
+	s := New(15)
+	cases := []struct {
+		n int
+		p float64
+	}{{20, 0.3}, {1000, 0.02}, {5000, 0.5}, {200, 0.85}}
+	const draws = 20000
+	for _, c := range cases {
+		sum, sumsq := 0.0, 0.0
+		for i := 0; i < draws; i++ {
+			v := float64(s.Binomial(c.n, c.p))
+			sum += v
+			sumsq += v * v
+		}
+		mean := sum / draws
+		wantMean := float64(c.n) * c.p
+		sd := math.Sqrt(float64(c.n) * c.p * (1 - c.p))
+		if math.Abs(mean-wantMean) > 6*sd/math.Sqrt(draws) {
+			t.Errorf("Binomial(%d,%v) mean = %v, want %v", c.n, c.p, mean, wantMean)
+		}
+		variance := sumsq/draws - mean*mean
+		wantVar := float64(c.n) * c.p * (1 - c.p)
+		if math.Abs(variance-wantVar) > 0.15*wantVar+0.5 {
+			t.Errorf("Binomial(%d,%v) var = %v, want %v", c.n, c.p, variance, wantVar)
+		}
+	}
+}
+
+func TestGeometricMean(t *testing.T) {
+	s := New(16)
+	for _, p := range []float64{0.1, 0.5, 0.9} {
+		sum := 0.0
+		const draws = 50000
+		for i := 0; i < draws; i++ {
+			sum += float64(s.Geometric(p))
+		}
+		mean := sum / draws
+		want := (1 - p) / p
+		if math.Abs(mean-want) > 0.1*want+0.02 {
+			t.Errorf("Geometric(%v) mean = %v, want %v", p, mean, want)
+		}
+	}
+}
+
+func TestGeometricOne(t *testing.T) {
+	s := New(17)
+	for i := 0; i < 100; i++ {
+		if v := s.Geometric(1); v != 0 {
+			t.Fatalf("Geometric(1) = %d", v)
+		}
+	}
+}
+
+func TestGeometricPanics(t *testing.T) {
+	for _, p := range []float64{0, -0.3, 1.5} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Geometric(%v) did not panic", p)
+				}
+			}()
+			New(1).Geometric(p)
+		}()
+	}
+}
+
+func TestNormFloat64Moments(t *testing.T) {
+	s := New(18)
+	sum, sumsq := 0.0, 0.0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		v := s.NormFloat64()
+		sum += v
+		sumsq += v * v
+	}
+	mean := sum / n
+	if math.Abs(mean) > 0.02 {
+		t.Errorf("normal mean = %v", mean)
+	}
+	variance := sumsq/n - mean*mean
+	if math.Abs(variance-1) > 0.03 {
+		t.Errorf("normal variance = %v", variance)
+	}
+}
+
+func TestExpFloat64Mean(t *testing.T) {
+	s := New(19)
+	sum := 0.0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		sum += s.ExpFloat64()
+	}
+	if mean := sum / n; math.Abs(mean-1) > 0.02 {
+		t.Errorf("exponential mean = %v", mean)
+	}
+}
+
+// Property: Uint64n(n) < n for all n > 0 and all seeds.
+func TestQuickUint64nInRange(t *testing.T) {
+	f := func(seed uint64, n uint64) bool {
+		if n == 0 {
+			n = 1
+		}
+		s := New(seed)
+		for i := 0; i < 20; i++ {
+			if s.Uint64n(n) >= n {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Perm always returns a valid permutation.
+func TestQuickPermValid(t *testing.T) {
+	f := func(seed uint64, n uint8) bool {
+		p := New(seed).Perm(int(n))
+		seen := make(map[int]bool, len(p))
+		for _, v := range p {
+			if v < 0 || v >= int(n) || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return len(p) == int(n)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Binomial stays within [0, n] for arbitrary (n, p).
+func TestQuickBinomialInRange(t *testing.T) {
+	f := func(seed uint64, n uint16, pRaw uint16) bool {
+		p := float64(pRaw) / float64(math.MaxUint16)
+		s := New(seed)
+		v := s.Binomial(int(n), p)
+		return v >= 0 && v <= int(n)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkUint64(b *testing.B) {
+	s := New(1)
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink += s.Uint64()
+	}
+	_ = sink
+}
+
+func BenchmarkUint64n(b *testing.B) {
+	s := New(1)
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink += s.Uint64n(12345)
+	}
+	_ = sink
+}
+
+func BenchmarkFloat64(b *testing.B) {
+	s := New(1)
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		sink += s.Float64()
+	}
+	_ = sink
+}
+
+func BenchmarkBinomialSmall(b *testing.B) {
+	s := New(1)
+	var sink int
+	for i := 0; i < b.N; i++ {
+		sink += s.Binomial(3, 0.3)
+	}
+	_ = sink
+}
+
+func BenchmarkBinomialLarge(b *testing.B) {
+	s := New(1)
+	var sink int
+	for i := 0; i < b.N; i++ {
+		sink += s.Binomial(100000, 0.4)
+	}
+	_ = sink
+}

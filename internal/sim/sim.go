@@ -1,0 +1,119 @@
+// Package sim is the multi-trial experiment harness: it fans independent
+// trials of a simulation out over a worker pool, gives every trial its own
+// deterministic RNG stream, and aggregates the results.
+package sim
+
+import (
+	"runtime"
+	"sync"
+
+	"repro/internal/rng"
+)
+
+// Trial is a single randomized run: it receives the trial index and a
+// dedicated RNG source and returns one float64 measurement.
+type Trial func(i int, src *rng.Source) float64
+
+// RunTrials executes n independent trials, parallelised over workers
+// goroutines (0 = GOMAXPROCS), and returns the n measurements in trial
+// order. Every trial i draws randomness only from its own stream derived
+// from (seed, i), so results are independent of scheduling and worker
+// count.
+func RunTrials(n int, seed uint64, workers int, trial Trial) []float64 {
+	if n <= 0 {
+		return nil
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	out := make([]float64, n)
+	var next int
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				mu.Lock()
+				i := next
+				next++
+				mu.Unlock()
+				if i >= n {
+					return
+				}
+				out[i] = trial(i, rng.NewFrom(seed, uint64(i)))
+			}
+		}()
+	}
+	wg.Wait()
+	return out
+}
+
+// Outcome is a generic per-trial record for experiments that measure more
+// than one number.
+type Outcome struct {
+	// Rounds is the measured round count (or other primary metric).
+	Rounds float64
+	// Win reports whether the trial satisfied the experiment's success
+	// predicate (e.g. "red won").
+	Win bool
+}
+
+// RunOutcomes is RunTrials for Outcome-valued trials.
+func RunOutcomes(n int, seed uint64, workers int, trial func(i int, src *rng.Source) Outcome) []Outcome {
+	if n <= 0 {
+		return nil
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	out := make([]Outcome, n)
+	var next int
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				mu.Lock()
+				i := next
+				next++
+				mu.Unlock()
+				if i >= n {
+					return
+				}
+				out[i] = trial(i, rng.NewFrom(seed, uint64(i)))
+			}
+		}()
+	}
+	wg.Wait()
+	return out
+}
+
+// Wins counts the outcomes with Win set.
+func Wins(outs []Outcome) int {
+	w := 0
+	for _, o := range outs {
+		if o.Win {
+			w++
+		}
+	}
+	return w
+}
+
+// RoundsOf extracts the Rounds fields.
+func RoundsOf(outs []Outcome) []float64 {
+	xs := make([]float64, len(outs))
+	for i, o := range outs {
+		xs[i] = o.Rounds
+	}
+	return xs
+}

@@ -1,0 +1,86 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func TestRunTrialsOrderAndCount(t *testing.T) {
+	out := RunTrials(100, 7, 4, func(i int, src *rng.Source) float64 {
+		return float64(i) * 2
+	})
+	if len(out) != 100 {
+		t.Fatalf("len = %d", len(out))
+	}
+	for i, v := range out {
+		if v != float64(i)*2 {
+			t.Fatalf("out[%d] = %v", i, v)
+		}
+	}
+}
+
+func TestRunTrialsDeterministicAcrossWorkerCounts(t *testing.T) {
+	trial := func(i int, src *rng.Source) float64 {
+		return float64(src.Uint64n(1 << 30))
+	}
+	a := RunTrials(50, 42, 1, trial)
+	b := RunTrials(50, 42, 8, trial)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("trial %d differs across worker counts: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestRunTrialsSeedSensitivity(t *testing.T) {
+	trial := func(i int, src *rng.Source) float64 {
+		return float64(src.Uint64n(1 << 30))
+	}
+	a := RunTrials(20, 1, 2, trial)
+	b := RunTrials(20, 2, 2, trial)
+	same := 0
+	for i := range a {
+		if a[i] == b[i] {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Errorf("different seeds matched on %d/20 trials", same)
+	}
+}
+
+func TestRunTrialsEdgeCases(t *testing.T) {
+	if out := RunTrials(0, 1, 4, nil); out != nil {
+		t.Error("zero trials should return nil")
+	}
+	if out := RunTrials(-5, 1, 4, nil); out != nil {
+		t.Error("negative trials should return nil")
+	}
+	// workers > n must not deadlock or skip trials.
+	out := RunTrials(3, 1, 100, func(i int, src *rng.Source) float64 { return 1 })
+	if len(out) != 3 {
+		t.Errorf("len = %d", len(out))
+	}
+}
+
+func TestRunOutcomesAndHelpers(t *testing.T) {
+	outs := RunOutcomes(10, 3, 2, func(i int, src *rng.Source) Outcome {
+		return Outcome{Rounds: float64(i), Win: i%2 == 0}
+	})
+	if len(outs) != 10 {
+		t.Fatalf("len = %d", len(outs))
+	}
+	if w := Wins(outs); w != 5 {
+		t.Errorf("Wins = %d", w)
+	}
+	rounds := RoundsOf(outs)
+	for i, r := range rounds {
+		if r != float64(i) {
+			t.Fatalf("rounds[%d] = %v", i, r)
+		}
+	}
+	if out := RunOutcomes(0, 1, 1, nil); out != nil {
+		t.Error("zero outcomes should return nil")
+	}
+}

@@ -1,0 +1,106 @@
+package table
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRenderAlignment(t *testing.T) {
+	tb := New("demo", "name", "value")
+	tb.AddRow("a", 1)
+	tb.AddRow("longer", 2.5)
+	out := tb.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // title, header, rule, 2 rows
+		t.Fatalf("got %d lines:\n%s", len(lines), out)
+	}
+	if lines[0] != "demo" {
+		t.Errorf("title line = %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "name") {
+		t.Errorf("header = %q", lines[1])
+	}
+	if !strings.Contains(lines[4], "2.5") {
+		t.Errorf("row = %q", lines[4])
+	}
+	// All data rows align: "a" padded to width of "longer".
+	if !strings.HasPrefix(lines[3], "a     ") {
+		t.Errorf("row not padded: %q", lines[3])
+	}
+}
+
+func TestNoTitle(t *testing.T) {
+	tb := New("", "x")
+	tb.AddRow(1)
+	out := tb.String()
+	if strings.HasPrefix(out, "\n") {
+		t.Error("empty title should not emit a blank line")
+	}
+	if !strings.HasPrefix(out, "x") {
+		t.Errorf("output = %q", out)
+	}
+}
+
+func TestFloatFormatting(t *testing.T) {
+	tb := New("", "v")
+	tb.AddRow(0.123456789)
+	if !strings.Contains(tb.String(), "0.1235") {
+		t.Errorf("float not formatted with %%.4g: %q", tb.String())
+	}
+	tb2 := New("", "v")
+	tb2.AddRow(float32(2.0))
+	if !strings.Contains(tb2.String(), "2") {
+		t.Errorf("float32 cell = %q", tb2.String())
+	}
+}
+
+func TestShortRowPadded(t *testing.T) {
+	tb := New("", "a", "b")
+	tb.AddRow("only")
+	if tb.NumRows() != 1 {
+		t.Fatalf("NumRows = %d", tb.NumRows())
+	}
+	// Should render without panic, second cell empty.
+	if out := tb.String(); !strings.Contains(out, "only") {
+		t.Errorf("output = %q", out)
+	}
+}
+
+func TestLongRowPanics(t *testing.T) {
+	tb := New("", "a")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("oversized row did not panic")
+		}
+	}()
+	tb.AddRow(1, 2)
+}
+
+func TestRenderCSV(t *testing.T) {
+	tb := New("ignored", "name", "note")
+	tb.AddRow("x", "plain")
+	tb.AddRow("y", `has "quotes", and comma`)
+	var b strings.Builder
+	if err := tb.RenderCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	got := b.String()
+	want := "name,note\nx,plain\ny,\"has \"\"quotes\"\", and comma\"\n"
+	if got != want {
+		t.Errorf("CSV = %q, want %q", got, want)
+	}
+}
+
+func TestCSVEscape(t *testing.T) {
+	cases := map[string]string{
+		"plain":   "plain",
+		"a,b":     `"a,b"`,
+		`q"q`:     `"q""q"`,
+		"line\nx": "\"line\nx\"",
+	}
+	for in, want := range cases {
+		if got := csvEscape(in); got != want {
+			t.Errorf("csvEscape(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

@@ -1,0 +1,50 @@
+package theory_test
+
+import (
+	"fmt"
+
+	"repro/internal/theory"
+)
+
+// The ideal recursion of equation (1): starting from a 40% blue share, the
+// blue probability collapses doubly exponentially once below 1/2.
+func ExampleIdealRecursion() {
+	for t, b := range theory.IdealRecursion(0.4, 6) {
+		fmt.Printf("b_%d = %.6f\n", t, b)
+	}
+	// Output:
+	// b_0 = 0.400000
+	// b_1 = 0.352000
+	// b_2 = 0.284484
+	// b_3 = 0.196746
+	// b_4 = 0.100895
+	// b_5 = 0.028485
+	// b_6 = 0.002388
+}
+
+// The paper's Theorem 1 time scale: rounds grow with log log n plus
+// log(1/δ), so predictions stay in low double digits across huge n ranges.
+func ExamplePredictedRounds() {
+	for _, n := range []int{1 << 10, 1 << 20} {
+		fmt.Println(theory.PredictedRounds(n, 256, 0.05) > 0)
+	}
+	// Output:
+	// true
+	// true
+}
+
+// The 5/4-growth phase of equations (4)-(5): with negligible collision
+// error, one round multiplies the imbalance by at least 5/4 until the
+// fixed point 1/(2*sqrt(3)) is passed.
+func ExampleDeltaStep() {
+	delta := 0.02
+	for t := 0; t < 4; t++ {
+		fmt.Printf("delta_%d = %.4f\n", t, delta)
+		delta = theory.DeltaStep(delta, 0)
+	}
+	// Output:
+	// delta_0 = 0.0200
+	// delta_1 = 0.0300
+	// delta_2 = 0.0449
+	// delta_3 = 0.0672
+}

@@ -1,0 +1,265 @@
+// Package theory evaluates the paper's analytical objects exactly: the
+// ideal ternary-tree recursion (equation 1), the Sprinkling recursion with
+// its collision error terms (equation 2), the δ-growth recursion (equations
+// 4–5), the three-phase schedule of Lemma 4, the collision tail bound of
+// Lemma 7, and the predicted consensus time of Theorem 1. The experiment
+// suite compares these predictions against simulation.
+package theory
+
+import "math"
+
+// IdealStep applies equation (1): b ↦ 3b² − 2b³, the blue-probability map
+// when the voting-DAG is a ternary tree (no collisions). Fixed points are
+// 0, 1/2 and 1.
+func IdealStep(b float64) float64 { return 3*b*b - 2*b*b*b }
+
+// IdealRecursion iterates equation (1) for the given number of steps,
+// returning the whole trajectory b_0, b_1, …, b_steps.
+func IdealRecursion(b0 float64, steps int) []float64 {
+	out := make([]float64, steps+1)
+	out[0] = b0
+	for t := 1; t <= steps; t++ {
+		out[t] = IdealStep(out[t-1])
+	}
+	return out
+}
+
+// IdealStepsToBelow returns the first t with IdealRecursion(b0)[t] < target,
+// or -1 if the recursion does not cross within maxSteps. Used to check the
+// T = O(log log n + log δ⁻¹) claim numerically.
+func IdealStepsToBelow(b0, target float64, maxSteps int) int {
+	b := b0
+	for t := 0; t <= maxSteps; t++ {
+		if b < target {
+			return t
+		}
+		b = IdealStep(b)
+	}
+	return -1
+}
+
+// Epsilon returns the paper's collision error ε_{t−1} = 3^{T−t+1}/d for a
+// DAG of T levels on a graph of minimum degree d (Proposition 3). The
+// value is clamped to 1, the trivial probability bound.
+func Epsilon(T, t int, d float64) float64 {
+	e := math.Pow(3, float64(T-t+1)) / d
+	if e > 1 {
+		return 1
+	}
+	return e
+}
+
+// SprinkleStep applies one step of equation (2), the exact (pre-relaxation)
+// form:
+//
+//	p_t = (3p² − 2p³)(1−ε)³ + (2p − p²)·3ε(1−ε)² + 3ε²(1−ε) + ε³ ,
+//
+// with p = p_{t−1} and ε = ε_{t−1}: term by term, no collision & ≥2 blue,
+// one collision & ≥1 blue of two, and two or three collisions (certain
+// blue).
+func SprinkleStep(p, eps float64) float64 {
+	q := 1 - eps
+	return (3*p*p-2*p*p*p)*q*q*q +
+		(2*p-p*p)*3*eps*q*q +
+		3*eps*eps*q + eps*eps*eps
+}
+
+// SprinkleStepRelaxed applies the relaxed inequality form of equation (2):
+// p_t ≤ 3p² − 2p³ + 6pε + 3ε² + ε³. It upper-bounds SprinkleStep.
+func SprinkleStepRelaxed(p, eps float64) float64 {
+	v := 3*p*p - 2*p*p*p + 6*p*eps + 3*eps*eps + eps*eps*eps
+	if v > 1 {
+		return 1
+	}
+	return v
+}
+
+// SprinkleRecursion iterates equation (2) from p0 = 1/2 − δ up T levels on
+// a graph with minimum degree d, returning p_0..p_T. relaxed selects the
+// inequality form (the one the paper's proofs manipulate) instead of the
+// exact mixture form.
+func SprinkleRecursion(p0 float64, T int, d float64, relaxed bool) []float64 {
+	out := make([]float64, T+1)
+	out[0] = p0
+	for t := 1; t <= T; t++ {
+		eps := Epsilon(T, t, d)
+		if relaxed {
+			out[t] = SprinkleStepRelaxed(out[t-1], eps)
+		} else {
+			out[t] = SprinkleStep(out[t-1], eps)
+		}
+	}
+	return out
+}
+
+// DeltaFixedPoint is 1/(2√3), the positive fixed point of f(x) = x/2 − 2x³
+// in equation (5): once δ_t exceeds this value, the paper switches from the
+// growth phase (Lemma 4 step i) to the collapse phase (step ii).
+var DeltaFixedPoint = 1 / (2 * math.Sqrt(3))
+
+// DeltaStep applies the growth recursion of equation (4):
+// δ_t = δ + (δ/2 − 2δ³ − 4ε). The paper proves δ_t ≥ (5/4)·δ_{t−1} while
+// δ < DeltaFixedPoint and δ ≥ 12ε.
+func DeltaStep(delta, eps float64) float64 {
+	return delta + delta/2 - 2*delta*delta*delta - 4*eps
+}
+
+// DeltaGrowthFactorHolds reports whether the preconditions for the 5/4
+// growth of equation (5) hold at this (δ, ε): δ ≥ 48ε and δ < 1/(2√3).
+//
+// Reproduction note: the paper states the precondition as δ ≥ 12ε, but its
+// equation (4) subtracts 4ε, so bounding the relative loss by 1/12 needs
+// 4ε/δ ≤ 1/12, i.e. δ ≥ 48ε; at δ ≥ 12ε and δ near the fixed point the
+// claimed δ_t ≥ (5/4)δ_{t−1} fails numerically (DeltaStep(0.28, 0.28/12) ≈
+// 1.01·δ). The slip is harmless for the theorem — ε decays geometrically
+// while δ grows, so δ ≫ 48ε after O(1) extra levels — but the constant in
+// the stated precondition is off by 4. The experiment suite verifies the
+// corrected form.
+func DeltaGrowthFactorHolds(delta, eps float64) bool {
+	return delta >= 48*eps && delta < DeltaFixedPoint
+}
+
+// PhaseSchedule is the decomposition of Lemma 4: a voting-DAG of height
+// T = T1 + T2 + T3 where phase 3 (closest to the leaves) grows δ to the
+// fixed point, phase 2 collapses the blue probability to polylog(d)/d, and
+// phase 1 (one final level plus the a·loglog d buffer) brings it to o(1/d).
+type PhaseSchedule struct {
+	T1, T2, T3 int
+	// Total is T1 + T2 + T3.
+	Total int
+}
+
+// Schedule computes the paper's phase lengths for minimum degree d and
+// initial imbalance δ:
+//
+//	T3 = min{t : δ_t ≥ 1/(2√3)}            — O(log δ⁻¹) by the 5/4 growth,
+//	T2 = min{t : p_t ≤ 12ε_t} ≤ 2·log₂log d — the quadratic collapse,
+//	T1 = ⌊a·log log d⌋ + 1                  — the finishing buffer.
+//
+// The T3 and T2 entries are computed by iterating the paper's recursions
+// with the ε error pinned at its phase-top value (the form the proofs use).
+func Schedule(d float64, delta float64, a float64) PhaseSchedule {
+	if d <= math.E {
+		d = math.E + 1 // degenerate degrees: keep logs positive
+	}
+	loglogd := math.Log(math.Log(d))
+	t1 := int(a*loglogd) + 1
+	if t1 < 1 {
+		t1 = 1
+	}
+
+	// Phase 3: grow δ to the fixed point with the 5/4 lower bound on the
+	// multiplier (ε ≪ δ on the paper's graphs, so iterate the clean form).
+	t3 := 0
+	dl := delta
+	capT3 := int(10*math.Log(1/delta)/math.Log(1.25)) + 10
+	for dl < DeltaFixedPoint && t3 < capT3 {
+		dl = dl + dl/2 - 2*dl*dl*dl
+		t3++
+	}
+
+	// Phase 2: collapse p via p_t ≤ 4p² until p ≤ 12ε. The paper pins
+	// ε ≤ 3^{h₁}/d = polylog(d)/d with h₁ = ⌊a·log log d⌋ + 1; use that
+	// exact form (the (log d)^{a·log 3} polylog) so the schedule is
+	// meaningful at finite d. T2 is capped at 2·log₂log d as in Lemma 4.
+	eps := math.Pow(3, float64(t1+1)) / d
+	if eps > 1 {
+		eps = 1
+	}
+	p := 0.5 - DeltaFixedPoint
+	t2 := 0
+	capT2 := int(2*math.Log2(math.Log2(d))) + 1
+	if capT2 < 1 {
+		capT2 = 1
+	}
+	for p > 12*eps && t2 < capT2 {
+		p = 4 * p * p
+		t2++
+	}
+
+	return PhaseSchedule{T1: t1, T2: t2, T3: t3, Total: t1 + t2 + t3}
+}
+
+// PredictedRounds returns the Theorem 1 prediction for the number of rounds
+// to red consensus on a graph of n vertices with minimum degree d and
+// initial imbalance δ: the Lemma 4 schedule with a = 1 plus the upper-level
+// buffer h = log log n (Section 4).
+func PredictedRounds(n int, d float64, delta float64) int {
+	if n < 3 {
+		return 1
+	}
+	s := Schedule(d, delta, 1)
+	h := int(math.Ceil(math.Log(math.Log(float64(n))))) + 1
+	return s.Total + h
+}
+
+// CollisionLevelProb returns the paper's per-level collision probability
+// bound from Lemma 7: P(level i has a collision) ≤ min(1, 9^h/d), where h
+// is the DAG height.
+func CollisionLevelProb(h int, d float64) float64 {
+	p := math.Pow(9, float64(h)) / d
+	if p > 1 {
+		return 1
+	}
+	return p
+}
+
+// CollisionTailBound returns the Lemma 7 bound
+// P(C > h/2) ≤ (2e·9^h/d)^{h/2} (equation 7), clamped to [0, 1].
+func CollisionTailBound(h int, d float64) float64 {
+	base := 2 * math.E * math.Pow(9, float64(h)) / d
+	if base >= 1 {
+		return 1
+	}
+	return math.Pow(base, float64(h)/2)
+}
+
+// RootBlueBound evaluates the Section 4 decomposition (equation 6): for a
+// voting-DAG of h+1 levels on minimum degree d whose leaves are
+// independently blue with probability leafP,
+//
+//	P(root blue) ≤ P(C > h/2) + P(B ≥ 2^{h/2}) ,
+//
+// where C ≼ Bin(h, min(1, 9^h/d)) counts collision levels and
+// B ≼ Bin(3^h, leafP) counts blue leaves. Both tails are evaluated
+// exactly; the binomial tail function is injected to avoid an import cycle
+// with the stats package's callers (pass stats.BinomialTail).
+func RootBlueBound(h int, d, leafP float64, binTail func(n, k int, p float64) float64) float64 {
+	if h < 0 {
+		panic("theory: negative height")
+	}
+	if h == 0 {
+		return leafP
+	}
+	pLevel := CollisionLevelProb(h, d)
+	collisionTail := binTail(h, h/2+1, pLevel)
+	leaves := 1
+	for i := 0; i < h && leaves < 1<<30; i++ {
+		leaves *= 3
+	}
+	threshold := 1 << uint(h/2)
+	leafTail := binTail(leaves, threshold, leafP)
+	bound := collisionTail + leafTail
+	if bound > 1 {
+		return 1
+	}
+	return bound
+}
+
+// MinAlpha returns the paper's density threshold: Theorem 1 needs
+// α = Ω(1/log log n); this helper returns c/log log n for the given
+// constant, the boundary the density-gate experiment sweeps across.
+func MinAlpha(n int, c float64) float64 {
+	if n < 16 {
+		return 1
+	}
+	return c / math.Log(math.Log(float64(n)))
+}
+
+// MinDelta returns the paper's imbalance threshold (log d)^{-C}.
+func MinDelta(d float64, C float64) float64 {
+	if d <= 1 {
+		return 0.5
+	}
+	return math.Pow(math.Log(d), -C)
+}

@@ -1,0 +1,412 @@
+package theory
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestIdealStepFixedPoints(t *testing.T) {
+	for _, b := range []float64{0, 0.5, 1} {
+		if got := IdealStep(b); math.Abs(got-b) > 1e-15 {
+			t.Errorf("IdealStep(%v) = %v, want fixed point", b, got)
+		}
+	}
+}
+
+func TestIdealStepContractsBelowHalf(t *testing.T) {
+	// For b in (0, 1/2) the map strictly decreases b.
+	for _, b := range []float64{0.05, 0.2, 0.4, 0.49} {
+		if got := IdealStep(b); got >= b {
+			t.Errorf("IdealStep(%v) = %v, want < input", b, got)
+		}
+	}
+	// And symmetric expansion above 1/2.
+	for _, b := range []float64{0.51, 0.7, 0.95} {
+		if got := IdealStep(b); got <= b {
+			t.Errorf("IdealStep(%v) = %v, want > input", b, got)
+		}
+	}
+}
+
+func TestIdealStepSymmetry(t *testing.T) {
+	// f(1-b) = 1 - f(b): the dynamic treats the colours symmetrically.
+	for _, b := range []float64{0.1, 0.3, 0.45} {
+		if got, want := IdealStep(1-b), 1-IdealStep(b); math.Abs(got-want) > 1e-12 {
+			t.Errorf("symmetry broken at %v: %v vs %v", b, got, want)
+		}
+	}
+}
+
+func TestIdealRecursionTrajectory(t *testing.T) {
+	tr := IdealRecursion(0.4, 5)
+	if len(tr) != 6 || tr[0] != 0.4 {
+		t.Fatalf("trajectory = %v", tr)
+	}
+	for i := 1; i < len(tr); i++ {
+		if tr[i] >= tr[i-1] {
+			t.Errorf("trajectory not decreasing at %d: %v", i, tr)
+		}
+	}
+}
+
+func TestIdealStepsToBelowDoublyLog(t *testing.T) {
+	// Doubly-logarithmic collapse: the step count to reach 1/n grows very
+	// slowly in n. Starting from δ = 0.1:
+	t16 := IdealStepsToBelow(0.4, 1.0/65536, 1000)
+	t32 := IdealStepsToBelow(0.4, 1.0/(65536*65536), 1000)
+	if t16 < 0 || t32 < 0 {
+		t.Fatal("recursion did not cross")
+	}
+	// Squaring the target n should add O(1) steps (roughly one doubling of
+	// the exponent per step in the quadratic regime).
+	if t32-t16 > 3 {
+		t.Errorf("steps(n²) − steps(n) = %d, want ≤ 3 (double-log growth)", t32-t16)
+	}
+}
+
+func TestIdealStepsToBelowNoCross(t *testing.T) {
+	// From exactly 1/2 the recursion is stuck at the unstable fixed point.
+	if got := IdealStepsToBelow(0.5, 0.01, 50); got != -1 {
+		t.Errorf("stuck recursion returned %d", got)
+	}
+}
+
+func TestEpsilonValues(t *testing.T) {
+	// ε_{t−1} = 3^{T−t+1}/d; at t = T it is 3/d.
+	if got := Epsilon(5, 5, 300); math.Abs(got-0.01) > 1e-12 {
+		t.Errorf("Epsilon(T,T) = %v, want 3/d", got)
+	}
+	// At t = 1 it is 3^T/d.
+	if got := Epsilon(3, 1, 270); math.Abs(got-0.1) > 1e-12 {
+		t.Errorf("Epsilon(3,1,270) = %v, want 27/270", got)
+	}
+	// Clamps at 1.
+	if got := Epsilon(10, 1, 2); got != 1 {
+		t.Errorf("Epsilon clamp = %v", got)
+	}
+}
+
+func TestEpsilonDecreasesUpLevels(t *testing.T) {
+	d := 1e6
+	prev := math.Inf(1)
+	for tt := 1; tt <= 8; tt++ {
+		e := Epsilon(8, tt, d)
+		if e > prev {
+			t.Fatalf("epsilon increased at t=%d", tt)
+		}
+		prev = e
+	}
+}
+
+func TestSprinkleStepZeroEpsIsIdeal(t *testing.T) {
+	for _, p := range []float64{0, 0.2, 0.5, 0.9} {
+		if got, want := SprinkleStep(p, 0), IdealStep(p); math.Abs(got-want) > 1e-12 {
+			t.Errorf("SprinkleStep(%v, 0) = %v, want %v", p, got, want)
+		}
+	}
+}
+
+func TestSprinkleStepMonotoneInEps(t *testing.T) {
+	// More collisions -> more forced blue: p_t increases with ε.
+	p := 0.3
+	prev := -1.0
+	for _, eps := range []float64{0, 0.01, 0.05, 0.1, 0.3} {
+		v := SprinkleStep(p, eps)
+		if v < prev {
+			t.Fatalf("SprinkleStep not monotone in eps at %v", eps)
+		}
+		prev = v
+	}
+}
+
+func TestSprinkleRelaxedDominatesExact(t *testing.T) {
+	for _, p := range []float64{0.05, 0.2, 0.4, 0.49} {
+		for _, eps := range []float64{0.001, 0.01, 0.1} {
+			exact := SprinkleStep(p, eps)
+			relaxed := SprinkleStepRelaxed(p, eps)
+			if relaxed < exact-1e-12 {
+				t.Errorf("relaxed(%v,%v) = %v < exact %v", p, eps, relaxed, exact)
+			}
+		}
+	}
+}
+
+func TestSprinkleStepIsProbability(t *testing.T) {
+	for _, p := range []float64{0, 0.25, 0.5, 0.75, 1} {
+		for _, eps := range []float64{0, 0.3, 1} {
+			v := SprinkleStep(p, eps)
+			if v < -1e-12 || v > 1+1e-12 {
+				t.Errorf("SprinkleStep(%v, %v) = %v outside [0,1]", p, eps, v)
+			}
+		}
+	}
+}
+
+func TestSprinkleRecursionConvergesOnDenseGraph(t *testing.T) {
+	// The recursion needs 3^T ≪ d for its bottom-level error ε₀ = 3^T/d to
+	// be small — the paper's dense regime. At d = 10^7, T = 10 levels from
+	// δ = 0.2 must collapse p below 1/d. (With δ = 0.45, T = 16 and
+	// d = 10^9 the same holds; the monolithic recursion legitimately
+	// stalls when 3^T ≳ d, which is why Lemma 4 chains separate DAGs.)
+	d := 1e7
+	tr := SprinkleRecursion(0.3, 10, d, false)
+	final := tr[len(tr)-1]
+	if final > 1.0/d {
+		t.Errorf("recursion stalled at %v, want < 1/d = %v", final, 1.0/d)
+	}
+	tr2 := SprinkleRecursion(0.45, 16, 1e9, false)
+	if tr2[len(tr2)-1] > 1e-9 {
+		t.Errorf("deep recursion stalled at %v", tr2[len(tr2)-1])
+	}
+}
+
+func TestSprinkleRecursionLengthAndStart(t *testing.T) {
+	tr := SprinkleRecursion(0.4, 6, 1e5, true)
+	if len(tr) != 7 || tr[0] != 0.4 {
+		t.Fatalf("trajectory = %v", tr)
+	}
+}
+
+func TestDeltaFixedPointValue(t *testing.T) {
+	// f(x) = x/2 − 2x³ has derivative zero at 1/(2√3) ≈ 0.2887.
+	if math.Abs(DeltaFixedPoint-0.288675) > 1e-5 {
+		t.Errorf("DeltaFixedPoint = %v", DeltaFixedPoint)
+	}
+	// It maximises f on [0, 1/2].
+	f := func(x float64) float64 { return x/2 - 2*x*x*x }
+	for _, x := range []float64{0.1, 0.2, 0.25, 0.35, 0.45} {
+		if f(x) > f(DeltaFixedPoint)+1e-12 {
+			t.Errorf("f(%v) exceeds f(fixed point)", x)
+		}
+	}
+}
+
+func TestDeltaStepGrowth(t *testing.T) {
+	// With the corrected precondition δ ≥ 48ε (see DeltaGrowthFactorHolds)
+	// and δ below the fixed point, one step multiplies δ by at least 5/4.
+	for _, d0 := range []float64{0.01, 0.05, 0.1, 0.2, 0.28} {
+		eps := d0 / 48 // boundary of the corrected precondition
+		if !DeltaGrowthFactorHolds(d0, eps) {
+			t.Fatalf("precondition check failed at δ=%v", d0)
+		}
+		if got := DeltaStep(d0, eps); got < 1.25*d0-1e-12 {
+			t.Errorf("DeltaStep(%v) = %v < 5/4·δ", d0, got)
+		}
+	}
+}
+
+func TestDeltaStepPaperConstantFails(t *testing.T) {
+	// Documents the paper's factor-4 slip: at the stated precondition
+	// δ = 12ε with δ near the fixed point, the 5/4 growth does NOT hold.
+	d0 := 0.28
+	got := DeltaStep(d0, d0/12)
+	if got >= 1.25*d0 {
+		t.Errorf("expected the paper's constant to fail here, got %v >= %v", got, 1.25*d0)
+	}
+}
+
+func TestDeltaGrowthFactorPreconditions(t *testing.T) {
+	if DeltaGrowthFactorHolds(0.3, 0.001) {
+		t.Error("δ above fixed point should fail the precondition")
+	}
+	if DeltaGrowthFactorHolds(0.01, 0.01) {
+		t.Error("δ < 48ε should fail the precondition")
+	}
+	if !DeltaGrowthFactorHolds(0.096, 0.001) {
+		t.Error("valid parameters rejected")
+	}
+}
+
+func TestScheduleShape(t *testing.T) {
+	s := Schedule(1e4, 0.05, 1)
+	if s.Total != s.T1+s.T2+s.T3 {
+		t.Errorf("Total mismatch: %+v", s)
+	}
+	if s.T1 < 1 || s.T2 < 1 || s.T3 < 1 {
+		t.Errorf("degenerate schedule: %+v", s)
+	}
+	if s.Total > 40 {
+		t.Errorf("schedule implausibly long: %+v", s)
+	}
+}
+
+func TestScheduleT3GrowsWithSmallerDelta(t *testing.T) {
+	a := Schedule(1e5, 0.1, 1)
+	b := Schedule(1e5, 0.001, 1)
+	if b.T3 <= a.T3 {
+		t.Errorf("T3 should grow as δ shrinks: %d vs %d", a.T3, b.T3)
+	}
+	// O(log δ⁻¹): halving δ adds O(1) steps. log(100x) factor ≈
+	// log(100)/log(1.25) ≈ 20 steps.
+	if b.T3-a.T3 > 30 {
+		t.Errorf("T3 growth too fast: %d -> %d", a.T3, b.T3)
+	}
+}
+
+func TestScheduleT2DoubleLog(t *testing.T) {
+	// T2 is capped by 2·log₂log₂ d and grows extremely slowly: an 8-order-
+	// of-magnitude jump in d adds only a handful of collapse steps.
+	small := Schedule(1e4, 0.1, 1)
+	large := Schedule(1e12, 0.1, 1)
+	if large.T2-small.T2 > 6 {
+		t.Errorf("T2 grew too fast: %d -> %d", small.T2, large.T2)
+	}
+	if large.T2 > 2*int(math.Log2(math.Log2(1e12)))+1 {
+		t.Errorf("T2 = %d exceeds the paper's cap", large.T2)
+	}
+}
+
+func TestScheduleDegenerateDegree(t *testing.T) {
+	// Very small d must not produce NaN or panic.
+	s := Schedule(2, 0.1, 1)
+	if s.Total < 1 {
+		t.Errorf("degenerate schedule: %+v", s)
+	}
+}
+
+func TestPredictedRoundsSanity(t *testing.T) {
+	// Predictions are small (double-log) and grow with shrinking δ.
+	p1 := PredictedRounds(1<<16, math.Pow(1<<16, 0.7), 0.1)
+	p2 := PredictedRounds(1<<16, math.Pow(1<<16, 0.7), 0.001)
+	if p1 < 3 || p1 > 60 {
+		t.Errorf("PredictedRounds δ=0.1: %d out of plausible band", p1)
+	}
+	if p2 <= p1 {
+		t.Errorf("prediction should grow as δ shrinks: %d vs %d", p1, p2)
+	}
+	if got := PredictedRounds(2, 1, 0.1); got != 1 {
+		t.Errorf("tiny-n prediction = %d", got)
+	}
+}
+
+func TestCollisionLevelProb(t *testing.T) {
+	if got := CollisionLevelProb(2, 810); math.Abs(got-0.1) > 1e-12 {
+		t.Errorf("CollisionLevelProb = %v, want 81/810", got)
+	}
+	if got := CollisionLevelProb(5, 10); got != 1 {
+		t.Errorf("clamp failed: %v", got)
+	}
+}
+
+func TestCollisionTailBound(t *testing.T) {
+	// Large d: bound decays fast in h.
+	d := 1e12
+	b3 := CollisionTailBound(3, d)
+	b5 := CollisionTailBound(5, d)
+	if b3 <= 0 || b3 >= 1 {
+		t.Errorf("bound(3) = %v", b3)
+	}
+	if b5 >= b3 {
+		t.Errorf("bound should shrink with h while 9^h << d: %v vs %v", b3, b5)
+	}
+	// Small d: vacuous bound 1.
+	if got := CollisionTailBound(5, 10); got != 1 {
+		t.Errorf("vacuous bound = %v", got)
+	}
+}
+
+func TestMinAlphaMinDelta(t *testing.T) {
+	a := MinAlpha(1<<20, 1)
+	if a <= 0 || a >= 1 {
+		t.Errorf("MinAlpha = %v", a)
+	}
+	if MinAlpha(4, 1) != 1 {
+		t.Error("tiny n should clamp alpha to 1")
+	}
+	d := MinDelta(1e6, 1)
+	if d <= 0 || d >= 0.5 {
+		t.Errorf("MinDelta = %v", d)
+	}
+	if MinDelta(0.5, 1) != 0.5 {
+		t.Error("degenerate degree should clamp δ")
+	}
+}
+
+// Property: IdealStep maps [0,1] into [0,1] and preserves order (it is
+// monotone increasing on [0,1]).
+func TestQuickIdealStepMonotoneBounded(t *testing.T) {
+	f := func(aRaw, bRaw uint16) bool {
+		a := float64(aRaw) / math.MaxUint16
+		b := float64(bRaw) / math.MaxUint16
+		fa, fb := IdealStep(a), IdealStep(b)
+		if fa < -1e-12 || fa > 1+1e-12 {
+			return false
+		}
+		if a <= b && fa > fb+1e-12 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: SprinkleStep is bounded by the relaxed form for all (p, ε) in
+// the unit square.
+func TestQuickRelaxedDominates(t *testing.T) {
+	f := func(pRaw, eRaw uint16) bool {
+		p := float64(pRaw) / math.MaxUint16
+		e := float64(eRaw) / math.MaxUint16
+		return SprinkleStepRelaxed(p, e) >= SprinkleStep(p, e)-1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRootBlueBoundShape(t *testing.T) {
+	binTail := stubBinomialTail
+	// Height 0: the bound is the leaf probability itself.
+	if got := RootBlueBound(0, 1e6, 0.3, binTail); got != 0.3 {
+		t.Errorf("h=0 bound = %v", got)
+	}
+	// Vacuous regime: tiny degree makes the collision tail saturate.
+	if got := RootBlueBound(4, 10, 0.001, binTail); got != 1 {
+		t.Errorf("small-d bound = %v, want 1 (vacuous)", got)
+	}
+	// Dense regime with o(1/d) leaves: the bound is small and shrinks as
+	// the leaf probability shrinks.
+	d := 1e8
+	b1 := RootBlueBound(3, d, 1e-4, binTail)
+	b2 := RootBlueBound(3, d, 1e-6, binTail)
+	if b1 >= 1 || b2 >= b1 {
+		t.Errorf("dense bounds not shrinking: %v -> %v", b1, b2)
+	}
+}
+
+func TestRootBlueBoundPanicsNegativeHeight(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative height did not panic")
+		}
+	}()
+	RootBlueBound(-1, 10, 0.1, stubBinomialTail)
+}
+
+// stubBinomialTail is an exact Bin(n, p) upper tail for the small n used in
+// these tests (mirrors stats.BinomialTail without importing it).
+func stubBinomialTail(n, k int, p float64) float64 {
+	if k <= 0 {
+		return 1
+	}
+	if k > n || p <= 0 {
+		return 0
+	}
+	if p >= 1 {
+		return 1
+	}
+	total := 0.0
+	lp, lq := math.Log(p), math.Log1p(-p)
+	for i := k; i <= n; i++ {
+		a, _ := math.Lgamma(float64(n + 1))
+		b, _ := math.Lgamma(float64(i + 1))
+		c, _ := math.Lgamma(float64(n - i + 1))
+		total += math.Exp(a - b - c + float64(i)*lp + float64(n-i)*lq)
+	}
+	if total > 1 {
+		return 1
+	}
+	return total
+}

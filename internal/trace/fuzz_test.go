@@ -1,0 +1,42 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzReadCSV feeds arbitrary text into the CSV parser: it must never
+// panic, and whatever it accepts must be a well-formed monotone-round
+// trajectory by construction of the parser.
+func FuzzReadCSV(f *testing.F) {
+	f.Add("round,blue_count\n0,5\n1,3\n")
+	f.Add("# header\n0,1\n")
+	f.Add("")
+	f.Add("0,1\n2,3\n")
+	f.Fuzz(func(t *testing.T, in string) {
+		counts, err := ReadCSV(strings.NewReader(in))
+		if err != nil {
+			return
+		}
+		for _, c := range counts {
+			_ = c // any int is acceptable; rounds ordering is enforced by the parser
+		}
+	})
+}
+
+// FuzzReadJSON feeds arbitrary text into the JSON decoder: never panic, and
+// accepted runs must pass Validate (ReadJSON enforces it).
+func FuzzReadJSON(f *testing.F) {
+	f.Add(`{"n":4,"rounds":1,"blue_counts":[2,0]}`)
+	f.Add(`{}`)
+	f.Add(`{"n":-1}`)
+	f.Fuzz(func(t *testing.T, in string) {
+		r, err := ReadJSON(strings.NewReader(in))
+		if err != nil {
+			return
+		}
+		if err := r.Validate(); err != nil {
+			t.Fatalf("ReadJSON returned an invalid run: %v", err)
+		}
+	})
+}

@@ -1,0 +1,124 @@
+// Package trace records voting-dynamics runs as structured, serialisable
+// artifacts: per-round trajectories plus run metadata, with CSV and JSON
+// encodings. The CLI tools use it to persist runs for external plotting,
+// and the round-trip property is tested so archived traces stay readable.
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Run is one recorded simulation run.
+type Run struct {
+	// Graph names the topology (e.g. "regular(n=8192,d=223)").
+	Graph string `json:"graph"`
+	// Protocol names the rule (e.g. "best-of-3").
+	Protocol string `json:"protocol"`
+	// N is the vertex count.
+	N int `json:"n"`
+	// Delta is the initial imbalance parameter.
+	Delta float64 `json:"delta"`
+	// Seed reproduces the run.
+	Seed uint64 `json:"seed"`
+	// Consensus and RedWon summarise the outcome.
+	Consensus bool `json:"consensus"`
+	RedWon    bool `json:"red_won"`
+	// Rounds is the executed round count.
+	Rounds int `json:"rounds"`
+	// BlueCounts is the per-round number of blue vertices, starting with
+	// the initial configuration.
+	BlueCounts []int `json:"blue_counts"`
+}
+
+// Validate checks internal consistency of a (possibly deserialised) run.
+func (r *Run) Validate() error {
+	if r.N < 0 {
+		return fmt.Errorf("trace: negative n")
+	}
+	if r.Rounds < 0 {
+		return fmt.Errorf("trace: negative rounds")
+	}
+	if len(r.BlueCounts) > 0 && len(r.BlueCounts) != r.Rounds+1 {
+		return fmt.Errorf("trace: %d blue counts for %d rounds", len(r.BlueCounts), r.Rounds)
+	}
+	for i, b := range r.BlueCounts {
+		if b < 0 || b > r.N {
+			return fmt.Errorf("trace: blue count %d at round %d outside [0,%d]", b, i, r.N)
+		}
+	}
+	return nil
+}
+
+// WriteJSON writes the run as indented JSON.
+func (r *Run) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// ReadJSON parses a run written by WriteJSON and validates it.
+func ReadJSON(rd io.Reader) (*Run, error) {
+	var r Run
+	if err := json.NewDecoder(rd).Decode(&r); err != nil {
+		return nil, fmt.Errorf("trace: decoding run: %w", err)
+	}
+	if err := r.Validate(); err != nil {
+		return nil, err
+	}
+	return &r, nil
+}
+
+// WriteCSV writes the trajectory as a two-column CSV (round, blue_count)
+// with a comment header carrying the metadata.
+func (r *Run) WriteCSV(w io.Writer) error {
+	var b strings.Builder
+	fmt.Fprintf(&b, "# graph=%s protocol=%s n=%d delta=%g seed=%d consensus=%v red_won=%v\n",
+		r.Graph, r.Protocol, r.N, r.Delta, r.Seed, r.Consensus, r.RedWon)
+	b.WriteString("round,blue_count\n")
+	for t, bc := range r.BlueCounts {
+		b.WriteString(strconv.Itoa(t))
+		b.WriteByte(',')
+		b.WriteString(strconv.Itoa(bc))
+		b.WriteByte('\n')
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// ReadCSV parses the trajectory columns of a WriteCSV stream. Metadata in
+// the comment header is not reconstructed; only round/blue pairs are
+// returned, in order.
+func ReadCSV(rd io.Reader) ([]int, error) {
+	data, err := io.ReadAll(rd)
+	if err != nil {
+		return nil, fmt.Errorf("trace: reading CSV: %w", err)
+	}
+	var counts []int
+	for lineNo, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") || strings.HasPrefix(line, "round,") {
+			continue
+		}
+		parts := strings.Split(line, ",")
+		if len(parts) != 2 {
+			return nil, fmt.Errorf("trace: line %d: want 2 fields, got %d", lineNo+1, len(parts))
+		}
+		round, err := strconv.Atoi(parts[0])
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d: bad round: %w", lineNo+1, err)
+		}
+		if round != len(counts) {
+			return nil, fmt.Errorf("trace: line %d: round %d out of order", lineNo+1, round)
+		}
+		bc, err := strconv.Atoi(parts[1])
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d: bad blue count: %w", lineNo+1, err)
+		}
+		counts = append(counts, bc)
+	}
+	return counts, nil
+}

@@ -1,0 +1,147 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func sample() *Run {
+	return &Run{
+		Graph:      "regular(n=8,d=3)",
+		Protocol:   "best-of-3",
+		N:          8,
+		Delta:      0.1,
+		Seed:       42,
+		Consensus:  true,
+		RedWon:     true,
+		Rounds:     3,
+		BlueCounts: []int{3, 2, 1, 0},
+	}
+}
+
+func TestValidateAcceptsGoodRun(t *testing.T) {
+	if err := sample().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateRejections(t *testing.T) {
+	cases := map[string]func(*Run){
+		"negative n":       func(r *Run) { r.N = -1 },
+		"negative rounds":  func(r *Run) { r.Rounds = -1 },
+		"length mismatch":  func(r *Run) { r.BlueCounts = []int{1, 2} },
+		"count out of max": func(r *Run) { r.BlueCounts = []int{3, 2, 1, 9} },
+		"negative count":   func(r *Run) { r.BlueCounts = []int{3, 2, 1, -1} },
+	}
+	for name, mutate := range cases {
+		r := sample()
+		mutate(r)
+		if err := r.Validate(); err == nil {
+			t.Errorf("%s accepted", name)
+		}
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	r := sample()
+	var b strings.Builder
+	if err := r.WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadJSON(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Graph != r.Graph || got.Seed != r.Seed || got.Rounds != r.Rounds {
+		t.Errorf("round trip changed metadata: %+v", got)
+	}
+	for i := range r.BlueCounts {
+		if got.BlueCounts[i] != r.BlueCounts[i] {
+			t.Fatalf("round trip changed counts: %v", got.BlueCounts)
+		}
+	}
+}
+
+func TestReadJSONRejectsInvalid(t *testing.T) {
+	if _, err := ReadJSON(strings.NewReader("{")); err == nil {
+		t.Error("truncated JSON accepted")
+	}
+	// Valid JSON, inconsistent content.
+	bad := `{"n": 4, "rounds": 2, "blue_counts": [1]}`
+	if _, err := ReadJSON(strings.NewReader(bad)); err == nil {
+		t.Error("inconsistent run accepted")
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	r := sample()
+	var b strings.Builder
+	if err := r.WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.HasPrefix(out, "# graph=regular(n=8,d=3)") {
+		t.Errorf("missing metadata header: %q", out)
+	}
+	counts, err := ReadCSV(strings.NewReader(out))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(counts) != len(r.BlueCounts) {
+		t.Fatalf("counts = %v", counts)
+	}
+	for i := range counts {
+		if counts[i] != r.BlueCounts[i] {
+			t.Fatalf("counts = %v", counts)
+		}
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	cases := map[string]string{
+		"wrong fields":   "round,blue_count\n0,1,2\n",
+		"bad round":      "x,1\n",
+		"bad count":      "0,x\n",
+		"order violated": "1,5\n",
+	}
+	for name, in := range cases {
+		if _, err := ReadCSV(strings.NewReader(in)); err == nil {
+			t.Errorf("%s accepted", name)
+		}
+	}
+}
+
+// Property: JSON round trip preserves arbitrary valid trajectories.
+func TestQuickJSONRoundTrip(t *testing.T) {
+	f := func(counts []uint8, seed uint64) bool {
+		bc := make([]int, len(counts))
+		for i, c := range counts {
+			bc[i] = int(c)
+		}
+		r := &Run{N: 256, Seed: seed, BlueCounts: bc}
+		if len(bc) > 0 {
+			r.Rounds = len(bc) - 1
+		}
+		var b strings.Builder
+		if err := r.WriteJSON(&b); err != nil {
+			return false
+		}
+		got, err := ReadJSON(strings.NewReader(b.String()))
+		if err != nil {
+			return false
+		}
+		if len(got.BlueCounts) != len(bc) {
+			return false
+		}
+		for i := range bc {
+			if got.BlueCounts[i] != bc[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

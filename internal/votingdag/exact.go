@@ -1,0 +1,90 @@
+package votingdag
+
+import (
+	"math"
+	"math/bits"
+)
+
+// ExactRootBlueProb computes P(root is Blue | H = d) exactly when leaves
+// are coloured i.i.d. Blue with probability pBlue, by enumerating all
+// 2^L colourings of the L distinct normal leaves. The root colour is a
+// deterministic monotone function of the leaf colouring, so the exact
+// probability is Σ_{blue sets S forcing a blue root} p^|S|(1−p)^{L−|S|}.
+//
+// The enumeration is O(2^L · |V(H)|); it panics if the DAG has more than
+// 24 distinct normal leaves. Conditional probabilities over many sampled
+// DAGs give the unconditional P(ξ_T(v₀) = B) without leaf-level Monte
+// Carlo noise — the estimator used by experiment E20.
+func (d *DAG) ExactRootBlueProb(pBlue float64) float64 {
+	var leafIdx []int32 // node indices of normal leaves at level 0
+	for i, nd := range d.Levels[0] {
+		if !nd.Artificial {
+			leafIdx = append(leafIdx, int32(i))
+		}
+	}
+	L := len(leafIdx)
+	if L > 24 {
+		panic("votingdag: ExactRootBlueProb limited to 24 distinct leaves")
+	}
+	if pBlue < 0 {
+		pBlue = 0
+	}
+	if pBlue > 1 {
+		pBlue = 1
+	}
+
+	// Colour buffers reused across masks.
+	cols := make([][]uint8, len(d.Levels))
+	for t := range d.Levels {
+		cols[t] = make([]uint8, len(d.Levels[t]))
+	}
+	// Precompute log-weights? Direct products are fine for L <= 24.
+	total := 0.0
+	for mask := 0; mask < 1<<L; mask++ {
+		// Level 0: artificial nodes are blue (1); normal leaves by mask.
+		for i, nd := range d.Levels[0] {
+			if nd.Artificial {
+				cols[0][i] = 1
+			} else {
+				cols[0][i] = 0
+			}
+		}
+		for j, idx := range leafIdx {
+			if mask>>j&1 == 1 {
+				cols[0][idx] = 1
+			}
+		}
+		for t := 1; t < len(d.Levels); t++ {
+			for i := range d.Levels[t] {
+				nd := &d.Levels[t][i]
+				if nd.Artificial {
+					cols[t][i] = 1
+					continue
+				}
+				sum := cols[t-1][nd.Children[0]] + cols[t-1][nd.Children[1]] + cols[t-1][nd.Children[2]]
+				if sum >= 2 {
+					cols[t][i] = 1
+				} else {
+					cols[t][i] = 0
+				}
+			}
+		}
+		if cols[len(cols)-1][0] == 1 {
+			blues := bits.OnesCount(uint(mask))
+			total += math.Pow(pBlue, float64(blues)) * math.Pow(1-pBlue, float64(L-blues))
+		}
+	}
+	return total
+}
+
+// DistinctLeafCount returns the number of distinct normal (non-artificial)
+// leaves at level 0 — the enumeration width of ExactRootBlueProb.
+func (d *DAG) DistinctLeafCount() int {
+	c := 0
+	for _, nd := range d.Levels[0] {
+		if !nd.Artificial {
+			c++
+		}
+	}
+	return c
+}

@@ -1,0 +1,130 @@
+package votingdag
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/opinion"
+	"repro/internal/rng"
+)
+
+func TestExactRootBlueProbSingleNode(t *testing.T) {
+	g := graph.Complete(4)
+	d := Build(g, 0, 0, rng.New(1))
+	for _, p := range []float64{0, 0.3, 1} {
+		if got := d.ExactRootBlueProb(p); math.Abs(got-p) > 1e-12 {
+			t.Errorf("height-0 exact prob at p=%v: %v", p, got)
+		}
+	}
+}
+
+func TestExactRootBlueProbTernaryTree(t *testing.T) {
+	// A collision-free height-1 DAG with three distinct leaves: the exact
+	// probability is eq. (1): 3p² − 2p³.
+	d := BuildManual([]ManualLevel{
+		{{V: 10}, {V: 11}, {V: 12}},
+		{{V: 1, Children: [3]int{0, 1, 2}}},
+	})
+	for _, p := range []float64{0.1, 0.4, 0.5, 0.9} {
+		want := 3*p*p - 2*p*p*p
+		if got := d.ExactRootBlueProb(p); math.Abs(got-want) > 1e-12 {
+			t.Errorf("p=%v: exact %v, want %v", p, got, want)
+		}
+	}
+}
+
+func TestExactRootBlueProbDuplicatedChild(t *testing.T) {
+	// Root queries (a, a, b): the root is blue iff a is blue, so the exact
+	// probability is p regardless of b.
+	d := BuildManual([]ManualLevel{
+		{{V: 10}, {V: 11}},
+		{{V: 1, Children: [3]int{0, 0, 1}}},
+	})
+	for _, p := range []float64{0.2, 0.7} {
+		if got := d.ExactRootBlueProb(p); math.Abs(got-p) > 1e-12 {
+			t.Errorf("p=%v: exact %v, want p", p, got)
+		}
+	}
+}
+
+func TestExactRootBlueProbSprinkledFigure(t *testing.T) {
+	// After sprinkling, the figure DAG's root colour depends on fewer real
+	// leaves plus always-blue artificial nodes; the exact probability must
+	// majorise the unsprinkled one (the coupling) for every p.
+	d := BuildManual([]ManualLevel{
+		{{V: 20}, {V: 21}, {V: 22}},
+		{{V: 10, Children: [3]int{0, 1, 0}}, {V: 11, Children: [3]int{1, 2, 2}}},
+		{{V: 1, Children: [3]int{0, 1, 1}}},
+	})
+	s := d.Sprinkle(d.T())
+	for _, p := range []float64{0, 0.1, 0.3, 0.5, 0.8, 1} {
+		orig := d.ExactRootBlueProb(p)
+		spr := s.ExactRootBlueProb(p)
+		if spr < orig-1e-12 {
+			t.Errorf("p=%v: sprinkled %v < original %v (coupling violated)", p, spr, orig)
+		}
+	}
+}
+
+func TestExactMatchesMonteCarloOnRandomDAGs(t *testing.T) {
+	g := graph.Complete(10)
+	src := rng.New(5)
+	const p = 0.4
+	for s := 0; s < 10; s++ {
+		d := Build(g, src.Intn(10), 3, src)
+		if d.DistinctLeafCount() > 24 {
+			continue
+		}
+		exact := d.ExactRootBlueProb(p)
+		const trials = 4000
+		blue := 0
+		for i := 0; i < trials; i++ {
+			leaf := RandomLeafColouring(p, src)
+			if d.Colour(leaf).RootColour() == opinion.Blue {
+				blue++
+			}
+		}
+		emp := float64(blue) / trials
+		se := math.Sqrt(exact*(1-exact)/trials) + 1e-9
+		if math.Abs(emp-exact) > 5*se+0.01 {
+			t.Errorf("sample %d: exact %v vs MC %v", s, exact, emp)
+		}
+	}
+}
+
+func TestExactMonotoneInP(t *testing.T) {
+	g := graph.Complete(8)
+	d := Build(g, 0, 3, rng.New(9))
+	prev := -1.0
+	for p := 0.0; p <= 1.0001; p += 0.1 {
+		cur := d.ExactRootBlueProb(p)
+		if cur < prev-1e-12 {
+			t.Fatalf("exact probability not monotone at p=%v", p)
+		}
+		prev = cur
+	}
+}
+
+func TestExactPanicsOnTooManyLeaves(t *testing.T) {
+	g := graph.NewKn(1 << 12)
+	d := Build(g, 0, 3, rng.New(10)) // ~27 distinct leaves almost surely
+	if d.DistinctLeafCount() <= 24 {
+		t.Skip("sampled DAG unexpectedly small")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("oversized enumeration did not panic")
+		}
+	}()
+	d.ExactRootBlueProb(0.5)
+}
+
+func BenchmarkExactRootBlueProb(b *testing.B) {
+	g := graph.Complete(12)
+	d := Build(g, 0, 3, rng.New(1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.ExactRootBlueProb(0.4)
+	}
+}

@@ -1,0 +1,53 @@
+package votingdag
+
+import "fmt"
+
+// ManualLevel describes one level of a hand-built DAG: each entry is a
+// node's graph vertex and (for levels above 0) its three child indices.
+type ManualLevel []ManualNode
+
+// ManualNode is one node of a hand-built DAG level.
+type ManualNode struct {
+	V        int
+	Children [3]int
+}
+
+// BuildManual constructs a DAG from explicit levels, leaves first; the last
+// level must contain exactly one node (the root). Collision slots are
+// derived the same way Build derives them: scanning each level's nodes in
+// order and slot order, a child reference is a collision slot if that child
+// was already referenced. This makes hand-built figures (such as the
+// paper's Figure 1) behave identically to sampled DAGs under Sprinkle.
+func BuildManual(levels []ManualLevel) *DAG {
+	if len(levels) == 0 {
+		panic("votingdag: BuildManual needs at least one level")
+	}
+	if len(levels[len(levels)-1]) != 1 {
+		panic("votingdag: top level must have exactly one node")
+	}
+	d := &DAG{Levels: make([][]Node, len(levels))}
+	d.Root = levels[len(levels)-1][0].V
+	for t, lvl := range levels {
+		d.Levels[t] = make([]Node, len(lvl))
+		for i, mn := range lvl {
+			d.Levels[t][i] = Node{V: int32(mn.V)}
+		}
+		if t == 0 {
+			continue
+		}
+		seen := make(map[int]bool, 3*len(lvl))
+		for i, mn := range lvl {
+			for slot, c := range mn.Children {
+				if c < 0 || c >= len(levels[t-1]) {
+					panic(fmt.Sprintf("votingdag: node %d at level %d: child %d out of range", i, t, c))
+				}
+				d.Levels[t][i].Children[slot] = int32(c)
+				if seen[c] {
+					d.Levels[t][i].CollisionSlot[slot] = true
+				}
+				seen[c] = true
+			}
+		}
+	}
+	return d
+}

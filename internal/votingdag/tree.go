@@ -1,0 +1,207 @@
+package votingdag
+
+import (
+	"fmt"
+
+	"repro/internal/opinion"
+)
+
+// This file implements the ternary-tree machinery of Section 4.
+//
+// Lemma 5: in a ternary tree of h+1 levels, a Blue root forces at least 2^h
+// Blue leaves (each Blue node needs ≥ 2 Blue children).
+//
+// Lemma 6: any coloured voting-DAG of h+1 levels can be expanded into a
+// ternary tree of h+1 levels whose root gets the same colour and whose
+// Blue-leaf count is at most B₀·2^C, where B₀ is the DAG's Blue-leaf count
+// and C its number of collision levels. ExpandToTree performs that
+// construction literally, duplicating shared sub-DAGs.
+
+// TernaryRoot computes the root colour of a complete ternary tree of
+// height h from its 3^h leaf colours (left-to-right order). It panics if
+// len(leaves) != 3^h for any integer h >= 0.
+func TernaryRoot(leaves []opinion.Colour) opinion.Colour {
+	n := len(leaves)
+	if n == 0 {
+		panic("votingdag: TernaryRoot needs at least one leaf")
+	}
+	cur := append([]opinion.Colour(nil), leaves...)
+	for len(cur) > 1 {
+		if len(cur)%3 != 0 {
+			panic(fmt.Sprintf("votingdag: %d leaves is not a power of three", n))
+		}
+		next := make([]opinion.Colour, len(cur)/3)
+		for i := range next {
+			blues := 0
+			for j := 0; j < 3; j++ {
+				if cur[3*i+j] == opinion.Blue {
+					blues++
+				}
+			}
+			if blues >= 2 {
+				next[i] = opinion.Blue
+			} else {
+				next[i] = opinion.Red
+			}
+		}
+		cur = next
+	}
+	return cur[0]
+}
+
+// MinBlueLeavesForBlueRoot returns the Lemma 5 threshold 2^h: a ternary
+// tree of h+1 levels whose root is Blue has at least this many Blue leaves.
+func MinBlueLeavesForBlueRoot(h int) int {
+	if h < 0 {
+		panic("votingdag: negative height")
+	}
+	return 1 << h
+}
+
+// TreeExpansion is the result of the Lemma 6 construction.
+type TreeExpansion struct {
+	// RootColour is the colour the expanded ternary tree assigns to its
+	// root; Lemma 6 guarantees it equals the DAG root's colour.
+	RootColour opinion.Colour
+	// BlueLeaves is the number of Blue leaves in the expanded tree.
+	BlueLeaves int
+	// Height is the tree height h (the tree has Height+1 levels).
+	Height int
+}
+
+// ExpandToTree applies the Lemma 6 construction to an *unsprinkled* DAG
+// coloured by cols: it produces the parameters of a ternary tree of the
+// same height whose root colour matches the DAG's root colour, counting
+// Blue leaves without materialising the (exponential) tree.
+//
+// The construction follows the lemma's induction: at a node whose three
+// child slots contain a duplicated child (a within-node collision), the
+// tree places two copies of the duplicate's expansion plus one all-Red
+// ternary tree; otherwise it places the three children's expansions side
+// by side. Memoisation is impossible because copies must be counted
+// separately, but the recursion visits each DAG node at most 3^T times and
+// the experiments use small T.
+func (d *DAG) ExpandToTree(cols Colouring) TreeExpansion {
+	if d.ArtificialCount() > 0 {
+		panic("votingdag: ExpandToTree requires an unsprinkled DAG")
+	}
+	h := d.T()
+	col, blue := d.expand(cols, h, 0)
+	return TreeExpansion{RootColour: col, BlueLeaves: blue, Height: h}
+}
+
+// expand returns the expanded-tree root colour and Blue-leaf count of the
+// sub-DAG rooted at node i of level t.
+func (d *DAG) expand(cols Colouring, t int, i int32) (opinion.Colour, int) {
+	if t == 0 {
+		c := cols[0][i]
+		if c == opinion.Blue {
+			return c, 1
+		}
+		return c, 0
+	}
+	nd := &d.Levels[t][i]
+	c0, c1, c2 := nd.Children[0], nd.Children[1], nd.Children[2]
+	// Case i) of the lemma: a duplicated child decides the majority alone.
+	var dup int32 = -1
+	switch {
+	case c0 == c1 || c0 == c2:
+		dup = c0
+	case c1 == c2:
+		dup = c1
+	}
+	if dup >= 0 {
+		col, blue := d.expand(cols, t-1, dup)
+		// Two copies of the duplicate's tree plus one all-Red ternary tree:
+		// root colour = majority(col, col, red-tree root) = col.
+		return col, 2 * blue
+	}
+	// Case ii): three distinct children.
+	colA, blueA := d.expand(cols, t-1, c0)
+	colB, blueB := d.expand(cols, t-1, c1)
+	colC, blueC := d.expand(cols, t-1, c2)
+	blues := 0
+	for _, c := range []opinion.Colour{colA, colB, colC} {
+		if c == opinion.Blue {
+			blues++
+		}
+	}
+	col := opinion.Red
+	if blues >= 2 {
+		col = opinion.Blue
+	}
+	return col, blueA + blueB + blueC
+}
+
+// Lemma6Bound returns B₀·2^C, the Lemma 6 upper bound on the expanded
+// tree's Blue leaves as stated in the paper, where B₀ is the DAG's
+// Blue-leaf count under cols and C its collision-level count. The returned
+// value saturates at MaxInt on overflow.
+//
+// Reproduction note: the stated bound is valid when every collision level
+// has maximum in-multiplicity 2 (each coalesced node shared by at most two
+// reveals), which is the typical case on the paper's dense graphs where
+// collisions are rare. When three or more reveals coalesce on one node at
+// a single level, the leaf's path multiplicity triples while 2^C accounts
+// for one doubling; the always-valid bound is PathCountBound. The
+// experiment suite measures both.
+func (d *DAG) Lemma6Bound(cols Colouring) int {
+	b0 := d.BlueLeaves(cols)
+	c := d.CollisionLevelCount()
+	if c > 60 {
+		return maxInt
+	}
+	bound := b0 << uint(c)
+	if b0 != 0 && bound/b0 != 1<<uint(c) {
+		return maxInt
+	}
+	return bound
+}
+
+const maxInt = int(^uint(0) >> 1)
+
+// MaxInDegreePerLevel returns, for each level t = 1..T, the maximum
+// in-multiplicity of level t−1 nodes: how many child slots of level-t nodes
+// point at a single level t−1 node. Index 0 is 1 by convention. A level is
+// collision-free exactly when its entry is 1.
+func (d *DAG) MaxInDegreePerLevel() []int {
+	out := make([]int, len(d.Levels))
+	out[0] = 1
+	for t := 1; t < len(d.Levels); t++ {
+		indeg := make([]int, len(d.Levels[t-1]))
+		for _, nd := range d.Levels[t] {
+			if nd.Artificial {
+				continue
+			}
+			for _, c := range nd.Children {
+				indeg[c]++
+			}
+		}
+		max := 1
+		for _, v := range indeg {
+			if v > max {
+				max = v
+			}
+		}
+		out[t] = max
+	}
+	return out
+}
+
+// PathCountBound returns B₀·∏ₜ maxInDegree(t), the always-valid analogue
+// of the Lemma 6 bound: a leaf appears in the expanded tree once per
+// directed root-to-leaf path, and the number of such paths is at most the
+// product of per-level maximum in-multiplicities. Saturates at MaxInt.
+func (d *DAG) PathCountBound(cols Colouring) int {
+	bound := d.BlueLeaves(cols)
+	for _, m := range d.MaxInDegreePerLevel() {
+		if m <= 1 || bound == 0 {
+			continue
+		}
+		if bound > maxInt/m {
+			return maxInt
+		}
+		bound *= m
+	}
+	return bound
+}
