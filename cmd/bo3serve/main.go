@@ -1,0 +1,90 @@
+// Command bo3serve runs the Best-of-Three engine as a long-running
+// HTTP/JSON simulation service (see internal/serve for the API).
+//
+// Usage:
+//
+//	bo3serve -addr :8080 -workers 8 -cache 32 -seed 1
+//
+// Jobs are accepted on POST /v1/runs, executed on a bounded worker pool
+// with an LRU-cached graph pool, and polled on GET /v1/runs/{id}. SIGINT
+// or SIGTERM starts a graceful shutdown: the listener stops, in-flight
+// jobs get -drain to finish, then the rest are cancelled.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/serve"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("bo3serve: ")
+
+	var (
+		addr      = flag.String("addr", ":8080", "listen address")
+		workers   = flag.Int("workers", 0, "concurrent jobs (0 = GOMAXPROCS)")
+		queue     = flag.Int("queue", 256, "job backlog before submissions are rejected")
+		cacheCap  = flag.Int("cache", 16, "graph-pool capacity in graphs")
+		rootSeed  = flag.Uint64("seed", 1, "root seed for jobs that omit one")
+		trialPar  = flag.Int("trial-workers", 0, "per-job trial parallelism (0 = GOMAXPROCS/workers)")
+		retention = flag.Int("retention", 0, "finished jobs kept queryable (0 = 1024)")
+		maxN      = flag.Int("maxn", 0, "largest admissible graph (0 = default limit)")
+		maxTrials = flag.Int("maxtrials", 0, "largest admissible trial count (0 = default limit)")
+		drain     = flag.Duration("drain", 30*time.Second, "graceful-shutdown budget before jobs are cancelled")
+	)
+	flag.Parse()
+
+	limits := serve.DefaultLimits()
+	if *maxN > 0 {
+		limits.MaxN = *maxN
+	}
+	if *maxTrials > 0 {
+		limits.MaxTrials = *maxTrials
+	}
+	mgr := serve.NewManager(serve.Config{
+		Workers:          *workers,
+		QueueDepth:       *queue,
+		CacheCapacity:    *cacheCap,
+		RootSeed:         *rootSeed,
+		TrialParallelism: *trialPar,
+		Retention:        *retention,
+		Limits:           limits,
+	})
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           serve.NewServer(mgr),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	log.Printf("listening on %s", *addr)
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case sig := <-sigc:
+		log.Printf("received %v, draining for up to %v", sig, *drain)
+	case err := <-errc:
+		log.Fatal(err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		log.Printf("http shutdown: %v", err)
+	}
+	if err := mgr.Close(ctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		log.Printf("manager shutdown: %v", err)
+	}
+	log.Print("bye")
+}

@@ -1,0 +1,193 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sync"
+	"time"
+
+	"repro/internal/serve"
+	"repro/internal/stats"
+	"repro/internal/table"
+)
+
+// loadTest replays a δ-sweep through a running bo3serve instance: every
+// (n, δ) cell becomes one POST /v1/runs job, polled to completion. The
+// sweep visits each topology once per δ, so all but the first job per
+// topology should hit the server's graph pool; the run ends by printing
+// the per-cell results, client-side latency quantiles, and the server's
+// /v1/stats counters so cache behaviour is visible.
+func loadTest(base string, quick bool, trials, concurrency int, seed uint64) error {
+	client := &http.Client{Timeout: 10 * time.Minute}
+	if err := checkHealth(client, base); err != nil {
+		return err
+	}
+
+	ns := []int{1 << 10, 1 << 12, 1 << 14}
+	deltas := []float64{0.02, 0.05, 0.1, 0.2}
+	if quick {
+		ns = []int{1 << 9, 1 << 10}
+		deltas = []float64{0.05, 0.2}
+	}
+	if trials <= 0 {
+		trials = 20
+		if quick {
+			trials = 8
+		}
+	}
+	if concurrency <= 0 {
+		concurrency = 4
+	}
+
+	type cell struct {
+		n     int
+		delta float64
+		view  serve.JobView
+		rtt   time.Duration
+		err   error
+	}
+	cells := make([]cell, 0, len(ns)*len(deltas))
+	for _, n := range ns {
+		for _, d := range deltas {
+			cells = append(cells, cell{n: n, delta: d})
+		}
+	}
+
+	start := time.Now()
+	sem := make(chan struct{}, concurrency)
+	var wg sync.WaitGroup
+	for i := range cells {
+		wg.Add(1)
+		go func(c *cell) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			req := serve.RunRequest{
+				Graph: serve.GraphSpec{Family: "random-regular", N: c.n, D: 32, Seed: seed},
+				Delta: c.delta,
+				// Same per-topology seed on purpose: every δ-cell after
+				// the first reuses the pooled graph.
+				Seed:   seed + uint64(c.n)<<8 + uint64(c.delta*1000),
+				Trials: trials,
+			}
+			t0 := time.Now()
+			c.view, c.err = submitAndPoll(client, base, req)
+			c.rtt = time.Since(t0)
+		}(&cells[i])
+	}
+	wg.Wait()
+	wall := time.Since(start)
+
+	t := table.New(fmt.Sprintf("bo3serve load test against %s (random-regular d=32, %d trials/job)", base, trials),
+		"n", "delta", "state", "red wins", "consensus", "mean rounds", "cache hit", "latency")
+	var lat []float64
+	failures := 0
+	totalTrials := 0
+	for _, c := range cells {
+		if c.err != nil {
+			failures++
+			t.AddRow(c.n, c.delta, "error: "+c.err.Error(), "-", "-", "-", "-", c.rtt.Round(time.Millisecond))
+			continue
+		}
+		lat = append(lat, c.rtt.Seconds())
+		r := c.view.Result
+		if c.view.State != serve.StateDone || r == nil {
+			failures++
+			t.AddRow(c.n, c.delta, c.view.State, "-", "-", "-", "-", c.rtt.Round(time.Millisecond))
+			continue
+		}
+		totalTrials += r.Trials
+		t.AddRow(c.n, c.delta, c.view.State,
+			fmt.Sprintf("%d/%d", r.RedWins, r.Trials),
+			fmt.Sprintf("%d/%d", r.Consensus, r.Trials),
+			fmt.Sprintf("%.1f", r.MeanRounds), r.CacheHit,
+			c.rtt.Round(time.Millisecond))
+	}
+	fmt.Println()
+	if err := t.Render(os.Stdout); err != nil {
+		return err
+	}
+	fmt.Printf("\n%d jobs (%d failed), %d trials, wall %v, %.1f trials/s\n",
+		len(cells), failures, totalTrials, wall.Round(time.Millisecond),
+		float64(totalTrials)/wall.Seconds())
+	if len(lat) > 0 {
+		fmt.Printf("job latency p50 %.0fms  p90 %.0fms  max %.0fms\n",
+			stats.Quantile(lat, 0.5)*1000, stats.Quantile(lat, 0.9)*1000, stats.Quantile(lat, 1)*1000)
+	}
+	if srvStats, err := fetchStats(client, base); err == nil {
+		fmt.Printf("server: %d completed, graph cache %d/%d hits, %d evictions\n",
+			srvStats.Completed, srvStats.Cache.Hits, srvStats.Cache.Hits+srvStats.Cache.Misses,
+			srvStats.Cache.Evictions)
+	}
+	if failures > 0 {
+		return fmt.Errorf("%d/%d jobs failed", failures, len(cells))
+	}
+	return nil
+}
+
+func checkHealth(client *http.Client, base string) error {
+	resp, err := client.Get(base + "/healthz")
+	if err != nil {
+		return fmt.Errorf("bo3serve not reachable at %s: %w", base, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("bo3serve health check returned %s", resp.Status)
+	}
+	return nil
+}
+
+// submitAndPoll posts one job and polls it to a terminal state.
+func submitAndPoll(client *http.Client, base string, req serve.RunRequest) (serve.JobView, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return serve.JobView{}, err
+	}
+	resp, err := client.Post(base+"/v1/runs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return serve.JobView{}, err
+	}
+	var view serve.JobView
+	if err := decodeJSON(resp, http.StatusAccepted, &view); err != nil {
+		return serve.JobView{}, err
+	}
+	for backoff := 10 * time.Millisecond; ; backoff = min(backoff*2, time.Second) {
+		switch view.State {
+		case serve.StateDone, serve.StateFailed, serve.StateCancelled:
+			if view.State != serve.StateDone {
+				return view, fmt.Errorf("job %s ended %s: %s", view.ID, view.State, view.Error)
+			}
+			return view, nil
+		}
+		time.Sleep(backoff)
+		resp, err := client.Get(base + "/v1/runs/" + view.ID)
+		if err != nil {
+			return view, err
+		}
+		if err := decodeJSON(resp, http.StatusOK, &view); err != nil {
+			return view, err
+		}
+	}
+}
+
+func fetchStats(client *http.Client, base string) (serve.Stats, error) {
+	var s serve.Stats
+	resp, err := client.Get(base + "/v1/stats")
+	if err != nil {
+		return s, err
+	}
+	return s, decodeJSON(resp, http.StatusOK, &s)
+}
+
+func decodeJSON(resp *http.Response, wantStatus int, v any) error {
+	defer resp.Body.Close()
+	if resp.StatusCode != wantStatus {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<10))
+		return fmt.Errorf("%s: %s", resp.Status, bytes.TrimSpace(msg))
+	}
+	return json.NewDecoder(resp.Body).Decode(v)
+}

@@ -1,5 +1,5 @@
 // Command bo3sweep regenerates the full reproduction suite (experiments
-// E1–E13 of DESIGN.md) and prints one table per experiment, in the format
+// E1–E21 of DESIGN.md) and prints one table per experiment, in the format
 // recorded in EXPERIMENTS.md.
 //
 // Usage:
@@ -8,6 +8,12 @@
 //	bo3sweep -quick          # reduced scale (seconds)
 //	bo3sweep -only E1,E7     # subset
 //	bo3sweep -csv out/       # additionally write CSV files
+//
+// With -serve it instead replays a δ-sweep through a running bo3serve
+// instance as a load test, exercising the HTTP API and the server's graph
+// pool:
+//
+//	bo3sweep -serve http://localhost:8080 -quick -concurrency 8
 package main
 
 import (
@@ -40,8 +46,17 @@ func main() {
 		maxN    = flag.Int("maxn", 0, "override largest graph size")
 		seed    = flag.Uint64("seed", 1, "experiment seed")
 		workers = flag.Int("workers", 0, "harness parallelism (0 = GOMAXPROCS)")
+		serve   = flag.String("serve", "", "bo3serve base URL: replay the sweep through the HTTP API as a load test")
+		conc    = flag.Int("concurrency", 4, "concurrent jobs in -serve mode")
 	)
 	flag.Parse()
+
+	if *serve != "" {
+		if err := loadTest(*serve, *quick, *trials, *conc, *seed); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 
 	cfg := experiments.Default()
 	if *quick {

@@ -26,6 +26,14 @@
 // experiment harness (internal/sim, internal/experiments).
 //
 // Every quantitative claim of the paper has a reproduction experiment
-// (E1–E21 in DESIGN.md), regenerable via cmd/bo3sweep or the benchmarks in
-// bench_test.go; EXPERIMENTS.md records paper-vs-measured outcomes.
+// (E1–E21, catalogued in DESIGN.md), regenerable via cmd/bo3sweep or the
+// benchmarks in bench_test.go; EXPERIMENTS.md records paper-vs-measured
+// outcomes.
+//
+// The engine also runs as a long-lived service: cmd/bo3serve exposes
+// simulation jobs over HTTP/JSON (internal/serve), executing them on a
+// bounded worker pool with an LRU-cached graph pool and per-job seed
+// derivation, so repeated sweeps over one topology skip the generator
+// path while staying exactly reproducible. cmd/bo3sweep -serve replays a
+// sweep through a running instance as a load test.
 package repro

@@ -164,3 +164,20 @@ func (s *Source) Shuffle(n int, swap func(i, j int)) {
 func (s *Source) Jump() *Source {
 	return NewFrom(s.Uint64(), s.Uint64())
 }
+
+// ChildSeed deterministically derives a 64-bit seed from a parent seed and
+// a path of labels, by folding each label into a splitmix64 walk. Distinct
+// (seed, labels...) paths yield well-separated seeds, so a service can hand
+// every job a seed derived from (serverSeed, jobIndex) and every trial a
+// seed derived from (jobSeed, trialIndex) while keeping the whole tree
+// reproducible from the root seed alone. ChildSeed(s) with no labels is a
+// plain one-step mix of s.
+func ChildSeed(seed uint64, labels ...uint64) uint64 {
+	x := seed
+	out := splitmix64(&x)
+	for _, l := range labels {
+		x ^= l * 0xd1342543de82ef95 // odd multiplier spreads small labels
+		out = splitmix64(&x)
+	}
+	return out
+}

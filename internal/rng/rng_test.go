@@ -1,6 +1,7 @@
 package rng
 
 import (
+	"fmt"
 	"math"
 	"testing"
 	"testing/quick"
@@ -463,4 +464,38 @@ func BenchmarkBinomialLarge(b *testing.B) {
 		sink += s.Binomial(100000, 0.4)
 	}
 	_ = sink
+}
+
+func TestChildSeedDeterministicAndDistinct(t *testing.T) {
+	if ChildSeed(1, 2, 3) != ChildSeed(1, 2, 3) {
+		t.Fatal("ChildSeed is not deterministic")
+	}
+	seen := map[uint64]string{}
+	record := func(name string, s uint64) {
+		if prev, ok := seen[s]; ok {
+			t.Fatalf("ChildSeed collision: %s and %s both map to %d", prev, name, s)
+		}
+		seen[s] = name
+	}
+	// Small labels, sibling paths, and path-vs-prefix must all separate.
+	for i := uint64(0); i < 100; i++ {
+		record(fmt.Sprintf("(7,%d)", i), ChildSeed(7, i))
+	}
+	record("(7)", ChildSeed(7))
+	record("(7,0,0)", ChildSeed(7, 0, 0))
+	record("(8,0)", ChildSeed(8, 0))
+}
+
+func TestChildSeedStreamsIndependent(t *testing.T) {
+	a := New(ChildSeed(1, 0))
+	b := New(ChildSeed(1, 1))
+	same := 0
+	for i := 0; i < 64; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Errorf("sibling child streams agreed on %d/64 draws", same)
+	}
 }

@@ -1,0 +1,137 @@
+package serve
+
+import (
+	"container/list"
+	"sync"
+
+	"repro/internal/core"
+)
+
+// GraphCache is an LRU pool of built topologies keyed by GraphSpec.Key().
+// Sweeps typically hammer one (family, n, d, seed) point with many (δ,
+// rule, trials) variations; the expensive generator path — random-regular
+// pairing-model retries, G(n,p) sampling — then runs once per topology
+// instead of once per job.
+//
+// Concurrent requests for the same key are coalesced: one caller builds,
+// the rest wait for its result, so a burst of identical submissions cannot
+// stampede the generator. Built graphs are immutable (the engine only
+// reads them), so a single shared instance serves any number of jobs.
+type GraphCache struct {
+	mu       sync.Mutex
+	capacity int
+	ll       *list.List               // front = most recently used
+	items    map[string]*list.Element // key -> *entry element
+	building map[string]*buildCall
+
+	hits, misses, evictions int64
+}
+
+type entry struct {
+	key string
+	g   core.Topology
+}
+
+// buildCall coalesces concurrent builds of one key.
+type buildCall struct {
+	done chan struct{}
+	g    core.Topology
+	err  error
+}
+
+// CacheStats is a counter snapshot.
+type CacheStats struct {
+	Size      int   `json:"size"`
+	Capacity  int   `json:"capacity"`
+	Hits      int64 `json:"hits"`
+	Misses    int64 `json:"misses"`
+	Evictions int64 `json:"evictions"`
+}
+
+// NewGraphCache returns a pool holding at most capacity graphs (minimum 1).
+func NewGraphCache(capacity int) *GraphCache {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &GraphCache{
+		capacity: capacity,
+		ll:       list.New(),
+		items:    make(map[string]*list.Element),
+		building: make(map[string]*buildCall),
+	}
+}
+
+// Get returns the graph for the spec, building it on a miss. The second
+// return reports whether the graph came from the pool (true) or was built
+// by this call or a concurrent one (false).
+func (c *GraphCache) Get(spec GraphSpec) (core.Topology, bool, error) {
+	key := spec.Key()
+
+	c.mu.Lock()
+	if el, ok := c.items[key]; ok {
+		c.ll.MoveToFront(el)
+		c.hits++
+		g := el.Value.(*entry).g
+		c.mu.Unlock()
+		return g, true, nil
+	}
+	c.misses++
+	if call, ok := c.building[key]; ok {
+		// Someone else is already building this key; wait for them.
+		c.mu.Unlock()
+		<-call.done
+		return call.g, false, call.err
+	}
+	call := &buildCall{done: make(chan struct{})}
+	c.building[key] = call
+	c.mu.Unlock()
+
+	call.g, call.err = spec.build()
+	close(call.done)
+
+	c.mu.Lock()
+	delete(c.building, key)
+	if call.err == nil {
+		c.insert(key, call.g)
+	}
+	c.mu.Unlock()
+	return call.g, false, call.err
+}
+
+// insert adds the entry and evicts from the LRU tail; callers hold c.mu.
+func (c *GraphCache) insert(key string, g core.Topology) {
+	if el, ok := c.items[key]; ok {
+		c.ll.MoveToFront(el)
+		el.Value.(*entry).g = g
+		return
+	}
+	c.items[key] = c.ll.PushFront(&entry{key: key, g: g})
+	for c.ll.Len() > c.capacity {
+		back := c.ll.Back()
+		c.ll.Remove(back)
+		delete(c.items, back.Value.(*entry).key)
+		c.evictions++
+	}
+}
+
+// Contains reports whether the key is resident, without touching LRU order
+// or counters. Exposed for tests.
+func (c *GraphCache) Contains(spec GraphSpec) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	_, ok := c.items[spec.Key()]
+	return ok
+}
+
+// Stats returns a counter snapshot.
+func (c *GraphCache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{
+		Size:      c.ll.Len(),
+		Capacity:  c.capacity,
+		Hits:      c.hits,
+		Misses:    c.misses,
+		Evictions: c.evictions,
+	}
+}

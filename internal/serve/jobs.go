@@ -1,0 +1,468 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/rng"
+	"repro/internal/sim"
+	"repro/internal/theory"
+)
+
+// Limits bound what a single request may ask of the server.
+type Limits struct {
+	// MaxN is the largest admissible vertex count.
+	MaxN int
+	// MaxEdges is the largest admissible materialised edge count.
+	MaxEdges int64
+	// MaxTrials caps trials per job.
+	MaxTrials int
+	// MaxRounds caps the per-run round budget a client may request.
+	MaxRounds int
+}
+
+// DefaultLimits are sized for a few GiB of RAM: the largest admissible CSR
+// graph is ~1 GiB of adjacency.
+func DefaultLimits() Limits {
+	return Limits{
+		MaxN:      1 << 22,
+		MaxEdges:  1 << 27,
+		MaxTrials: 4096,
+		MaxRounds: 1 << 20,
+	}
+}
+
+// Config configures a Manager.
+type Config struct {
+	// Workers is the number of jobs executed concurrently (0 =
+	// GOMAXPROCS).
+	Workers int
+	// QueueDepth is the bounded backlog; submissions beyond it are
+	// rejected with ErrQueueFull (0 = 256).
+	QueueDepth int
+	// CacheCapacity is the graph-pool size in graphs (0 = 16).
+	CacheCapacity int
+	// RootSeed derives job seeds for requests that leave Seed zero:
+	// job k gets rng.ChildSeed(RootSeed, k). The effective seed is
+	// recorded in the result, so such jobs stay reproducible.
+	RootSeed uint64
+	// TrialParallelism is the per-job sim worker count. 0 derives
+	// max(1, GOMAXPROCS/Workers) so that the whole pool running
+	// multi-trial jobs keeps total trial goroutines near GOMAXPROCS
+	// instead of Workers × GOMAXPROCS.
+	TrialParallelism int
+	// Retention caps how many finished jobs stay queryable; the oldest
+	// finished jobs beyond it are evicted (0 = 1024).
+	Retention int
+	// Limits defaults to DefaultLimits when zero.
+	Limits Limits
+}
+
+// Sentinel errors mapped to HTTP status codes by the handlers.
+var (
+	// ErrQueueFull rejects submissions when the backlog is at capacity.
+	ErrQueueFull = errors.New("serve: job queue is full")
+	// ErrClosed rejects submissions after shutdown has begun.
+	ErrClosed = errors.New("serve: manager is shut down")
+)
+
+// job is the internal mutable record behind a JobView.
+type job struct {
+	id       string
+	seq      uint64
+	req      RunRequest
+	state    string
+	err      error
+	result   *RunResult
+	created  time.Time
+	started  time.Time
+	finished time.Time
+	cancel   context.CancelFunc // set while running
+}
+
+// Manager owns the job table, the bounded worker pool, and the graph pool.
+// All exported methods are safe for concurrent use.
+type Manager struct {
+	cfg   Config
+	cache *GraphCache
+
+	baseCtx    context.Context
+	cancelBase context.CancelFunc
+	queue      chan *job
+	wg         sync.WaitGroup
+
+	mu     sync.Mutex
+	closed bool
+	jobs   map[string]*job
+	order  []string // submission order, for listing
+	seq    uint64
+
+	// Counters; guarded by mu.
+	completed, failed, cancelled, rejected int64
+	trialsRun, roundsRun                   int64
+	queued, running                        int
+	startTime                              time.Time
+}
+
+// NewManager starts the worker pool and returns the manager.
+func NewManager(cfg Config) *Manager {
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 256
+	}
+	if cfg.CacheCapacity <= 0 {
+		cfg.CacheCapacity = 16
+	}
+	if cfg.TrialParallelism <= 0 {
+		cfg.TrialParallelism = max(1, runtime.GOMAXPROCS(0)/cfg.Workers)
+	}
+	if cfg.Retention <= 0 {
+		cfg.Retention = 1024
+	}
+	if cfg.Limits == (Limits{}) {
+		cfg.Limits = DefaultLimits()
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	m := &Manager{
+		cfg:        cfg,
+		cache:      NewGraphCache(cfg.CacheCapacity),
+		baseCtx:    ctx,
+		cancelBase: cancel,
+		queue:      make(chan *job, cfg.QueueDepth),
+		jobs:       make(map[string]*job),
+		startTime:  time.Now(),
+	}
+	for i := 0; i < cfg.Workers; i++ {
+		m.wg.Add(1)
+		go m.worker()
+	}
+	return m
+}
+
+// Cache exposes the graph pool (for stats and tests).
+func (m *Manager) Cache() *GraphCache { return m.cache }
+
+// Submit validates the request, assigns an ID, and enqueues the job. The
+// returned view is in state "queued". A full queue fails fast with
+// ErrQueueFull rather than blocking the client.
+func (m *Manager) Submit(req RunRequest) (JobView, error) {
+	if err := req.validate(m.cfg.Limits); err != nil {
+		m.mu.Lock()
+		m.rejected++
+		m.mu.Unlock()
+		return JobView{}, err
+	}
+	m.mu.Lock()
+	if m.closed {
+		m.rejected++
+		m.mu.Unlock()
+		return JobView{}, ErrClosed
+	}
+	j := &job{
+		id:      fmt.Sprintf("run-%06d", m.seq),
+		seq:     m.seq,
+		req:     req,
+		state:   StateQueued,
+		created: time.Now(),
+	}
+	select {
+	case m.queue <- j:
+		// The sequence number (= Stats.Submitted) only advances for jobs
+		// actually accepted, so IDs stay gapless and the counters
+		// reconcile: submitted = queued + running + terminal states.
+		m.seq++
+		m.jobs[j.id] = j
+		m.order = append(m.order, j.id)
+		m.queued++
+		m.pruneLocked()
+		v := m.viewLocked(j)
+		m.mu.Unlock()
+		return v, nil
+	default:
+		m.rejected++
+		m.mu.Unlock()
+		return JobView{}, ErrQueueFull
+	}
+}
+
+// pruneLocked evicts the oldest finished jobs beyond the retention cap so
+// a long-lived server does not accumulate every job ever run; callers
+// hold m.mu. Queued and running jobs are never evicted.
+func (m *Manager) pruneLocked() {
+	excess := len(m.order) - m.cfg.Retention
+	if excess <= 0 {
+		return
+	}
+	kept := m.order[:0]
+	for _, id := range m.order {
+		j := m.jobs[id]
+		if excess > 0 && (j.state == StateDone || j.state == StateFailed || j.state == StateCancelled) {
+			delete(m.jobs, id)
+			excess--
+			continue
+		}
+		kept = append(kept, id)
+	}
+	m.order = kept
+}
+
+// Get returns a snapshot of the job.
+func (m *Manager) Get(id string) (JobView, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.jobs[id]
+	if !ok {
+		return JobView{}, false
+	}
+	return m.viewLocked(j), true
+}
+
+// List returns snapshots of the most recent jobs, newest first, up to max
+// (0 = 100).
+func (m *Manager) List(max int) []JobView {
+	if max <= 0 {
+		max = 100
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]JobView, 0, min(max, len(m.order)))
+	for i := len(m.order) - 1; i >= 0 && len(out) < max; i-- {
+		out = append(out, m.viewLocked(m.jobs[m.order[i]]))
+	}
+	return out
+}
+
+// Cancel requests cancellation of a queued or running job. It returns the
+// post-cancel snapshot, or ok = false for an unknown ID. Cancelling a
+// finished job is a no-op.
+func (m *Manager) Cancel(id string) (JobView, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.jobs[id]
+	if !ok {
+		return JobView{}, false
+	}
+	switch j.state {
+	case StateQueued:
+		// The worker that eventually pops it observes the state and drops
+		// it without running.
+		j.state = StateCancelled
+		j.finished = time.Now()
+		m.queued--
+		m.cancelled++
+	case StateRunning:
+		j.cancel() // the worker finalises state when the run returns
+	}
+	return m.viewLocked(j), true
+}
+
+// Stats returns a counter snapshot including the graph pool's.
+func (m *Manager) Stats() Stats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return Stats{
+		Submitted:     int64(m.seq),
+		Completed:     m.completed,
+		Failed:        m.failed,
+		Cancelled:     m.cancelled,
+		Rejected:      m.rejected,
+		Queued:        m.queued,
+		Running:       m.running,
+		TrialsRun:     m.trialsRun,
+		RoundsRun:     m.roundsRun,
+		Cache:         m.cache.Stats(),
+		UptimeSeconds: time.Since(m.startTime).Seconds(),
+		Workers:       m.cfg.Workers,
+	}
+}
+
+// Close shuts the manager down: no new submissions are accepted, queued
+// and running jobs are given until ctx expires to drain, then everything
+// still in flight is cancelled. Close always waits for the workers to
+// exit; it returns ctx.Err() if the deadline forced cancellation.
+func (m *Manager) Close(ctx context.Context) error {
+	m.mu.Lock()
+	if !m.closed {
+		m.closed = true
+		close(m.queue)
+	}
+	m.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		m.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		m.cancelBase()
+		<-done
+		return ctx.Err()
+	}
+}
+
+// viewLocked snapshots a job; callers hold m.mu. The result pointer is
+// shared but written exactly once before the state becomes done, so
+// readers never observe mutation.
+func (m *Manager) viewLocked(j *job) JobView {
+	v := JobView{
+		ID:      j.id,
+		State:   j.state,
+		Request: j.req,
+		Result:  j.result,
+		Created: j.created,
+	}
+	if j.err != nil {
+		v.Error = j.err.Error()
+	}
+	if !j.started.IsZero() {
+		t := j.started
+		v.Started = &t
+	}
+	if !j.finished.IsZero() {
+		t := j.finished
+		v.Finished = &t
+	}
+	return v
+}
+
+// worker drains the queue until Close.
+func (m *Manager) worker() {
+	defer m.wg.Done()
+	for j := range m.queue {
+		m.mu.Lock()
+		if j.state != StateQueued { // cancelled while queued
+			m.mu.Unlock()
+			continue
+		}
+		ctx, cancel := context.WithCancel(m.baseCtx)
+		j.state = StateRunning
+		j.started = time.Now()
+		j.cancel = cancel
+		m.queued--
+		m.running++
+		m.mu.Unlock()
+
+		result, err := m.run(ctx, j)
+		cancel()
+
+		m.mu.Lock()
+		j.finished = time.Now()
+		j.cancel = nil
+		m.running--
+		switch {
+		case err == nil:
+			j.state = StateDone
+			j.result = result
+			m.completed++
+			m.trialsRun += int64(result.Trials)
+			for _, r := range result.Reports {
+				m.roundsRun += int64(r.Rounds)
+			}
+		case errors.Is(err, context.Canceled):
+			j.state = StateCancelled
+			m.cancelled++
+		default:
+			j.state = StateFailed
+			j.err = err
+			m.failed++
+		}
+		m.mu.Unlock()
+	}
+}
+
+// run executes one job: fetch the graph from the pool, fan the trials out
+// over the sim harness with per-trial seeds derived from the job seed, and
+// aggregate.
+func (m *Manager) run(ctx context.Context, j *job) (*RunResult, error) {
+	req := j.req
+	g, cacheHit, err := m.cache.Get(req.Graph)
+	if err != nil {
+		return nil, err
+	}
+	rule, err := req.Rule.rule()
+	if err != nil {
+		return nil, err
+	}
+	jobSeed := req.Seed
+	if jobSeed == 0 {
+		jobSeed = rng.ChildSeed(m.cfg.RootSeed, j.seq)
+	}
+
+	// A single-trial job parallelises inside the engine; multi-trial jobs
+	// parallelise across trials with a sequential engine per trial, which
+	// avoids oversubscribing the scheduler.
+	engineWorkers := 0
+	if req.Trials > 1 {
+		engineWorkers = 1
+	}
+
+	start := time.Now()
+	reports := make([]TrialReport, req.Trials)
+	var trialMu sync.Mutex
+	var trialErr error
+	_, err = sim.RunOutcomesContext(ctx, req.Trials, jobSeed, m.cfg.TrialParallelism,
+		func(i int, _ *rng.Source) sim.Outcome {
+			rep, rerr := core.RunBestOfThree(g, req.Delta, core.Options{
+				Seed:      rng.ChildSeed(jobSeed, uint64(i)),
+				MaxRounds: req.MaxRounds,
+				Workers:   engineWorkers,
+				Rule:      rule,
+			})
+			if rerr != nil {
+				trialMu.Lock()
+				if trialErr == nil {
+					trialErr = rerr
+				}
+				trialMu.Unlock()
+				return sim.Outcome{}
+			}
+			reports[i] = TrialReport{RedWon: rep.RedWon, Consensus: rep.Consensus, Rounds: rep.Rounds}
+			return sim.Outcome{Rounds: float64(rep.Rounds), Win: rep.RedWon}
+		})
+	if err != nil {
+		return nil, err
+	}
+	if trialErr != nil {
+		return nil, trialErr
+	}
+
+	pre := core.CheckPrecondition(g, req.Delta)
+	res := &RunResult{
+		Trials:          req.Trials,
+		PredictedRounds: theory.PredictedRounds(g.N(), float64(g.MinDegree()), math.Max(req.Delta, 1e-6)),
+		Precondition:    pre.String(),
+		PreconditionOK:  pre.Satisfied(),
+		Seed:            jobSeed,
+		GraphName:       g.Name(),
+		Rule:            rule.Name(),
+		CacheHit:        cacheHit,
+		ElapsedMS:       time.Since(start).Milliseconds(),
+		Reports:         reports,
+	}
+	var roundSum int
+	for _, r := range reports {
+		if r.RedWon {
+			res.RedWins++
+		}
+		if r.Consensus {
+			res.Consensus++
+		}
+		roundSum += r.Rounds
+		if r.Rounds > res.MaxRounds {
+			res.MaxRounds = r.Rounds
+		}
+	}
+	res.MeanRounds = float64(roundSum) / float64(req.Trials)
+	return res, nil
+}

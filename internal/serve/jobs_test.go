@@ -1,0 +1,348 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+// waitState polls until the job reaches a terminal state.
+func waitState(t *testing.T, m *Manager, id string) JobView {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		v, ok := m.Get(id)
+		if !ok {
+			t.Fatalf("job %s disappeared", id)
+		}
+		switch v.State {
+		case StateDone, StateFailed, StateCancelled:
+			return v
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("job %s did not finish", id)
+	return JobView{}
+}
+
+func smallRun(seed uint64) RunRequest {
+	return RunRequest{
+		Graph:  GraphSpec{Family: "complete-virtual", N: 200},
+		Delta:  0.2,
+		Trials: 4,
+		Seed:   seed,
+	}
+}
+
+func TestManagerRunsJobToCompletion(t *testing.T) {
+	m := NewManager(Config{Workers: 2})
+	defer m.Close(context.Background())
+
+	v, err := m.Submit(smallRun(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	v = waitState(t, m, v.ID)
+	if v.State != StateDone || v.Result == nil {
+		t.Fatalf("state = %s, error = %q", v.State, v.Error)
+	}
+	r := v.Result
+	if r.Trials != 4 || len(r.Reports) != 4 {
+		t.Fatalf("result = %+v, want 4 trials with reports", r)
+	}
+	// On K_200 with δ = 0.2 the initial majority wins essentially always.
+	if r.RedWins == 0 || r.Consensus == 0 {
+		t.Errorf("red_wins = %d, consensus = %d; expected wins on an easy instance", r.RedWins, r.Consensus)
+	}
+	if r.Seed != 7 {
+		t.Errorf("effective seed = %d, want the requested 7", r.Seed)
+	}
+}
+
+func TestManagerDeterministicReplay(t *testing.T) {
+	m := NewManager(Config{Workers: 4})
+	defer m.Close(context.Background())
+
+	req := RunRequest{
+		Graph:  GraphSpec{Family: "random-regular", N: 512, D: 16, Seed: 5},
+		Delta:  0.05,
+		Trials: 8,
+		Seed:   99,
+	}
+	a, err := m.Submit(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := m.Submit(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ra := waitState(t, m, a.ID).Result
+	rb := waitState(t, m, b.ID).Result
+	if ra == nil || rb == nil {
+		t.Fatal("missing results")
+	}
+	for i := range ra.Reports {
+		if ra.Reports[i] != rb.Reports[i] {
+			t.Fatalf("trial %d differs across identical jobs: %+v vs %+v", i, ra.Reports[i], rb.Reports[i])
+		}
+	}
+}
+
+func TestManagerAssignsSeedWhenOmitted(t *testing.T) {
+	m := NewManager(Config{Workers: 1, RootSeed: 42})
+	defer m.Close(context.Background())
+	v, err := m.Submit(smallRun(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := waitState(t, m, v.ID).Result
+	if r == nil || r.Seed == 0 {
+		t.Fatalf("expected a derived non-zero effective seed, got %+v", r)
+	}
+}
+
+func TestManagerRejectsInvalidRequests(t *testing.T) {
+	m := NewManager(Config{Workers: 1})
+	defer m.Close(context.Background())
+	for name, req := range map[string]RunRequest{
+		"bad delta":      {Graph: spec(10), Delta: 0.7},
+		"bad family":     {Graph: GraphSpec{Family: "petersen", N: 10}, Delta: 0.1},
+		"missing n":      {Graph: GraphSpec{Family: "cycle"}, Delta: 0.1},
+		"odd nd":         {Graph: GraphSpec{Family: "random-regular", N: 9, D: 3}, Delta: 0.1},
+		"too many runs":  {Graph: spec(10), Delta: 0.1, Trials: 1 << 30},
+		"dim overflow":   {Graph: GraphSpec{Family: "hypercube", Dim: 63}, Delta: 0.1},
+		"dim wraparound": {Graph: GraphSpec{Family: "hypercube", Dim: 64}, Delta: 0.1},
+		"torus overflow": {Graph: GraphSpec{Family: "torus", Rows: 1 << 32, Cols: 1 << 32}, Delta: 0.1},
+	} {
+		if _, err := m.Submit(req); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+	s := m.Stats()
+	if s.Rejected != 8 {
+		t.Errorf("rejected = %d, want 8", s.Rejected)
+	}
+	if s.Submitted != 0 {
+		t.Errorf("submitted = %d after only rejections, want 0", s.Submitted)
+	}
+}
+
+func TestManagerPrunesFinishedJobs(t *testing.T) {
+	m := NewManager(Config{Workers: 2, Retention: 3})
+	defer m.Close(context.Background())
+	var ids []string
+	for i := 0; i < 6; i++ {
+		v, err := m.Submit(smallRun(uint64(i + 1)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, v.ID)
+		waitState(t, m, v.ID)
+	}
+	if len(m.List(0)) > 3 {
+		t.Errorf("list has %d entries, want <= retention 3", len(m.List(0)))
+	}
+	if _, ok := m.Get(ids[0]); ok {
+		t.Error("oldest finished job survived pruning")
+	}
+	if v, ok := m.Get(ids[5]); !ok || v.State != StateDone {
+		t.Error("newest job was pruned")
+	}
+	// Counters survive eviction.
+	if s := m.Stats(); s.Completed != 6 || s.Submitted != 6 {
+		t.Errorf("stats = %+v, want 6 submitted/completed", s)
+	}
+}
+
+func TestManagerCancelRunningJob(t *testing.T) {
+	m := NewManager(Config{Workers: 1, TrialParallelism: 1})
+	defer m.Close(context.Background())
+
+	// Many fast trials: cancellation lands between trials.
+	v, err := m.Submit(RunRequest{
+		Graph:  GraphSpec{Family: "cycle", N: 4096},
+		Delta:  0.0,
+		Trials: 2000,
+		// Cap rounds so each trial is quick but the batch is long.
+		MaxRounds: 50,
+		Seed:      1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Wait for it to start, then cancel.
+	for {
+		cur, _ := m.Get(v.ID)
+		if cur.State != StateQueued {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if _, ok := m.Cancel(v.ID); !ok {
+		t.Fatal("cancel: unknown job")
+	}
+	final := waitState(t, m, v.ID)
+	if final.State != StateCancelled && final.State != StateDone {
+		t.Fatalf("state = %s after cancel", final.State)
+	}
+	if final.State == StateDone {
+		t.Log("job finished before cancellation landed (slow machine); state done is acceptable")
+	}
+}
+
+func TestManagerCancelQueuedJob(t *testing.T) {
+	m := NewManager(Config{Workers: 1, TrialParallelism: 1})
+	defer m.Close(context.Background())
+
+	// Occupy the single worker...
+	blocker, err := m.Submit(RunRequest{
+		Graph: GraphSpec{Family: "cycle", N: 4096}, Delta: 0, Trials: 500, MaxRounds: 100, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ...then queue a victim and cancel it before it runs.
+	victim, err := m.Submit(smallRun(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok := m.Cancel(victim.ID)
+	if !ok {
+		t.Fatal("cancel: unknown job")
+	}
+	if got.State != StateCancelled && got.State != StateRunning && got.State != StateDone {
+		t.Fatalf("state = %s", got.State)
+	}
+	m.Cancel(blocker.ID)
+	waitState(t, m, blocker.ID)
+	final := waitState(t, m, victim.ID)
+	if got.State == StateCancelled && final.State != StateCancelled {
+		t.Errorf("cancelled-while-queued job later became %s", final.State)
+	}
+	if final.State == StateCancelled && final.Result != nil {
+		t.Error("cancelled job has a result")
+	}
+}
+
+func TestManagerQueueFull(t *testing.T) {
+	m := NewManager(Config{Workers: 1, QueueDepth: 1, TrialParallelism: 1})
+	defer m.Close(context.Background())
+	slow := RunRequest{
+		Graph: GraphSpec{Family: "cycle", N: 4096}, Delta: 0, Trials: 500, MaxRounds: 100, Seed: 1,
+	}
+	var sawFull bool
+	var ids []string
+	for i := 0; i < 10; i++ {
+		v, err := m.Submit(slow)
+		if errors.Is(err, ErrQueueFull) {
+			sawFull = true
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, v.ID)
+	}
+	if !sawFull {
+		t.Error("10 submissions into a depth-1 queue never saw ErrQueueFull")
+	}
+	for _, id := range ids {
+		m.Cancel(id)
+	}
+}
+
+func TestManagerCloseRejectsAndDrains(t *testing.T) {
+	m := NewManager(Config{Workers: 2})
+	v, err := m.Submit(smallRun(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Close(context.Background()); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	if _, err := m.Submit(smallRun(12)); !errors.Is(err, ErrClosed) {
+		t.Errorf("submit after close: err = %v, want ErrClosed", err)
+	}
+	// The pre-close job must have drained to done.
+	final, _ := m.Get(v.ID)
+	if final.State != StateDone {
+		t.Errorf("pre-close job state = %s, want done", final.State)
+	}
+	// Closing again is idempotent.
+	if err := m.Close(context.Background()); err != nil {
+		t.Errorf("second close: %v", err)
+	}
+}
+
+func TestManagerCloseDeadlineCancelsInFlight(t *testing.T) {
+	m := NewManager(Config{Workers: 1, TrialParallelism: 1})
+	v, err := m.Submit(RunRequest{
+		Graph: GraphSpec{Family: "cycle", N: 1 << 14}, Delta: 0, Trials: 4096, MaxRounds: 500, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	if err := m.Close(ctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("close: err = %v, want deadline exceeded", err)
+	}
+	final, _ := m.Get(v.ID)
+	if final.State != StateCancelled && final.State != StateDone {
+		t.Errorf("in-flight job state = %s after forced close", final.State)
+	}
+}
+
+// TestManagerConcurrentChurn is the race-detector workout: submissions,
+// polls, stats, and cancels all interleaving.
+func TestManagerConcurrentChurn(t *testing.T) {
+	m := NewManager(Config{Workers: 4, QueueDepth: 512, TrialParallelism: 2})
+	defer m.Close(context.Background())
+
+	const clients = 8
+	var wg sync.WaitGroup
+	ids := make(chan string, clients*10)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := 0; i < 10; i++ {
+				v, err := m.Submit(RunRequest{
+					Graph:  GraphSpec{Family: "complete-virtual", N: 100 + c},
+					Delta:  0.2,
+					Trials: 2,
+					Seed:   uint64(c*100 + i + 1),
+				})
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				ids <- v.ID
+				m.Get(v.ID)
+				m.Stats()
+				m.List(5)
+				if i%4 == 3 {
+					m.Cancel(v.ID)
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	close(ids)
+	for id := range ids {
+		v := waitState(t, m, id)
+		if v.State == StateFailed {
+			t.Errorf("job %s failed: %s", id, v.Error)
+		}
+	}
+	s := m.Stats()
+	if s.Submitted != clients*10 {
+		t.Errorf("submitted = %d, want %d", s.Submitted, clients*10)
+	}
+	if s.Completed+s.Cancelled != clients*10 {
+		t.Errorf("completed %d + cancelled %d != %d", s.Completed, s.Cancelled, clients*10)
+	}
+}

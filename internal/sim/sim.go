@@ -1,9 +1,16 @@
 // Package sim is the multi-trial experiment harness: it fans independent
 // trials of a simulation out over a worker pool, gives every trial its own
 // deterministic RNG stream, and aggregates the results.
+//
+// Every runner has a context-aware variant (RunTrialsContext,
+// RunOutcomesContext) that stops claiming new trials once the context is
+// cancelled and returns the partial results together with ctx.Err(); this
+// is what lets the bo3serve job manager cancel queued work and shut down
+// gracefully without abandoning goroutines.
 package sim
 
 import (
+	"context"
 	"runtime"
 	"sync"
 
@@ -14,14 +21,14 @@ import (
 // dedicated RNG source and returns one float64 measurement.
 type Trial func(i int, src *rng.Source) float64
 
-// RunTrials executes n independent trials, parallelised over workers
-// goroutines (0 = GOMAXPROCS), and returns the n measurements in trial
-// order. Every trial i draws randomness only from its own stream derived
-// from (seed, i), so results are independent of scheduling and worker
-// count.
-func RunTrials(n int, seed uint64, workers int, trial Trial) []float64 {
+// runIndexed executes n indexed trials over a worker pool. Trial i always
+// receives the stream derived from (seed, i), so results are independent of
+// scheduling and worker count. When ctx is cancelled, workers stop claiming
+// new indices; already-started trials run to completion, untouched slots
+// keep their zero value, and ctx.Err() is returned.
+func runIndexed[T any](ctx context.Context, n int, seed uint64, workers int, trial func(i int, src *rng.Source) T) ([]T, error) {
 	if n <= 0 {
-		return nil
+		return nil, ctx.Err()
 	}
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -29,7 +36,7 @@ func RunTrials(n int, seed uint64, workers int, trial Trial) []float64 {
 	if workers > n {
 		workers = n
 	}
-	out := make([]float64, n)
+	out := make([]T, n)
 	var next int
 	var mu sync.Mutex
 	var wg sync.WaitGroup
@@ -38,6 +45,9 @@ func RunTrials(n int, seed uint64, workers int, trial Trial) []float64 {
 		go func() {
 			defer wg.Done()
 			for {
+				if ctx.Err() != nil {
+					return
+				}
 				mu.Lock()
 				i := next
 				next++
@@ -50,7 +60,24 @@ func RunTrials(n int, seed uint64, workers int, trial Trial) []float64 {
 		}()
 	}
 	wg.Wait()
+	return out, ctx.Err()
+}
+
+// RunTrials executes n independent trials, parallelised over workers
+// goroutines (0 = GOMAXPROCS), and returns the n measurements in trial
+// order. Every trial i draws randomness only from its own stream derived
+// from (seed, i), so results are independent of scheduling and worker
+// count.
+func RunTrials(n int, seed uint64, workers int, trial Trial) []float64 {
+	out, _ := runIndexed(context.Background(), n, seed, workers, trial)
 	return out
+}
+
+// RunTrialsContext is RunTrials with cancellation: when ctx is cancelled it
+// stops claiming new trials and returns the partial measurements (untouched
+// slots are zero) along with ctx.Err().
+func RunTrialsContext(ctx context.Context, n int, seed uint64, workers int, trial Trial) ([]float64, error) {
+	return runIndexed(ctx, n, seed, workers, trial)
 }
 
 // Outcome is a generic per-trial record for experiments that measure more
@@ -65,37 +92,14 @@ type Outcome struct {
 
 // RunOutcomes is RunTrials for Outcome-valued trials.
 func RunOutcomes(n int, seed uint64, workers int, trial func(i int, src *rng.Source) Outcome) []Outcome {
-	if n <= 0 {
-		return nil
-	}
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > n {
-		workers = n
-	}
-	out := make([]Outcome, n)
-	var next int
-	var mu sync.Mutex
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				mu.Lock()
-				i := next
-				next++
-				mu.Unlock()
-				if i >= n {
-					return
-				}
-				out[i] = trial(i, rng.NewFrom(seed, uint64(i)))
-			}
-		}()
-	}
-	wg.Wait()
+	out, _ := runIndexed(context.Background(), n, seed, workers, trial)
 	return out
+}
+
+// RunOutcomesContext is RunOutcomes with cancellation, mirroring
+// RunTrialsContext.
+func RunOutcomesContext(ctx context.Context, n int, seed uint64, workers int, trial func(i int, src *rng.Source) Outcome) ([]Outcome, error) {
+	return runIndexed(ctx, n, seed, workers, trial)
 }
 
 // Wins counts the outcomes with Win set.

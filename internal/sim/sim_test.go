@@ -1,6 +1,8 @@
 package sim
 
 import (
+	"context"
+	"sync/atomic"
 	"testing"
 
 	"repro/internal/rng"
@@ -82,5 +84,69 @@ func TestRunOutcomesAndHelpers(t *testing.T) {
 	}
 	if out := RunOutcomes(0, 1, 1, nil); out != nil {
 		t.Error("zero outcomes should return nil")
+	}
+}
+
+func TestRunTrialsContextCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	out, err := RunTrialsContext(ctx, 100, 7, 4, func(i int, src *rng.Source) float64 {
+		return 1
+	})
+	if err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	done := 0
+	for _, v := range out {
+		if v != 0 {
+			done++
+		}
+	}
+	// A pre-cancelled context may still let the first claimed trials run
+	// (workers check before claiming), but must not run the whole batch.
+	if done > 8 {
+		t.Errorf("%d/100 trials ran under a cancelled context", done)
+	}
+}
+
+func TestRunTrialsContextMidFlight(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var started atomic.Int64
+	out, err := RunTrialsContext(ctx, 1000, 7, 4, func(i int, src *rng.Source) float64 {
+		if started.Add(1) == 10 {
+			cancel()
+		}
+		return 1
+	})
+	if err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if len(out) != 1000 {
+		t.Fatalf("len = %d", len(out))
+	}
+	done := 0
+	for _, v := range out {
+		if v != 0 {
+			done++
+		}
+	}
+	if done >= 1000 {
+		t.Error("cancellation mid-flight did not stop the batch")
+	}
+}
+
+func TestRunOutcomesContextMatchesRunOutcomes(t *testing.T) {
+	trial := func(i int, src *rng.Source) Outcome {
+		return Outcome{Rounds: float64(src.Uint64n(100)), Win: i%2 == 0}
+	}
+	a := RunOutcomes(40, 3, 4, trial)
+	b, err := RunOutcomesContext(context.Background(), 40, 3, 2, trial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("outcome %d differs: %+v vs %+v", i, a[i], b[i])
+		}
 	}
 }
