@@ -1,0 +1,29 @@
+#!/bin/sh
+# Fails if a route registered in internal/serve is missing from the wire
+# reference in docs/API.md, so the docs cannot silently fall behind the
+# handler table. Routes are the "METHOD /path" literals passed to
+# mux.HandleFunc; the docs must contain each one verbatim (they appear as
+# "## METHOD /path" section headings).
+set -eu
+cd "$(dirname "$0")/.."
+
+routes=$(sed -n 's/.*HandleFunc("\([A-Z]* [^"]*\)".*/\1/p' internal/serve/serve.go)
+if [ -z "$routes" ]; then
+    echo "check-api-docs: no routes found in internal/serve/serve.go (pattern drift?)" >&2
+    exit 1
+fi
+
+missing=0
+while IFS= read -r route; do
+    # Exact heading match: substring search would let "GET /v1/sweeps"
+    # ride on the "## GET /v1/sweeps/{id}" heading after its own section
+    # is deleted.
+    if ! grep -qxF "## $route" docs/API.md; then
+        echo "check-api-docs: route \"$route\" is registered in internal/serve/serve.go but has no \"## $route\" section in docs/API.md" >&2
+        missing=1
+    fi
+done <<EOF
+$routes
+EOF
+
+exit $missing

@@ -1,14 +1,19 @@
 // Command bo3serve runs the Best-of-Three engine as a long-running
-// HTTP/JSON simulation service (see internal/serve for the API).
+// HTTP/JSON simulation service (see internal/serve and docs/API.md for
+// the API).
 //
 // Usage:
 //
 //	bo3serve -addr :8080 -workers 8 -cache 32 -seed 1
 //
 // Jobs are accepted on POST /v1/runs, executed on a bounded worker pool
-// with an LRU-cached graph pool, and polled on GET /v1/runs/{id}. SIGINT
-// or SIGTERM starts a graceful shutdown: the listener stops, in-flight
-// jobs get -drain to finish, then the rest are cancelled.
+// with an LRU-cached graph pool, and polled on GET /v1/runs/{id}.
+// Parameter grids are accepted on POST /v1/sweeps, expanded server-side
+// into child runs (at most -max-grid cells, at most -sweep-concurrency in
+// flight per sweep), and streamed back as NDJSON on
+// GET /v1/sweeps/{id}/results. SIGINT or SIGTERM starts a graceful
+// shutdown: the listener stops, in-flight jobs get -drain to finish, then
+// the rest are cancelled.
 package main
 
 import (
@@ -39,6 +44,8 @@ func main() {
 		retention = flag.Int("retention", 0, "finished jobs kept queryable (0 = 1024)")
 		maxN      = flag.Int("maxn", 0, "largest admissible graph (0 = default limit)")
 		maxTrials = flag.Int("maxtrials", 0, "largest admissible trial count (0 = default limit)")
+		maxGrid   = flag.Int("max-grid", 0, "largest admissible sweep-grid expansion in cells (0 = default limit)")
+		sweepConc = flag.Int("sweep-concurrency", 0, "in-flight child runs per sweep (0 = workers)")
 		drain     = flag.Duration("drain", 30*time.Second, "graceful-shutdown budget before jobs are cancelled")
 	)
 	flag.Parse()
@@ -50,6 +57,9 @@ func main() {
 	if *maxTrials > 0 {
 		limits.MaxTrials = *maxTrials
 	}
+	if *maxGrid > 0 {
+		limits.MaxSweepCells = *maxGrid
+	}
 	mgr := serve.NewManager(serve.Config{
 		Workers:          *workers,
 		QueueDepth:       *queue,
@@ -57,6 +67,7 @@ func main() {
 		RootSeed:         *rootSeed,
 		TrialParallelism: *trialPar,
 		Retention:        *retention,
+		SweepConcurrency: *sweepConc,
 		Limits:           limits,
 	})
 	srv := &http.Server{

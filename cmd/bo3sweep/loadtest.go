@@ -15,20 +15,12 @@ import (
 	"repro/internal/table"
 )
 
-// loadTest replays a δ-sweep through a running bo3serve instance: every
-// (n, δ) cell becomes one POST /v1/runs job, polled to completion. The
-// sweep visits each topology once per δ, so all but the first job per
-// topology should hit the server's graph pool; the run ends by printing
-// the per-cell results, client-side latency quantiles, and the server's
-// /v1/stats counters so cache behaviour is visible.
-func loadTest(base string, quick bool, trials, concurrency int, seed uint64) error {
-	client := &http.Client{Timeout: 10 * time.Minute}
-	if err := checkHealth(client, base); err != nil {
-		return err
-	}
-
-	ns := []int{1 << 10, 1 << 12, 1 << 14}
-	deltas := []float64{0.02, 0.05, 0.1, 0.2}
+// loadGrid is the shared n × δ grid both -serve (one /v1/sweeps call) and
+// -serve-runs (N individual /v1/runs calls) replay, so their wall clocks
+// are directly comparable.
+func loadGrid(quick bool, trials int) (ns []int, deltas []float64, effTrials int) {
+	ns = []int{1 << 10, 1 << 12, 1 << 14}
+	deltas = []float64{0.02, 0.05, 0.1, 0.2}
 	if quick {
 		ns = []int{1 << 9, 1 << 10}
 		deltas = []float64{0.05, 0.2}
@@ -39,6 +31,24 @@ func loadTest(base string, quick bool, trials, concurrency int, seed uint64) err
 			trials = 8
 		}
 	}
+	return ns, deltas, trials
+}
+
+// loadTest replays the grid through a running bo3serve instance the
+// pre-sweep way: every (n, δ) cell becomes one POST /v1/runs job, polled
+// to completion — N round-trips plus polling. The sweep visits each
+// topology once per δ, so all but the first job per topology should hit
+// the server's graph pool; the run ends by printing the per-cell results,
+// client-side latency quantiles, and the server's /v1/stats counters so
+// cache behaviour is visible. Kept behind -serve-runs as the baseline the
+// server-side orchestration of sweepTest is measured against.
+func loadTest(base string, quick bool, trials, concurrency int, seed uint64) error {
+	client := &http.Client{Timeout: 10 * time.Minute}
+	if err := checkHealth(client, base); err != nil {
+		return err
+	}
+
+	ns, deltas, trials := loadGrid(quick, trials)
 	if concurrency <= 0 {
 		concurrency = 4
 	}

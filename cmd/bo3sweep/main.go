@@ -10,10 +10,13 @@
 //	bo3sweep -csv out/       # additionally write CSV files
 //
 // With -serve it instead replays a δ-sweep through a running bo3serve
-// instance as a load test, exercising the HTTP API and the server's graph
-// pool:
+// instance as a load test, submitting the whole grid as one POST
+// /v1/sweeps request and tailing the NDJSON results stream; -serve-runs
+// replays the same grid the pre-sweep way (one POST /v1/runs per cell,
+// polled), for measuring the batching speedup:
 //
 //	bo3sweep -serve http://localhost:8080 -quick -concurrency 8
+//	bo3sweep -serve-runs http://localhost:8080 -quick -concurrency 8
 package main
 
 import (
@@ -39,20 +42,30 @@ func main() {
 	log.SetPrefix("bo3sweep: ")
 
 	var (
-		quick   = flag.Bool("quick", false, "reduced scale (seconds instead of minutes)")
-		only    = flag.String("only", "", "comma-separated experiment ids to run (default: all)")
-		csvDir  = flag.String("csv", "", "directory to write per-experiment CSV files")
-		trials  = flag.Int("trials", 0, "override trial count")
-		maxN    = flag.Int("maxn", 0, "override largest graph size")
-		seed    = flag.Uint64("seed", 1, "experiment seed")
-		workers = flag.Int("workers", 0, "harness parallelism (0 = GOMAXPROCS)")
-		serve   = flag.String("serve", "", "bo3serve base URL: replay the sweep through the HTTP API as a load test")
-		conc    = flag.Int("concurrency", 4, "concurrent jobs in -serve mode")
+		quick     = flag.Bool("quick", false, "reduced scale (seconds instead of minutes)")
+		only      = flag.String("only", "", "comma-separated experiment ids to run (default: all)")
+		csvDir    = flag.String("csv", "", "directory to write per-experiment CSV files")
+		trials    = flag.Int("trials", 0, "override trial count")
+		maxN      = flag.Int("maxn", 0, "override largest graph size")
+		seed      = flag.Uint64("seed", 1, "experiment seed")
+		workers   = flag.Int("workers", 0, "harness parallelism (0 = GOMAXPROCS)")
+		serve     = flag.String("serve", "", "bo3serve base URL: replay the grid as one server-side /v1/sweeps request")
+		serveRuns = flag.String("serve-runs", "", "bo3serve base URL: replay the grid as per-cell /v1/runs requests (pre-sweep baseline)")
+		conc      = flag.Int("concurrency", 4, "concurrent cells in -serve / -serve-runs mode")
 	)
 	flag.Parse()
 
+	if *serve != "" && *serveRuns != "" {
+		log.Fatal("-serve and -serve-runs are mutually exclusive")
+	}
 	if *serve != "" {
-		if err := loadTest(*serve, *quick, *trials, *conc, *seed); err != nil {
+		if err := sweepTest(*serve, *quick, *trials, *conc, *seed); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	if *serveRuns != "" {
+		if err := loadTest(*serveRuns, *quick, *trials, *conc, *seed); err != nil {
 			log.Fatal(err)
 		}
 		return

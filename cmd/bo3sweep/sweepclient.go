@@ -1,0 +1,121 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"time"
+
+	"repro/internal/serve"
+	"repro/internal/table"
+)
+
+// sweepTest replays the load-test grid through a running bo3serve instance
+// as ONE server-side sweep: a single POST /v1/sweeps expands the n × δ
+// grid into child runs on the server, and the NDJSON results stream is
+// tailed until the final aggregate arrives — no per-cell round-trips and
+// no polling, which is the batching win over the -serve-runs path.
+func sweepTest(base string, quick bool, trials, concurrency int, seed uint64) error {
+	client := &http.Client{Timeout: 10 * time.Minute}
+	if err := checkHealth(client, base); err != nil {
+		return err
+	}
+
+	ns, deltas, trials := loadGrid(quick, trials)
+	req := serve.SweepRequest{
+		Grid: serve.SweepGrid{
+			// Same per-topology seed as the per-run path on purpose: every
+			// δ-cell after the first reuses the pooled graph.
+			Graphs: []serve.GraphSpec{{Family: "random-regular", D: 32, Seed: seed}},
+			NS:     ns,
+			Deltas: deltas,
+			Trials: []int{trials},
+		},
+		Seed:        seed,
+		Concurrency: concurrency,
+	}
+
+	start := time.Now()
+	body, err := json.Marshal(req)
+	if err != nil {
+		return err
+	}
+	resp, err := client.Post(base+"/v1/sweeps", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	var accepted serve.SweepView
+	if err := decodeJSON(resp, http.StatusAccepted, &accepted); err != nil {
+		return fmt.Errorf("submit sweep: %w", err)
+	}
+
+	// Tail the stream: one long-lived GET replaces per-job polling.
+	stream, err := client.Get(base + "/v1/sweeps/" + accepted.ID + "/results")
+	if err != nil {
+		return err
+	}
+	defer stream.Body.Close()
+	if stream.StatusCode != http.StatusOK {
+		return fmt.Errorf("results stream returned %s", stream.Status)
+	}
+
+	t := table.New(fmt.Sprintf("bo3serve sweep %s against %s (random-regular d=32, %d trials/cell)", accepted.ID, base, trials),
+		"n", "delta", "state", "red wins", "consensus", "mean rounds", "cache hit")
+	var final *serve.SweepView
+	failures, totalTrials := 0, 0
+	sc := bufio.NewScanner(stream.Body)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<22) // the final event carries the aggregate
+	for sc.Scan() {
+		var ev serve.SweepEvent
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			return fmt.Errorf("bad NDJSON line: %w", err)
+		}
+		switch {
+		case ev.Cell != nil:
+			c := ev.Cell
+			if c.State != serve.StateDone || c.Result == nil {
+				failures++
+				t.AddRow(c.Request.Graph.N, c.Request.Delta, c.State+": "+c.Error, "-", "-", "-", "-")
+				continue
+			}
+			r := c.Result
+			totalTrials += r.Trials
+			t.AddRow(c.Request.Graph.N, c.Request.Delta, c.State,
+				fmt.Sprintf("%d/%d", r.RedWins, r.Trials),
+				fmt.Sprintf("%d/%d", r.Consensus, r.Trials),
+				fmt.Sprintf("%.1f", r.MeanRounds), r.CacheHit)
+		case ev.Sweep != nil:
+			final = ev.Sweep
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	wall := time.Since(start)
+
+	fmt.Println()
+	if err := t.Render(os.Stdout); err != nil {
+		return err
+	}
+	if final == nil {
+		return fmt.Errorf("stream ended without the final sweep event")
+	}
+	agg := final.Aggregate
+	fmt.Printf("\n1 sweep request, %d cells (%d failed, %d cancelled), %d trials, wall %v, %.1f trials/s\n",
+		agg.Cells, agg.Failed, agg.Cancelled, totalTrials, wall.Round(time.Millisecond),
+		float64(totalTrials)/wall.Seconds())
+	fmt.Printf("aggregate: red win rate %.3f [%.3f, %.3f], consensus rate %.3f, mean rounds %.1f\n",
+		agg.RedWinRate, agg.RedWinLo, agg.RedWinHi, agg.ConsensusRate, agg.MeanRounds)
+	if srvStats, err := fetchStats(client, base); err == nil {
+		fmt.Printf("server: %d completed, graph cache %d/%d hits, %d evictions\n",
+			srvStats.Completed, srvStats.Cache.Hits, srvStats.Cache.Hits+srvStats.Cache.Misses,
+			srvStats.Cache.Evictions)
+	}
+	if failures > 0 || final.State != serve.StateDone {
+		return fmt.Errorf("sweep ended %s with %d failed cells", final.State, failures)
+	}
+	return nil
+}

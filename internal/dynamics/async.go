@@ -43,7 +43,9 @@ func NewAsync(g Topology, rule Rule, init *opinion.Config, seed uint64) (*AsyncP
 	return &AsyncProcess{g: g, rule: rule, cfg: cfg, src: rng.New(seed), blues: cfg.Blues()}, nil
 }
 
-// Config returns the current configuration (aliased, do not mutate).
+// Config returns the current configuration. The returned value aliases
+// live process state — do not mutate it — and is updated in place by the
+// next Tick; Clone it to keep a snapshot.
 func (a *AsyncProcess) Config() *opinion.Config { return a.cfg }
 
 // Ticks returns the number of single-vertex updates performed.

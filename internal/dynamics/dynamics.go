@@ -208,8 +208,9 @@ func (p *Process) Rule() Rule { return p.rule }
 // Round returns the number of completed rounds.
 func (p *Process) Round() int { return p.round }
 
-// Config returns the current configuration. The returned value aliases the
-// process state and is invalidated by the next Step; Clone it to keep it.
+// Config returns the current configuration. The returned value aliases
+// live process state — do not mutate it — and is invalidated by the next
+// Step; Clone it to keep a snapshot.
 func (p *Process) Config() *opinion.Config { return p.cur }
 
 // Step performs one synchronous round. All vertices sample from the

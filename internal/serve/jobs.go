@@ -25,16 +25,20 @@ type Limits struct {
 	MaxTrials int
 	// MaxRounds caps the per-run round budget a client may request.
 	MaxRounds int
+	// MaxSweepCells caps how many child runs one sweep grid may expand
+	// into.
+	MaxSweepCells int
 }
 
 // DefaultLimits are sized for a few GiB of RAM: the largest admissible CSR
 // graph is ~1 GiB of adjacency.
 func DefaultLimits() Limits {
 	return Limits{
-		MaxN:      1 << 22,
-		MaxEdges:  1 << 27,
-		MaxTrials: 4096,
-		MaxRounds: 1 << 20,
+		MaxN:          1 << 22,
+		MaxEdges:      1 << 27,
+		MaxTrials:     4096,
+		MaxRounds:     1 << 20,
+		MaxSweepCells: 4096,
 	}
 }
 
@@ -58,8 +62,13 @@ type Config struct {
 	// instead of Workers × GOMAXPROCS.
 	TrialParallelism int
 	// Retention caps how many finished jobs stay queryable; the oldest
-	// finished jobs beyond it are evicted (0 = 1024).
+	// finished jobs beyond it are evicted (0 = 1024). Finished sweeps are
+	// retained under the same cap.
 	Retention int
+	// SweepConcurrency is the default cap on a sweep's in-flight child
+	// runs (0 = Workers). A sweep request may lower it per sweep, never
+	// raise it.
+	SweepConcurrency int
 	// Limits defaults to DefaultLimits when zero.
 	Limits Limits
 }
@@ -77,6 +86,7 @@ type job struct {
 	id       string
 	seq      uint64
 	req      RunRequest
+	sweep    string // owning sweep ID, "" for standalone runs
 	state    string
 	err      error
 	result   *RunResult
@@ -84,6 +94,7 @@ type job struct {
 	started  time.Time
 	finished time.Time
 	cancel   context.CancelFunc // set while running
+	done     chan struct{}      // closed exactly once, at the terminal transition
 }
 
 // Manager owns the job table, the bounded worker pool, and the graph pool.
@@ -97,17 +108,25 @@ type Manager struct {
 	queue      chan *job
 	wg         sync.WaitGroup
 
+	sweepWG sync.WaitGroup // sweep scheduler goroutines
+
 	mu     sync.Mutex
 	closed bool
 	jobs   map[string]*job
 	order  []string // submission order, for listing
 	seq    uint64
 
+	sweeps     map[string]*sweep
+	sweepOrder []string
+	sweepSeq   uint64
+
 	// Counters; guarded by mu.
-	completed, failed, cancelled, rejected int64
-	trialsRun, roundsRun                   int64
-	queued, running                        int
-	startTime                              time.Time
+	completed, failed, cancelled, rejected           int64
+	trialsRun, roundsRun                             int64
+	queued, running                                  int
+	sweepsCompleted, sweepsCancelled, sweepsRejected int64
+	sweepCellsFinished                               int64
+	startTime                                        time.Time
 }
 
 // NewManager starts the worker pool and returns the manager.
@@ -130,6 +149,12 @@ func NewManager(cfg Config) *Manager {
 	if cfg.Limits == (Limits{}) {
 		cfg.Limits = DefaultLimits()
 	}
+	if cfg.Limits.MaxSweepCells <= 0 {
+		cfg.Limits.MaxSweepCells = DefaultLimits().MaxSweepCells
+	}
+	if cfg.SweepConcurrency <= 0 {
+		cfg.SweepConcurrency = cfg.Workers
+	}
 	ctx, cancel := context.WithCancel(context.Background())
 	m := &Manager{
 		cfg:        cfg,
@@ -138,6 +163,7 @@ func NewManager(cfg Config) *Manager {
 		cancelBase: cancel,
 		queue:      make(chan *job, cfg.QueueDepth),
 		jobs:       make(map[string]*job),
+		sweeps:     make(map[string]*sweep),
 		startTime:  time.Now(),
 	}
 	for i := 0; i < cfg.Workers; i++ {
@@ -161,17 +187,32 @@ func (m *Manager) Submit(req RunRequest) (JobView, error) {
 		return JobView{}, err
 	}
 	m.mu.Lock()
-	if m.closed {
+	j, err := m.enqueueLocked(req, "")
+	if err != nil {
 		m.rejected++
 		m.mu.Unlock()
-		return JobView{}, ErrClosed
+		return JobView{}, err
+	}
+	v := m.viewLocked(j)
+	m.mu.Unlock()
+	return v, nil
+}
+
+// enqueueLocked creates the job record and places it on the bounded queue;
+// callers hold m.mu and have already validated the request. sweepID tags
+// child runs of a sweep ("" for standalone submissions).
+func (m *Manager) enqueueLocked(req RunRequest, sweepID string) (*job, error) {
+	if m.closed {
+		return nil, ErrClosed
 	}
 	j := &job{
 		id:      fmt.Sprintf("run-%06d", m.seq),
 		seq:     m.seq,
 		req:     req,
+		sweep:   sweepID,
 		state:   StateQueued,
 		created: time.Now(),
+		done:    make(chan struct{}),
 	}
 	select {
 	case m.queue <- j:
@@ -183,19 +224,19 @@ func (m *Manager) Submit(req RunRequest) (JobView, error) {
 		m.order = append(m.order, j.id)
 		m.queued++
 		m.pruneLocked()
-		v := m.viewLocked(j)
-		m.mu.Unlock()
-		return v, nil
+		return j, nil
 	default:
-		m.rejected++
-		m.mu.Unlock()
-		return JobView{}, ErrQueueFull
+		return nil, ErrQueueFull
 	}
 }
 
 // pruneLocked evicts the oldest finished jobs beyond the retention cap so
 // a long-lived server does not accumulate every job ever run; callers
-// hold m.mu. Queued and running jobs are never evicted.
+// hold m.mu. Queued and running jobs are never evicted, and neither are
+// children of a still-running sweep — a cap-sized grid can exceed the
+// retention cap, and evicting its finished cells mid-sweep would break
+// the per-trial drill-down (GET /v1/runs/{job_id}) the sweep view
+// promises. Such children become evictable once their sweep finishes.
 func (m *Manager) pruneLocked() {
 	excess := len(m.order) - m.cfg.Retention
 	if excess <= 0 {
@@ -204,7 +245,11 @@ func (m *Manager) pruneLocked() {
 	kept := m.order[:0]
 	for _, id := range m.order {
 		j := m.jobs[id]
-		if excess > 0 && (j.state == StateDone || j.state == StateFailed || j.state == StateCancelled) {
+		finished := j.state == StateDone || j.state == StateFailed || j.state == StateCancelled
+		if s, ok := m.sweeps[j.sweep]; ok && s.state == StateRunning {
+			finished = false
+		}
+		if excess > 0 && finished {
 			delete(m.jobs, id)
 			excess--
 			continue
@@ -250,6 +295,12 @@ func (m *Manager) Cancel(id string) (JobView, bool) {
 	if !ok {
 		return JobView{}, false
 	}
+	m.cancelJobLocked(j)
+	return m.viewLocked(j), true
+}
+
+// cancelJobLocked cancels one queued or running job; callers hold m.mu.
+func (m *Manager) cancelJobLocked(j *job) {
 	switch j.state {
 	case StateQueued:
 		// The worker that eventually pops it observes the state and drops
@@ -258,29 +309,41 @@ func (m *Manager) Cancel(id string) (JobView, bool) {
 		j.finished = time.Now()
 		m.queued--
 		m.cancelled++
+		close(j.done)
 	case StateRunning:
 		j.cancel() // the worker finalises state when the run returns
 	}
-	return m.viewLocked(j), true
 }
 
 // Stats returns a counter snapshot including the graph pool's.
 func (m *Manager) Stats() Stats {
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	active := 0
+	for _, s := range m.sweeps {
+		if s.state == StateRunning {
+			active++
+		}
+	}
 	return Stats{
-		Submitted:     int64(m.seq),
-		Completed:     m.completed,
-		Failed:        m.failed,
-		Cancelled:     m.cancelled,
-		Rejected:      m.rejected,
-		Queued:        m.queued,
-		Running:       m.running,
-		TrialsRun:     m.trialsRun,
-		RoundsRun:     m.roundsRun,
-		Cache:         m.cache.Stats(),
-		UptimeSeconds: time.Since(m.startTime).Seconds(),
-		Workers:       m.cfg.Workers,
+		Submitted:          int64(m.seq),
+		Completed:          m.completed,
+		Failed:             m.failed,
+		Cancelled:          m.cancelled,
+		Rejected:           m.rejected,
+		Queued:             m.queued,
+		Running:            m.running,
+		TrialsRun:          m.trialsRun,
+		RoundsRun:          m.roundsRun,
+		SweepsSubmitted:    int64(m.sweepSeq),
+		SweepsCompleted:    m.sweepsCompleted,
+		SweepsCancelled:    m.sweepsCancelled,
+		SweepsRejected:     m.sweepsRejected,
+		SweepsActive:       active,
+		SweepCellsFinished: m.sweepCellsFinished,
+		Cache:              m.cache.Stats(),
+		UptimeSeconds:      time.Since(m.startTime).Seconds(),
+		Workers:            m.cfg.Workers,
 	}
 }
 
@@ -299,6 +362,7 @@ func (m *Manager) Close(ctx context.Context) error {
 	done := make(chan struct{})
 	go func() {
 		m.wg.Wait()
+		m.sweepWG.Wait() // schedulers exit once their children finish
 		close(done)
 	}()
 	select {
@@ -319,6 +383,7 @@ func (m *Manager) viewLocked(j *job) JobView {
 		ID:      j.id,
 		State:   j.state,
 		Request: j.req,
+		Sweep:   j.sweep,
 		Result:  j.result,
 		Created: j.created,
 	}
@@ -377,6 +442,7 @@ func (m *Manager) worker() {
 			j.err = err
 			m.failed++
 		}
+		close(j.done) // wakes the sweep watcher, if any
 		m.mu.Unlock()
 	}
 }
@@ -450,19 +516,20 @@ func (m *Manager) run(ctx context.Context, j *job) (*RunResult, error) {
 		ElapsedMS:       time.Since(start).Milliseconds(),
 		Reports:         reports,
 	}
-	var roundSum int
-	for _, r := range reports {
-		if r.RedWon {
-			res.RedWins++
-		}
-		if r.Consensus {
-			res.Consensus++
-		}
-		roundSum += r.Rounds
-		if r.Rounds > res.MaxRounds {
-			res.MaxRounds = r.Rounds
-		}
-	}
-	res.MeanRounds = float64(roundSum) / float64(req.Trials)
+	tl := tallyReports(reports)
+	res.RedWins = tl.Wins
+	res.Consensus = tl.Consensus
+	res.MeanRounds = tl.MeanRounds()
+	res.MaxRounds = tl.MaxRounds
 	return res, nil
+}
+
+// tallyReports folds per-trial reports into a sim.Tally; sweeps rebuild the
+// same tally per cell so job- and sweep-level aggregates agree exactly.
+func tallyReports(reports []TrialReport) sim.Tally {
+	var tl sim.Tally
+	for _, r := range reports {
+		tl.Add(r.Rounds, r.RedWon, r.Consensus)
+	}
+	return tl
 }

@@ -6,19 +6,30 @@
 // graph pool keyed by the canonical graph spec lets repeated sweeps over
 // one topology skip the generator path.
 //
-// Endpoints:
+// Parameter grids are first-class: a sweep request expands a grid
+// (topologies × n × δ × k × tie × trials) into child runs scheduled on the
+// same pool under one sweep ID, with aggregate progress and an NDJSON
+// stream of per-cell results.
 //
-//	POST   /v1/runs       submit a job (202 + JobView)
-//	GET    /v1/runs       list recent jobs, newest first
-//	GET    /v1/runs/{id}  poll one job
-//	DELETE /v1/runs/{id}  cancel a queued or running job
-//	GET    /v1/stats      job, trial, and graph-pool counters
-//	GET    /healthz       liveness
+// Endpoints (full wire reference in docs/API.md):
 //
-// Determinism: a job with seed s runs trial i from rng.ChildSeed(s, i);
-// jobs that omit the seed get one derived from the server's root seed and
-// the job index, recorded in the result. Replaying a request with the
-// recorded seed reproduces the result bit-for-bit.
+//	POST   /v1/runs                 submit a job (202 + JobView)
+//	GET    /v1/runs                 list recent jobs, newest first
+//	GET    /v1/runs/{id}            poll one job
+//	DELETE /v1/runs/{id}            cancel a queued or running job
+//	POST   /v1/sweeps               expand a grid into child runs (202 + SweepView)
+//	GET    /v1/sweeps               list recent sweeps, newest first
+//	GET    /v1/sweeps/{id}          poll one sweep (per-cell status + aggregate)
+//	GET    /v1/sweeps/{id}/results  stream completed cells as NDJSON
+//	DELETE /v1/sweeps/{id}          cancel a sweep and its children
+//	GET    /v1/stats                job, sweep, trial, and graph-pool counters
+//	GET    /healthz                 liveness
+//
+// Determinism: a job with seed s runs trial i from rng.ChildSeed(s, i),
+// and a sweep with seed s runs cell i with job seed rng.ChildSeed(s, i);
+// requests that omit the seed get one derived from the server's root seed,
+// recorded in the result. Replaying a request with the recorded seed
+// reproduces the result bit-for-bit.
 package serve
 
 import (
@@ -40,6 +51,11 @@ func NewServer(mgr *Manager) *Server {
 	s.mux.HandleFunc("GET /v1/runs", s.handleList)
 	s.mux.HandleFunc("GET /v1/runs/{id}", s.handleGet)
 	s.mux.HandleFunc("DELETE /v1/runs/{id}", s.handleCancel)
+	s.mux.HandleFunc("POST /v1/sweeps", s.handleSweepSubmit)
+	s.mux.HandleFunc("GET /v1/sweeps", s.handleSweepList)
+	s.mux.HandleFunc("GET /v1/sweeps/{id}", s.handleSweepGet)
+	s.mux.HandleFunc("GET /v1/sweeps/{id}/results", s.handleSweepResults)
+	s.mux.HandleFunc("DELETE /v1/sweeps/{id}", s.handleSweepCancel)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
 	return s
@@ -104,6 +120,93 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, view)
+}
+
+func (s *Server) handleSweepSubmit(w http.ResponseWriter, r *http.Request) {
+	var req SweepRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	view, err := s.mgr.SubmitSweep(req)
+	switch {
+	case err == nil:
+		writeJSON(w, http.StatusAccepted, view)
+	case errors.Is(err, ErrClosed):
+		writeError(w, http.StatusServiceUnavailable, err)
+	default:
+		writeError(w, http.StatusBadRequest, err)
+	}
+}
+
+func (s *Server) handleSweepList(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.mgr.ListSweeps(0))
+}
+
+func (s *Server) handleSweepGet(w http.ResponseWriter, r *http.Request) {
+	view, ok := s.mgr.GetSweep(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, errors.New("serve: no such sweep"))
+		return
+	}
+	writeJSON(w, http.StatusOK, view)
+}
+
+func (s *Server) handleSweepCancel(w http.ResponseWriter, r *http.Request) {
+	view, ok := s.mgr.CancelSweep(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, errors.New("serve: no such sweep"))
+		return
+	}
+	writeJSON(w, http.StatusOK, view)
+}
+
+// handleSweepResults streams the sweep's cells as NDJSON, one SweepEvent
+// per line in completion order, ending with a sweep event carrying the
+// final aggregate. The stream starts with cells already completed, so a
+// client can attach late and still see every cell; it ends when the sweep
+// is terminal or the client goes away.
+func (s *Server) handleSweepResults(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if _, ok := s.mgr.GetSweepSummary(id); !ok {
+		writeError(w, http.StatusNotFound, errors.New("serve: no such sweep"))
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	flusher, canFlush := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	cursor := 0
+	for {
+		cells, next, terminal, changed, ok := s.mgr.SweepStream(id, cursor)
+		if !ok { // evicted mid-stream
+			return
+		}
+		cursor = next
+		for i := range cells {
+			if err := enc.Encode(SweepEvent{Cell: &cells[i]}); err != nil {
+				return // client went away
+			}
+		}
+		if terminal {
+			// Cells were already streamed line by line; the final event
+			// carries only the state and aggregate.
+			if view, ok := s.mgr.GetSweepSummary(id); ok {
+				_ = enc.Encode(SweepEvent{Sweep: &view})
+			}
+			return
+		}
+		if canFlush {
+			flusher.Flush()
+		}
+		select {
+		case <-changed:
+		case <-r.Context().Done():
+			return
+		}
+	}
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {

@@ -1,0 +1,676 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+	"time"
+
+	"repro/internal/rng"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// SweepGrid is the cross-product parameter grid of a sweep. Cells are the
+// product of every non-empty axis; empty optional axes take the documented
+// single-value default. Expansion order puts the topology axes outermost,
+// so consecutive cells share a graph and all but the first per topology
+// hit the server's graph pool.
+type SweepGrid struct {
+	// Graphs lists the topology templates. With NS set, each template's N
+	// is overridden by every value of the NS axis, so templates may leave
+	// it zero; every family must then be n-parameterised (not torus or
+	// hypercube).
+	Graphs []GraphSpec `json:"graphs"`
+	// NS is the optional vertex-count axis crossed with Graphs.
+	NS []int `json:"ns,omitempty"`
+	// Deltas is the initial-imbalance axis, each in [0, 0.5].
+	Deltas []float64 `json:"deltas"`
+	// Ks is the Best-of-k sample-count axis (default [3]).
+	Ks []int `json:"ks,omitempty"`
+	// Ties is the tie-rule axis, "keep" or "random" (default ["keep"]).
+	Ties []string `json:"ties,omitempty"`
+	// Trials is the trials-per-cell axis (default [1]).
+	Trials []int `json:"trials,omitempty"`
+}
+
+// normalize applies the single-value axis defaults in place.
+func (g *SweepGrid) normalize() {
+	if len(g.Ks) == 0 {
+		g.Ks = []int{3}
+	}
+	if len(g.Ties) == 0 {
+		g.Ties = []string{"keep"}
+	}
+	if len(g.Trials) == 0 {
+		g.Trials = []int{1}
+	}
+}
+
+// cellCount multiplies the axis lengths with overflow checks, so a huge
+// grid reports "too many cells" instead of wrapping into a small positive
+// count that slips past the cap.
+func (g SweepGrid) cellCount() (int, error) {
+	return safeProduct(len(g.Graphs), max(len(g.NS), 1), len(g.Deltas), len(g.Ks), len(g.Ties), len(g.Trials))
+}
+
+// safeProduct multiplies axis lengths, treating empty axes as single-value
+// and failing on int overflow rather than wrapping.
+func safeProduct(axes ...int) (int, error) {
+	count := 1
+	for _, axis := range axes {
+		if axis == 0 {
+			axis = 1
+		}
+		if count > math.MaxInt/axis {
+			return 0, fmt.Errorf("sweep: grid cell count overflows")
+		}
+		count *= axis
+	}
+	return count, nil
+}
+
+// usesN reports whether the family consumes the N parameter.
+func usesN(family string) bool {
+	switch family {
+	case "torus", "hypercube":
+		return false
+	}
+	return true
+}
+
+// expand enumerates the grid into per-cell run requests, topology axes
+// outermost. Cell i gets the deterministic seed rng.ChildSeed(sweepSeed, i)
+// regardless of scheduling, so two sweeps with the same seed and grid
+// produce identical cells.
+func (g SweepGrid) expand(sweepSeed uint64, maxRounds int) []RunRequest {
+	ns := g.NS
+	if len(ns) == 0 {
+		ns = []int{0} // keep each template's own N
+	}
+	cells := make([]RunRequest, 0)
+	for _, tmpl := range g.Graphs {
+		for _, n := range ns {
+			gs := tmpl
+			if n > 0 {
+				gs.N = n
+			}
+			for _, delta := range g.Deltas {
+				for _, k := range g.Ks {
+					for _, tie := range g.Ties {
+						for _, trials := range g.Trials {
+							cells = append(cells, RunRequest{
+								Graph:     gs,
+								Delta:     delta,
+								Trials:    trials,
+								MaxRounds: maxRounds,
+								Seed:      rng.ChildSeed(sweepSeed, uint64(len(cells))),
+								Rule:      &RuleSpec{K: k, Tie: tie},
+							})
+						}
+					}
+				}
+			}
+		}
+	}
+	return cells
+}
+
+// SweepRequest is the body of POST /v1/sweeps: expand Grid into child runs
+// and execute them on the job pool under one sweep ID.
+type SweepRequest struct {
+	Grid SweepGrid `json:"grid"`
+	// MaxRounds caps every cell's runs; 0 uses the theory-derived default.
+	MaxRounds int `json:"max_rounds,omitempty"`
+	// Seed is the sweep seed; cell i runs with rng.ChildSeed(Seed, i). A
+	// zero seed is replaced by one derived from the server's root seed and
+	// the sweep index, recorded in the SweepView, so every sweep is
+	// reproducible after the fact.
+	Seed uint64 `json:"seed,omitempty"`
+	// MaxCells optionally lowers the server's grid-size cap for this
+	// request, failing fast on accidental blow-ups.
+	MaxCells int `json:"max_cells,omitempty"`
+	// Concurrency caps this sweep's in-flight child runs; 0 uses the
+	// server default, and values above the server default are clamped.
+	Concurrency int `json:"concurrency,omitempty"`
+}
+
+// CellResult is the compact per-cell outcome embedded in sweep views; the
+// full per-trial breakdown stays on the child run (GET /v1/runs/{job_id}).
+type CellResult struct {
+	Trials          int     `json:"trials"`
+	RedWins         int     `json:"red_wins"`
+	Consensus       int     `json:"consensus"`
+	MeanRounds      float64 `json:"mean_rounds"`
+	MaxRounds       int     `json:"max_rounds"`
+	PredictedRounds int     `json:"predicted_rounds"`
+	CacheHit        bool    `json:"cache_hit"`
+	ElapsedMS       int64   `json:"elapsed_ms"`
+}
+
+// SweepCellView is one expanded grid cell and its status.
+type SweepCellView struct {
+	// Index is the cell's position in expansion order (and its seed label:
+	// the cell seed is ChildSeed(sweep seed, Index)).
+	Index int `json:"index"`
+	// JobID names the child run once scheduled.
+	JobID string `json:"job_id,omitempty"`
+	// State is "pending" until the cell is handed to the job pool, then
+	// the child run's state.
+	State   string      `json:"state"`
+	Request RunRequest  `json:"request"`
+	Error   string      `json:"error,omitempty"`
+	Result  *CellResult `json:"result,omitempty"`
+}
+
+// SweepAggregate summarises a sweep's completed cells. Every field is a
+// deterministic function of the cell results (no timings), so two sweeps
+// with the same seed and grid produce byte-identical aggregates.
+type SweepAggregate struct {
+	// Cell counts by state; Pending includes queued and running cells.
+	Cells     int `json:"cells"`
+	Pending   int `json:"pending"`
+	Done      int `json:"done"`
+	Failed    int `json:"failed"`
+	Cancelled int `json:"cancelled"`
+	// Trial tallies over the done cells.
+	Trials    int `json:"trials"`
+	RedWins   int `json:"red_wins"`
+	Consensus int `json:"consensus"`
+	// Rates over the done trials, with 95% Wilson intervals.
+	RedWinRate    float64 `json:"red_win_rate"`
+	RedWinLo      float64 `json:"red_win_lo"`
+	RedWinHi      float64 `json:"red_win_hi"`
+	ConsensusRate float64 `json:"consensus_rate"`
+	ConsensusLo   float64 `json:"consensus_lo"`
+	ConsensusHi   float64 `json:"consensus_hi"`
+	// MeanRounds and MaxRounds summarise rounds across all done trials.
+	MeanRounds float64 `json:"mean_rounds"`
+	MaxRounds  int     `json:"max_rounds"`
+}
+
+// SweepView is the externally visible snapshot of a sweep. The list
+// endpoint omits Cells.
+type SweepView struct {
+	ID string `json:"id"`
+	// State is "running" until every cell is terminal, then "done" or
+	// "cancelled".
+	State     string          `json:"state"`
+	Request   SweepRequest    `json:"request"`
+	Aggregate SweepAggregate  `json:"aggregate"`
+	Cells     []SweepCellView `json:"cells,omitempty"`
+	Created   time.Time       `json:"created"`
+	Finished  *time.Time      `json:"finished,omitempty"`
+}
+
+// SweepEvent is one NDJSON line of GET /v1/sweeps/{id}/results: cell
+// events as cells reach a terminal state, then a final sweep event with
+// the aggregate once the sweep itself is terminal.
+type SweepEvent struct {
+	Cell  *SweepCellView `json:"cell,omitempty"`
+	Sweep *SweepView     `json:"sweep,omitempty"`
+}
+
+// StateCellPending marks a sweep cell not yet handed to the job pool.
+const StateCellPending = "pending"
+
+// sweepSeedDomain separates the sweep seed-derivation tree from the plain
+// job tree: sweep s gets ChildSeed(root, sweepSeedDomain, s) while job k
+// gets ChildSeed(root, k), so the two never reuse a stream.
+const sweepSeedDomain = 0x53574545 // "SWEE"
+
+// sweepCell is the internal mutable record behind a SweepCellView.
+type sweepCell struct {
+	req    RunRequest
+	jobID  string
+	state  string
+	err    string
+	result *CellResult
+	tally  sim.Tally // per-trial tally of a done cell, for aggregation
+}
+
+// sweep is the internal mutable record behind a SweepView.
+type sweep struct {
+	id          string
+	req         SweepRequest
+	cells       []sweepCell
+	jobs        []*job // indexed like cells; nil until scheduled
+	state       string
+	created     time.Time
+	finished    time.Time
+	concurrency int
+
+	ctx       context.Context
+	cancel    context.CancelFunc
+	cancelled bool            // cancel requested or scheduling aborted (shutdown)
+	agg       *SweepAggregate // memoised at the terminal transition
+
+	// completedOrder lists cell indices in terminal order; results
+	// streaming replays it. changed is closed and replaced on every
+	// append and on the sweep's own terminal transition.
+	completedOrder []int
+	changed        chan struct{}
+}
+
+// SubmitSweep validates and expands the grid, registers the sweep, and
+// starts its scheduler. The returned view is in state "running" with every
+// cell pending.
+func (m *Manager) SubmitSweep(req SweepRequest) (SweepView, error) {
+	view, err := m.submitSweep(req)
+	if err != nil {
+		m.mu.Lock()
+		m.sweepsRejected++
+		m.mu.Unlock()
+	}
+	return view, err
+}
+
+func (m *Manager) submitSweep(req SweepRequest) (SweepView, error) {
+	req.Grid.normalize()
+	if len(req.Grid.Graphs) == 0 {
+		return SweepView{}, errors.New("sweep: grid.graphs must list at least one topology")
+	}
+	if len(req.Grid.Deltas) == 0 {
+		return SweepView{}, errors.New("sweep: grid.deltas must list at least one imbalance")
+	}
+	if len(req.Grid.NS) > 0 {
+		for _, g := range req.Grid.Graphs {
+			if !usesN(g.Family) {
+				return SweepView{}, fmt.Errorf("sweep: family %q does not take n; drop it from grid.graphs or omit grid.ns", g.Family)
+			}
+		}
+	}
+	count, err := req.Grid.cellCount()
+	if err != nil {
+		return SweepView{}, err
+	}
+	limit := m.cfg.Limits.MaxSweepCells
+	if req.MaxCells > 0 && req.MaxCells < limit {
+		limit = req.MaxCells
+	}
+	if count > limit {
+		return SweepView{}, fmt.Errorf("sweep: grid expands to %d cells, exceeding the cap of %d", count, limit)
+	}
+	if req.Concurrency <= 0 || req.Concurrency > m.cfg.SweepConcurrency {
+		req.Concurrency = m.cfg.SweepConcurrency
+	}
+
+	// Expand and validate outside the lock: the grid is capped, but a few
+	// thousand validations still should not stall every snapshot reader.
+	// Cell seeds are assigned under the lock below, where the sweep index
+	// that may feed the sweep seed is reserved.
+	reqs := req.Grid.expand(req.Seed, req.MaxRounds)
+	for i := range reqs {
+		if err := reqs[i].validate(m.cfg.Limits); err != nil {
+			return SweepView{}, fmt.Errorf("sweep: cell %d: %w", i, err)
+		}
+	}
+
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return SweepView{}, ErrClosed
+	}
+	if req.Seed == 0 {
+		req.Seed = rng.ChildSeed(m.cfg.RootSeed, sweepSeedDomain, m.sweepSeq)
+		for i := range reqs {
+			reqs[i].Seed = rng.ChildSeed(req.Seed, uint64(i))
+		}
+	}
+	ctx, cancel := context.WithCancel(m.baseCtx)
+	s := &sweep{
+		id:          fmt.Sprintf("sweep-%06d", m.sweepSeq),
+		req:         req,
+		cells:       make([]sweepCell, len(reqs)),
+		jobs:        make([]*job, len(reqs)),
+		state:       StateRunning,
+		created:     time.Now(),
+		concurrency: req.Concurrency,
+		ctx:         ctx,
+		cancel:      cancel,
+		changed:     make(chan struct{}),
+	}
+	for i := range reqs {
+		s.cells[i] = sweepCell{req: reqs[i], state: StateCellPending}
+	}
+	m.sweepSeq++
+	m.sweeps[s.id] = s
+	m.sweepOrder = append(m.sweepOrder, s.id)
+	m.pruneSweepsLocked()
+	m.sweepWG.Add(1)
+	go m.runSweep(s)
+	return m.sweepViewLocked(s, true), nil
+}
+
+// pruneSweepsLocked evicts the oldest finished sweeps beyond the retention
+// cap; callers hold m.mu. Running sweeps are never evicted.
+func (m *Manager) pruneSweepsLocked() {
+	excess := len(m.sweepOrder) - m.cfg.Retention
+	if excess <= 0 {
+		return
+	}
+	kept := m.sweepOrder[:0]
+	for _, id := range m.sweepOrder {
+		s := m.sweeps[id]
+		if excess > 0 && s.state != StateRunning {
+			delete(m.sweeps, id)
+			excess--
+			continue
+		}
+		kept = append(kept, id)
+	}
+	m.sweepOrder = kept
+}
+
+// runSweep feeds the sweep's cells to the job pool, at most s.concurrency
+// in flight, and finalises each cell as its child run finishes. Cells are
+// fed in expansion order, so cells sharing a topology run back to back and
+// reuse the pooled graph (concurrent first-misses on one key coalesce in
+// the cache).
+func (m *Manager) runSweep(s *sweep) {
+	defer m.sweepWG.Done()
+	sem := make(chan struct{}, s.concurrency)
+	var watchers sync.WaitGroup
+	for i := range s.cells {
+		select {
+		case sem <- struct{}{}:
+		case <-s.ctx.Done():
+		}
+		if s.ctx.Err() != nil {
+			break
+		}
+		j, err := m.scheduleCell(s, i)
+		if err != nil {
+			// Only shutdown or cancellation get here (queue pressure is
+			// waited out); finalizeSweep cancels the unscheduled rest.
+			<-sem
+			break
+		}
+		watchers.Add(1)
+		go func(i int, j *job) {
+			defer watchers.Done()
+			<-j.done
+			m.finalizeCell(s, i, j)
+			<-sem
+		}(i, j)
+	}
+	watchers.Wait()
+	m.finalizeSweep(s)
+}
+
+// scheduleCell enqueues one cell's child run, waiting out transient queue
+// pressure. A non-transient failure records the cell as failed (or
+// cancelled for shutdown) and is returned.
+func (m *Manager) scheduleCell(s *sweep, i int) (*job, error) {
+	for {
+		m.mu.Lock()
+		// Re-check cancellation under the lock: CancelSweep cancels the
+		// jobs in s.jobs while holding m.mu, so a cell enqueued after a
+		// cancel it did not see would escape it entirely.
+		if s.cancelled || s.ctx.Err() != nil {
+			m.markCellLocked(s, i, StateCancelled, "")
+			m.mu.Unlock()
+			return nil, context.Canceled
+		}
+		j, err := m.enqueueLocked(s.cells[i].req, s.id)
+		if err == nil {
+			s.cells[i].jobID = j.id
+			s.cells[i].state = StateQueued
+			s.jobs[i] = j
+			m.mu.Unlock()
+			return j, nil
+		}
+		if !errors.Is(err, ErrQueueFull) {
+			// Shutdown: the sweep was interrupted, so it must finalise as
+			// cancelled, not report a partial grid as done.
+			s.cancelled = true
+			m.markCellLocked(s, i, StateCancelled, "")
+			m.mu.Unlock()
+			return nil, err
+		}
+		m.mu.Unlock()
+		select {
+		case <-time.After(2 * time.Millisecond):
+		case <-s.ctx.Done():
+			m.mu.Lock()
+			m.markCellLocked(s, i, StateCancelled, "")
+			m.mu.Unlock()
+			return nil, s.ctx.Err()
+		}
+	}
+}
+
+// markCellLocked moves a cell to a terminal state and broadcasts the
+// change; callers hold m.mu.
+func (m *Manager) markCellLocked(s *sweep, i int, state, errMsg string) {
+	c := &s.cells[i]
+	c.state = state
+	c.err = errMsg
+	m.sweepCellsFinished++
+	s.completedOrder = append(s.completedOrder, i)
+	close(s.changed)
+	s.changed = make(chan struct{})
+}
+
+// finalizeCell copies the finished child run's outcome into the cell.
+func (m *Manager) finalizeCell(s *sweep, i int, j *job) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	c := &s.cells[i]
+	errMsg := ""
+	if j.err != nil {
+		errMsg = j.err.Error()
+	}
+	if r := j.result; r != nil {
+		c.tally = tallyReports(r.Reports)
+		c.result = &CellResult{
+			Trials:          r.Trials,
+			RedWins:         r.RedWins,
+			Consensus:       r.Consensus,
+			MeanRounds:      r.MeanRounds,
+			MaxRounds:       r.MaxRounds,
+			PredictedRounds: r.PredictedRounds,
+			CacheHit:        r.CacheHit,
+			ElapsedMS:       r.ElapsedMS,
+		}
+	}
+	m.markCellLocked(s, i, j.state, errMsg)
+}
+
+// finalizeSweep marks the sweep terminal once the scheduler and every
+// watcher have exited. Cells never handed to the pool become cancelled.
+func (m *Manager) finalizeSweep(s *sweep) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for i := range s.cells {
+		if s.cells[i].state == StateCellPending {
+			m.markCellLocked(s, i, StateCancelled, "")
+		}
+	}
+	if s.cancelled || s.ctx.Err() != nil {
+		s.state = StateCancelled
+		m.sweepsCancelled++
+	} else {
+		s.state = StateDone
+		m.sweepsCompleted++
+	}
+	s.finished = time.Now()
+	s.cancel()
+	// The aggregate is immutable from here on; memoise it so snapshot
+	// reads of finished sweeps stop paying the O(cells) fold under m.mu.
+	agg := m.foldAggregateLocked(s)
+	s.agg = &agg
+	// Only CancelSweep reads s.jobs, and it is a no-op on a terminal
+	// sweep; dropping the references lets pruneLocked evictions actually
+	// free the child jobs (and their per-trial reports).
+	s.jobs = nil
+	close(s.changed)
+	s.changed = make(chan struct{})
+}
+
+// GetSweep returns a full snapshot of the sweep, cells included.
+func (m *Manager) GetSweep(id string) (SweepView, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s, ok := m.sweeps[id]
+	if !ok {
+		return SweepView{}, false
+	}
+	return m.sweepViewLocked(s, true), true
+}
+
+// GetSweepSummary is GetSweep without the per-cell views — for consumers
+// that only need the state and aggregate, like the final stream event.
+func (m *Manager) GetSweepSummary(id string) (SweepView, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s, ok := m.sweeps[id]
+	if !ok {
+		return SweepView{}, false
+	}
+	return m.sweepViewLocked(s, false), true
+}
+
+// ListSweeps returns snapshots of the most recent sweeps, newest first and
+// without cells, up to max (0 = 100).
+func (m *Manager) ListSweeps(max int) []SweepView {
+	if max <= 0 {
+		max = 100
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]SweepView, 0, min(max, len(m.sweepOrder)))
+	for i := len(m.sweepOrder) - 1; i >= 0 && len(out) < max; i-- {
+		out = append(out, m.sweepViewLocked(m.sweeps[m.sweepOrder[i]], false))
+	}
+	return out
+}
+
+// CancelSweep stops scheduling new cells and cancels the sweep's queued
+// and running children. It returns the post-cancel snapshot, or ok = false
+// for an unknown ID; cancelling a finished sweep is a no-op.
+func (m *Manager) CancelSweep(id string) (SweepView, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s, ok := m.sweeps[id]
+	if !ok {
+		return SweepView{}, false
+	}
+	if s.state == StateRunning && !s.cancelled {
+		s.cancelled = true
+		s.cancel()
+		for _, j := range s.jobs {
+			if j != nil {
+				m.cancelJobLocked(j)
+			}
+		}
+	}
+	return m.sweepViewLocked(s, true), true
+}
+
+// SweepStream returns the cell events recorded since cursor (an index into
+// the sweep's completion order), the advanced cursor, whether the sweep is
+// terminal, and a channel closed on the next change. The handler loops:
+// drain, write, wait.
+func (m *Manager) SweepStream(id string, cursor int) (cells []SweepCellView, next int, terminal bool, changed <-chan struct{}, ok bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s, ok := m.sweeps[id]
+	if !ok {
+		return nil, cursor, false, nil, false
+	}
+	for ; cursor < len(s.completedOrder); cursor++ {
+		cells = append(cells, m.cellViewLocked(s, s.completedOrder[cursor]))
+	}
+	return cells, cursor, s.state != StateRunning, s.changed, true
+}
+
+// cellViewLocked snapshots one cell; callers hold m.mu. Until
+// finalizeCell records the terminal state, the live child job is the
+// source of truth, so an executing cell shows "running" rather than the
+// stale "queued" set at scheduling time.
+func (m *Manager) cellViewLocked(s *sweep, i int) SweepCellView {
+	c := &s.cells[i]
+	v := SweepCellView{
+		Index:   i,
+		JobID:   c.jobID,
+		State:   c.state,
+		Request: c.req,
+		Error:   c.err,
+	}
+	if v.State == StateQueued && s.jobs != nil && s.jobs[i] != nil && s.jobs[i].state == StateRunning {
+		v.State = StateRunning
+	}
+	if c.result != nil {
+		r := *c.result
+		v.Result = &r
+	}
+	return v
+}
+
+// sweepViewLocked snapshots a sweep; callers hold m.mu.
+func (m *Manager) sweepViewLocked(s *sweep, includeCells bool) SweepView {
+	v := SweepView{
+		ID:        s.id,
+		State:     s.state,
+		Request:   s.req,
+		Aggregate: m.aggregateLocked(s),
+		Created:   s.created,
+	}
+	if !s.finished.IsZero() {
+		t := s.finished
+		v.Finished = &t
+	}
+	if includeCells {
+		v.Cells = make([]SweepCellView, len(s.cells))
+		for i := range s.cells {
+			v.Cells[i] = m.cellViewLocked(s, i)
+		}
+	}
+	return v
+}
+
+// aggregateLocked returns the sweep aggregate, memoised for terminal
+// sweeps; callers hold m.mu.
+func (m *Manager) aggregateLocked(s *sweep) SweepAggregate {
+	if s.agg != nil {
+		return *s.agg
+	}
+	return m.foldAggregateLocked(s)
+}
+
+// foldAggregateLocked folds the cells into the sweep aggregate; callers
+// hold m.mu. Iteration is in cell-index order and every tally field is
+// order-independent, so the aggregate is deterministic for a given seed
+// even though cells finish in scheduling order.
+func (m *Manager) foldAggregateLocked(s *sweep) SweepAggregate {
+	agg := SweepAggregate{Cells: len(s.cells)}
+	var tl sim.Tally
+	for i := range s.cells {
+		switch s.cells[i].state {
+		case StateDone:
+			agg.Done++
+			tl.Merge(s.cells[i].tally)
+		case StateFailed:
+			agg.Failed++
+		case StateCancelled:
+			agg.Cancelled++
+		default:
+			agg.Pending++
+		}
+	}
+	agg.Trials = tl.Trials
+	agg.RedWins = tl.Wins
+	agg.Consensus = tl.Consensus
+	agg.MeanRounds = tl.MeanRounds()
+	agg.MaxRounds = tl.MaxRounds
+	if tl.Trials > 0 {
+		w := stats.WilsonInterval(tl.Wins, tl.Trials, 1.96)
+		agg.RedWinRate, agg.RedWinLo, agg.RedWinHi = w.P, w.Lo, w.Hi
+		c := stats.WilsonInterval(tl.Consensus, tl.Trials, 1.96)
+		agg.ConsensusRate, agg.ConsensusLo, agg.ConsensusHi = c.P, c.Lo, c.Hi
+	}
+	return agg
+}

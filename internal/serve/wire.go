@@ -318,8 +318,10 @@ const (
 // JobView is the externally visible snapshot of a job, returned by the
 // submit, get, and list endpoints.
 type JobView struct {
-	ID      string     `json:"id"`
-	State   string     `json:"state"`
+	ID    string `json:"id"`
+	State string `json:"state"`
+	// Sweep is the owning sweep ID for runs expanded from a sweep grid.
+	Sweep   string     `json:"sweep,omitempty"`
 	Request RunRequest `json:"request"`
 	// Error is set for failed jobs.
 	Error string `json:"error,omitempty"`
@@ -344,6 +346,14 @@ type Stats struct {
 	TrialsRun int64 `json:"trials_run"`
 	// RoundsRun is the total number of protocol rounds executed.
 	RoundsRun int64 `json:"rounds_run"`
+	// Sweep counters. SweepCellsFinished counts child runs that reached a
+	// terminal state (done, failed, or cancelled).
+	SweepsSubmitted    int64 `json:"sweeps_submitted"`
+	SweepsCompleted    int64 `json:"sweeps_completed"`
+	SweepsCancelled    int64 `json:"sweeps_cancelled"`
+	SweepsRejected     int64 `json:"sweeps_rejected"`
+	SweepsActive       int   `json:"sweeps_active"`
+	SweepCellsFinished int64 `json:"sweep_cells_finished"`
 	// Cache is the graph-pool snapshot.
 	Cache CacheStats `json:"graph_cache"`
 	// UptimeSeconds counts from manager start.

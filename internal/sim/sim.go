@@ -102,6 +102,60 @@ func RunOutcomesContext(ctx context.Context, n int, seed uint64, workers int, tr
 	return runIndexed(ctx, n, seed, workers, trial)
 }
 
+// Tally is a streaming aggregate over trial results: the serve layer uses
+// one Tally per job to summarise its trials and merges per-cell tallies
+// into sweep-level aggregates. The zero value is ready to use. Every field
+// is order-independent (counts, sums, max), so a tally is a deterministic
+// function of the multiset of results folded in regardless of completion
+// order — aggregates built from deterministic trials are reproducible even
+// when the trials finish out of order.
+type Tally struct {
+	// Trials is the number of results folded in.
+	Trials int
+	// Wins counts results whose success predicate held (e.g. "red won").
+	Wins int
+	// Consensus counts results that reached a monochromatic state.
+	Consensus int
+	// RoundSum and MaxRounds summarise the per-result round counts.
+	RoundSum  int
+	MaxRounds int
+}
+
+// Add folds one trial result into the tally.
+func (t *Tally) Add(rounds int, win, consensus bool) {
+	t.Trials++
+	if win {
+		t.Wins++
+	}
+	if consensus {
+		t.Consensus++
+	}
+	t.RoundSum += rounds
+	if rounds > t.MaxRounds {
+		t.MaxRounds = rounds
+	}
+}
+
+// Merge folds another tally in, so per-cell tallies combine into a
+// sweep-level one.
+func (t *Tally) Merge(o Tally) {
+	t.Trials += o.Trials
+	t.Wins += o.Wins
+	t.Consensus += o.Consensus
+	t.RoundSum += o.RoundSum
+	if o.MaxRounds > t.MaxRounds {
+		t.MaxRounds = o.MaxRounds
+	}
+}
+
+// MeanRounds is the mean round count, or 0 for an empty tally.
+func (t Tally) MeanRounds() float64 {
+	if t.Trials == 0 {
+		return 0
+	}
+	return float64(t.RoundSum) / float64(t.Trials)
+}
+
 // Wins counts the outcomes with Win set.
 func Wins(outs []Outcome) int {
 	w := 0

@@ -150,3 +150,44 @@ func TestRunOutcomesContextMatchesRunOutcomes(t *testing.T) {
 		}
 	}
 }
+
+func TestTallyAddAndMerge(t *testing.T) {
+	results := []struct {
+		rounds         int
+		win, consensus bool
+	}{
+		{5, true, true}, {9, false, true}, {3, true, false}, {12, true, true},
+	}
+	var whole Tally
+	for _, r := range results {
+		whole.Add(r.rounds, r.win, r.consensus)
+	}
+	if whole.Trials != 4 || whole.Wins != 3 || whole.Consensus != 3 {
+		t.Errorf("counts = %+v, want 4 trials, 3 wins, 3 consensus", whole)
+	}
+	if whole.RoundSum != 29 || whole.MaxRounds != 12 {
+		t.Errorf("rounds = %+v, want sum 29, max 12", whole)
+	}
+	if got, want := whole.MeanRounds(), 29.0/4; got != want {
+		t.Errorf("MeanRounds = %v, want %v", got, want)
+	}
+
+	// Merging two halves reproduces the whole regardless of split point.
+	for split := 0; split <= len(results); split++ {
+		var a, b Tally
+		for _, r := range results[:split] {
+			a.Add(r.rounds, r.win, r.consensus)
+		}
+		for _, r := range results[split:] {
+			b.Add(r.rounds, r.win, r.consensus)
+		}
+		a.Merge(b)
+		if a != whole {
+			t.Errorf("split %d: merged = %+v, want %+v", split, a, whole)
+		}
+	}
+
+	if (Tally{}).MeanRounds() != 0 {
+		t.Error("empty tally MeanRounds != 0")
+	}
+}
