@@ -1,29 +1,66 @@
 #!/bin/sh
-# Fails if a route registered in internal/serve is missing from the wire
-# reference in docs/API.md, so the docs cannot silently fall behind the
-# handler table. Routes are the "METHOD /path" literals passed to
-# mux.HandleFunc; the docs must contain each one verbatim (they appear as
-# "## METHOD /path" section headings).
+# Fails when docs/API.md drifts from the code it documents:
+#   1. every route registered in internal/serve must have its own
+#      "## METHOD /path" section, and
+#   2. the graph-family table must list exactly the families in the spec
+#      registry (one row per family, no extras, none missing).
+# Also gates the spec layer with go vet + gofmt so a drifted or
+# unformatted spec/cli package fails the same check.
 set -eu
 cd "$(dirname "$0")/.."
 
+status=0
+
+# --- 1. Route sections -------------------------------------------------
 routes=$(sed -n 's/.*HandleFunc("\([A-Z]* [^"]*\)".*/\1/p' internal/serve/serve.go)
 if [ -z "$routes" ]; then
     echo "check-api-docs: no routes found in internal/serve/serve.go (pattern drift?)" >&2
     exit 1
 fi
-
-missing=0
 while IFS= read -r route; do
     # Exact heading match: substring search would let "GET /v1/sweeps"
     # ride on the "## GET /v1/sweeps/{id}" heading after its own section
     # is deleted.
     if ! grep -qxF "## $route" docs/API.md; then
         echo "check-api-docs: route \"$route\" is registered in internal/serve/serve.go but has no \"## $route\" section in docs/API.md" >&2
-        missing=1
+        status=1
     fi
 done <<EOF
 $routes
 EOF
 
-exit $missing
+# --- 2. Family table vs the spec registry ------------------------------
+# Documented families: the first backticked cell of each row of the table
+# headed "| Family | Parameters | Notes |" (and only that table).
+doc_families=$(awk '
+    /^\| Family \| Parameters \| Notes \|$/ { in_table = 1; next }
+    in_table && /^\|-/ { next }
+    in_table && /^\| `/ {
+        if (match($0, /`[a-z0-9-]+`/)) print substr($0, RSTART + 1, RLENGTH - 2)
+        next
+    }
+    in_table { exit }
+' docs/API.md | sort)
+reg_families=$(go run ./internal/tools/specfamilies | sort)
+if [ -z "$doc_families" ]; then
+    echo "check-api-docs: no family table rows found in docs/API.md (pattern drift?)" >&2
+    status=1
+elif [ "$doc_families" != "$reg_families" ]; then
+    echo "check-api-docs: docs/API.md family table disagrees with the spec registry:" >&2
+    echo "--- registry (go run ./internal/tools/specfamilies)" >&2
+    echo "$reg_families" >&2
+    echo "--- docs/API.md table" >&2
+    echo "$doc_families" >&2
+    status=1
+fi
+
+# --- 3. vet + gofmt gate over the spec layer ---------------------------
+go vet ./spec/... ./internal/cli/... || status=1
+unformatted=$(gofmt -l spec internal/cli)
+if [ -n "$unformatted" ]; then
+    echo "check-api-docs: gofmt needed on:" >&2
+    echo "$unformatted" >&2
+    status=1
+fi
+
+exit $status

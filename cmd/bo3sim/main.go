@@ -1,170 +1,29 @@
-// Command bo3sim runs a single Best-of-k voting simulation and prints the
+// Command bo3sim runs Best-of-k voting simulations and prints the
 // round-by-round trajectory together with the Theorem 1 diagnostics.
 //
 // Usage:
 //
 //	bo3sim -graph regular -n 16384 -alpha 0.6 -delta 0.05 -k 3 -seed 1
+//	bo3sim -graph sbm -n 16384 -pin 0.02 -pout 0.005 -trials 8
+//	bo3sim -spec run.json -json
 //
-// Graph families: regular (random d-regular with d = n^alpha), gnp
-// (Erdős–Rényi with p = n^(alpha-1)), complete (virtual K_n), cycle,
-// torus, hypercube.
+// The flags bind to the declarative spec layer (package spec), so every
+// family in the registry — regular (alias for random-regular with
+// d = n^alpha), gnp, dense, complete (materialised K_n),
+// complete-virtual (O(1) K_n), cycle, torus, hypercube, sbm — is
+// available here, in the library Runner, and in the bo3serve HTTP API with
+// identical semantics: the same spec and seed produce byte-identical
+// per-trial outcomes through any of the three. With -spec the run
+// specification is read as JSON (the same shape POST /v1/runs accepts)
+// instead of being assembled from flags.
 package main
 
 import (
-	"flag"
-	"fmt"
-	"io"
-	"log"
-	"math"
 	"os"
 
-	"repro/internal/core"
-	"repro/internal/dynamics"
-	"repro/internal/graph"
-	"repro/internal/rng"
-	"repro/internal/trace"
+	"repro/internal/cli"
 )
 
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("bo3sim: ")
-
-	var (
-		family    = flag.String("graph", "regular", "graph family: regular|gnp|complete|cycle|torus|hypercube")
-		n         = flag.Int("n", 1<<14, "number of vertices")
-		alpha     = flag.Float64("alpha", 0.6, "density exponent: min degree ~ n^alpha (regular/gnp)")
-		delta     = flag.Float64("delta", 0.05, "initial imbalance: P(blue) = 1/2 - delta")
-		k         = flag.Int("k", 3, "neighbours sampled per round (1 = voter model)")
-		tie       = flag.String("tie", "keep", "tie rule for even k: keep|random")
-		seed      = flag.Uint64("seed", 1, "RNG seed (runs are deterministic per seed)")
-		maxRounds = flag.Int("maxrounds", 0, "round budget (0 = auto from prediction)")
-		quiet     = flag.Bool("quiet", false, "suppress the per-round trajectory")
-		traceCSV  = flag.String("trace", "", "write the trajectory to this CSV file")
-		traceJSON = flag.String("tracejson", "", "write the full run record to this JSON file")
-	)
-	flag.Parse()
-
-	g, err := buildGraph(*family, *n, *alpha, *seed)
-	if err != nil {
-		log.Fatal(err)
-	}
-
-	rule := dynamics.Rule{K: *k}
-	switch *tie {
-	case "keep":
-		rule.Tie = dynamics.TieKeep
-	case "random":
-		rule.Tie = dynamics.TieRandom
-	default:
-		log.Fatalf("unknown tie rule %q", *tie)
-	}
-
-	rep, err := core.RunBestOfThree(g, *delta, core.Options{
-		Seed:      *seed,
-		MaxRounds: *maxRounds,
-		Rule:      rule,
-	})
-	if err != nil {
-		log.Fatal(err)
-	}
-
-	fmt.Printf("graph       %s\n", g.Name())
-	fmt.Printf("protocol    %s\n", rule.Name())
-	fmt.Printf("delta       %.4f\n", *delta)
-	fmt.Printf("theorem 1   %s\n", rep.Precondition)
-	if !rep.Precondition.Satisfied() {
-		fmt.Println("note        instance is outside Theorem 1's hypotheses; behaviour is not guaranteed")
-	}
-	if *delta < rep.Precondition.NoiseFloor {
-		fmt.Printf("note        delta below the finite-size noise floor %.4f; the sampled majority may be blue\n",
-			rep.Precondition.NoiseFloor)
-	}
-	if !*quiet {
-		fmt.Println("round  blue-count  blue-fraction")
-		for t, bc := range rep.BlueTrajectory {
-			fmt.Printf("%5d  %10d  %.6f\n", t, bc, float64(bc)/math.Max(1, float64(g.N())))
-		}
-	}
-	fmt.Printf("result      consensus=%v redWon=%v rounds=%d predicted=%d\n",
-		rep.Consensus, rep.RedWon, rep.Rounds, rep.PredictedRounds)
-
-	if *traceCSV != "" || *traceJSON != "" {
-		run := &trace.Run{
-			Graph:      g.Name(),
-			Protocol:   rule.Name(),
-			N:          g.N(),
-			Delta:      *delta,
-			Seed:       *seed,
-			Consensus:  rep.Consensus,
-			RedWon:     rep.RedWon,
-			Rounds:     rep.Rounds,
-			BlueCounts: rep.BlueTrajectory,
-		}
-		if *traceCSV != "" {
-			if err := writeFile(*traceCSV, run.WriteCSV); err != nil {
-				log.Fatal(err)
-			}
-		}
-		if *traceJSON != "" {
-			if err := writeFile(*traceJSON, run.WriteJSON); err != nil {
-				log.Fatal(err)
-			}
-		}
-	}
-	if !rep.Consensus {
-		os.Exit(2)
-	}
-}
-
-// writeFile creates path and streams write into it, reporting close errors.
-func writeFile(path string, write func(io.Writer) error) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	if err := write(f); err != nil {
-		f.Close()
-		return err
-	}
-	return f.Close()
-}
-
-func buildGraph(family string, n int, alpha float64, seed uint64) (core.Topology, error) {
-	src := rng.New(seed ^ 0x9e3779b97f4a7c15)
-	switch family {
-	case "regular":
-		d := int(math.Ceil(math.Pow(float64(n), alpha)))
-		if d >= n {
-			return graph.NewKn(n), nil
-		}
-		if (n*d)%2 != 0 {
-			d++
-		}
-		return graph.RandomRegular(n, d, src), nil
-	case "gnp":
-		p := math.Pow(float64(n), alpha-1)
-		g := graph.Gnp(n, p, src)
-		if g.MinDegree() == 0 {
-			return nil, fmt.Errorf("sampled G(n,p) has an isolated vertex; raise -alpha")
-		}
-		return g, nil
-	case "complete":
-		return graph.NewKn(n), nil
-	case "cycle":
-		return graph.Cycle(n), nil
-	case "torus":
-		side := int(math.Round(math.Sqrt(float64(n))))
-		if side < 3 {
-			side = 3
-		}
-		return graph.Torus2D(side, side), nil
-	case "hypercube":
-		dim := int(math.Round(math.Log2(float64(n))))
-		if dim < 2 {
-			dim = 2
-		}
-		return graph.Hypercube(dim), nil
-	default:
-		return nil, fmt.Errorf("unknown graph family %q", family)
-	}
+	os.Exit(cli.SimMain(os.Args[1:], os.Stdout, os.Stderr))
 }

@@ -15,56 +15,38 @@ import (
 	"repro/internal/table"
 )
 
-// loadGrid is the shared n × δ grid both -serve (one /v1/sweeps call) and
-// -serve-runs (N individual /v1/runs calls) replay, so their wall clocks
-// are directly comparable.
-func loadGrid(quick bool, trials int) (ns []int, deltas []float64, effTrials int) {
-	ns = []int{1 << 10, 1 << 12, 1 << 14}
-	deltas = []float64{0.02, 0.05, 0.1, 0.2}
-	if quick {
-		ns = []int{1 << 9, 1 << 10}
-		deltas = []float64{0.05, 0.2}
-	}
-	if trials <= 0 {
-		trials = 20
-		if quick {
-			trials = 8
-		}
-	}
-	return ns, deltas, trials
-}
-
 // loadTest replays the grid through a running bo3serve instance the
-// pre-sweep way: every (n, δ) cell becomes one POST /v1/runs job, polled
-// to completion — N round-trips plus polling. The sweep visits each
-// topology once per δ, so all but the first job per topology should hit
-// the server's graph pool; the run ends by printing the per-cell results,
-// client-side latency quantiles, and the server's /v1/stats counters so
-// cache behaviour is visible. Kept behind -serve-runs as the baseline the
-// server-side orchestration of sweepTest is measured against.
-func loadTest(base string, quick bool, trials, concurrency int, seed uint64) error {
+// pre-sweep way: every cell becomes one POST /v1/runs job, polled to
+// completion — N round-trips plus polling. The cells are the server-side
+// expansion of the same spec.Grid the -serve path submits (seeds
+// included), so the two modes run identical work and their wall clocks
+// are directly comparable. The grid visits each topology once per δ, so
+// all but the first job per topology should hit the server's graph pool;
+// the run ends by printing the per-cell results, client-side latency
+// quantiles, and the server's /v1/stats counters so cache behaviour is
+// visible. Kept behind -serve-runs as the baseline the server-side
+// orchestration of sweepTest is measured against.
+func loadTest(base string, grid serve.SweepGrid, concurrency int, seed uint64) error {
 	client := &http.Client{Timeout: 10 * time.Minute}
 	if err := checkHealth(client, base); err != nil {
 		return err
 	}
 
-	ns, deltas, trials := loadGrid(quick, trials)
+	grid.Normalize()
 	if concurrency <= 0 {
 		concurrency = 4
 	}
 
 	type cell struct {
-		n     int
-		delta float64
-		view  serve.JobView
-		rtt   time.Duration
-		err   error
+		req  serve.RunRequest
+		view serve.JobView
+		rtt  time.Duration
+		err  error
 	}
-	cells := make([]cell, 0, len(ns)*len(deltas))
-	for _, n := range ns {
-		for _, d := range deltas {
-			cells = append(cells, cell{n: n, delta: d})
-		}
+	reqs := grid.Expand(seed, 0)
+	cells := make([]cell, len(reqs))
+	for i, r := range reqs {
+		cells[i] = cell{req: r}
 	}
 
 	start := time.Now()
@@ -76,42 +58,35 @@ func loadTest(base string, quick bool, trials, concurrency int, seed uint64) err
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
-			req := serve.RunRequest{
-				Graph: serve.GraphSpec{Family: "random-regular", N: c.n, D: 32, Seed: seed},
-				Delta: c.delta,
-				// Same per-topology seed on purpose: every δ-cell after
-				// the first reuses the pooled graph.
-				Seed:   seed + uint64(c.n)<<8 + uint64(c.delta*1000),
-				Trials: trials,
-			}
 			t0 := time.Now()
-			c.view, c.err = submitAndPoll(client, base, req)
+			c.view, c.err = submitAndPoll(client, base, c.req)
 			c.rtt = time.Since(t0)
 		}(&cells[i])
 	}
 	wg.Wait()
 	wall := time.Since(start)
 
-	t := table.New(fmt.Sprintf("bo3serve load test against %s (random-regular d=32, %d trials/job)", base, trials),
-		"n", "delta", "state", "red wins", "consensus", "mean rounds", "cache hit", "latency")
+	t := table.New(fmt.Sprintf("bo3serve load test against %s (%s)", base, grid.Graphs[0].Family),
+		"graph", "n", "delta", "state", "red wins", "consensus", "mean rounds", "cache hit", "latency")
 	var lat []float64
 	failures := 0
 	totalTrials := 0
 	for _, c := range cells {
+		g, delta := c.req.Graph, c.req.Delta
 		if c.err != nil {
 			failures++
-			t.AddRow(c.n, c.delta, "error: "+c.err.Error(), "-", "-", "-", "-", c.rtt.Round(time.Millisecond))
+			t.AddRow(g.Family, cellSize(g), delta, "error: "+c.err.Error(), "-", "-", "-", "-", c.rtt.Round(time.Millisecond))
 			continue
 		}
 		lat = append(lat, c.rtt.Seconds())
 		r := c.view.Result
 		if c.view.State != serve.StateDone || r == nil {
 			failures++
-			t.AddRow(c.n, c.delta, c.view.State, "-", "-", "-", "-", c.rtt.Round(time.Millisecond))
+			t.AddRow(g.Family, cellSize(g), delta, c.view.State, "-", "-", "-", "-", c.rtt.Round(time.Millisecond))
 			continue
 		}
 		totalTrials += r.Trials
-		t.AddRow(c.n, c.delta, c.view.State,
+		t.AddRow(g.Family, cellSize(g), delta, c.view.State,
 			fmt.Sprintf("%d/%d", r.RedWins, r.Trials),
 			fmt.Sprintf("%d/%d", r.Consensus, r.Trials),
 			fmt.Sprintf("%.1f", r.MeanRounds), r.CacheHit,

@@ -9,14 +9,22 @@
 //	bo3sweep -only E1,E7     # subset
 //	bo3sweep -csv out/       # additionally write CSV files
 //
-// With -serve it instead replays a δ-sweep through a running bo3serve
-// instance as a load test, submitting the whole grid as one POST
+// With -serve it instead replays a parameter grid through a running
+// bo3serve instance as a load test, submitting the whole grid as one POST
 // /v1/sweeps request and tailing the NDJSON results stream; -serve-runs
 // replays the same grid the pre-sweep way (one POST /v1/runs per cell,
 // polled), for measuring the batching speedup:
 //
 //	bo3sweep -serve http://localhost:8080 -quick -concurrency 8
 //	bo3sweep -serve-runs http://localhost:8080 -quick -concurrency 8
+//
+// The replayed grid is a spec.Grid, the same type the server expands and
+// the experiment registry publishes. By default it is the n × δ load-test
+// grid over the topology selected by the shared -graph family flags (so
+// `-serve … -graph sbm -pin 0.02` sweeps a stochastic block model); with
+// -grid it is a registry grid instead:
+//
+//	bo3sweep -serve http://localhost:8080 -grid E1 -quick
 package main
 
 import (
@@ -28,7 +36,9 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/cli"
 	"repro/internal/experiments"
+	"repro/internal/serve"
 	"repro/internal/table"
 )
 
@@ -37,10 +47,37 @@ type runner struct {
 	run func(experiments.Config) *table.Table
 }
 
+// replayGrid resolves the grid a -serve/-serve-runs session replays:
+// a named registry grid, or the load-test grid over the topology the
+// shared family flags select.
+func replayGrid(gf *cli.GraphFlags, cfg experiments.Config, gridID string, quick bool, trials int) (serve.SweepGrid, error) {
+	if gridID != "" {
+		grid, ok := experiments.Grids(cfg)[strings.ToUpper(gridID)]
+		if !ok {
+			return serve.SweepGrid{}, fmt.Errorf("unknown registry grid %q (sweepable: %s)",
+				gridID, strings.Join(experiments.GridIDs(cfg), ", "))
+		}
+		return grid, nil
+	}
+	template, err := gf.Spec(cfg.Seed)
+	if err != nil {
+		return serve.SweepGrid{}, err
+	}
+	if trials <= 0 {
+		trials = 20
+		if quick {
+			trials = 8
+		}
+	}
+	return experiments.LoadTestGrid(template, quick, trials), nil
+}
+
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("bo3sweep: ")
 
+	gf := &cli.GraphFlags{Family: "regular", N: 1 << 14, Alpha: 0.6, D: 32}
+	gf.Register(flag.CommandLine)
 	var (
 		quick     = flag.Bool("quick", false, "reduced scale (seconds instead of minutes)")
 		only      = flag.String("only", "", "comma-separated experiment ids to run (default: all)")
@@ -49,27 +86,12 @@ func main() {
 		maxN      = flag.Int("maxn", 0, "override largest graph size")
 		seed      = flag.Uint64("seed", 1, "experiment seed")
 		workers   = flag.Int("workers", 0, "harness parallelism (0 = GOMAXPROCS)")
-		serve     = flag.String("serve", "", "bo3serve base URL: replay the grid as one server-side /v1/sweeps request")
+		serveURL  = flag.String("serve", "", "bo3serve base URL: replay the grid as one server-side /v1/sweeps request")
 		serveRuns = flag.String("serve-runs", "", "bo3serve base URL: replay the grid as per-cell /v1/runs requests (pre-sweep baseline)")
+		gridID    = flag.String("grid", "", "in -serve/-serve-runs mode, replay this registry grid (e.g. E1) instead of the -graph load-test grid")
 		conc      = flag.Int("concurrency", 4, "concurrent cells in -serve / -serve-runs mode")
 	)
 	flag.Parse()
-
-	if *serve != "" && *serveRuns != "" {
-		log.Fatal("-serve and -serve-runs are mutually exclusive")
-	}
-	if *serve != "" {
-		if err := sweepTest(*serve, *quick, *trials, *conc, *seed); err != nil {
-			log.Fatal(err)
-		}
-		return
-	}
-	if *serveRuns != "" {
-		if err := loadTest(*serveRuns, *quick, *trials, *conc, *seed); err != nil {
-			log.Fatal(err)
-		}
-		return
-	}
 
 	cfg := experiments.Default()
 	if *quick {
@@ -83,6 +105,25 @@ func main() {
 	}
 	cfg.Seed = *seed
 	cfg.Workers = *workers
+
+	if *serveURL != "" && *serveRuns != "" {
+		log.Fatal("-serve and -serve-runs are mutually exclusive")
+	}
+	if *serveURL != "" || *serveRuns != "" {
+		grid, err := replayGrid(gf, cfg, *gridID, *quick, *trials)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if *serveURL != "" {
+			err = sweepTest(*serveURL, grid, *conc, *seed)
+		} else {
+			err = loadTest(*serveRuns, grid, *conc, *seed)
+		}
+		if err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 
 	all := []runner{
 		{"E1", func(c experiments.Config) *table.Table { return experiments.E1ConsensusScaling(c).Table() }},

@@ -13,27 +13,37 @@ import (
 	"repro/internal/table"
 )
 
-// sweepTest replays the load-test grid through a running bo3serve instance
-// as ONE server-side sweep: a single POST /v1/sweeps expands the n × δ
-// grid into child runs on the server, and the NDJSON results stream is
-// tailed until the final aggregate arrives — no per-cell round-trips and
-// no polling, which is the batching win over the -serve-runs path.
-func sweepTest(base string, quick bool, trials, concurrency int, seed uint64) error {
+// cellSize reports a cell's vertex count for the result tables, covering
+// the families whose size is not carried by the n field.
+func cellSize(g serve.GraphSpec) int {
+	switch g.Family {
+	case "torus":
+		return g.Rows * g.Cols
+	case "hypercube":
+		return 1 << g.Dim
+	case "sbm":
+		return g.A + g.B
+	}
+	return g.N
+}
+
+// sweepTest replays the grid through a running bo3serve instance as ONE
+// server-side sweep: a single POST /v1/sweeps expands it into child runs
+// on the server, and the NDJSON results stream is tailed until the final
+// aggregate arrives — no per-cell round-trips and no polling, which is
+// the batching win over the -serve-runs path.
+func sweepTest(base string, grid serve.SweepGrid, concurrency int, seed uint64) error {
 	client := &http.Client{Timeout: 10 * time.Minute}
 	if err := checkHealth(client, base); err != nil {
 		return err
 	}
 
-	ns, deltas, trials := loadGrid(quick, trials)
 	req := serve.SweepRequest{
-		Grid: serve.SweepGrid{
-			// Same per-topology seed as the per-run path on purpose: every
-			// δ-cell after the first reuses the pooled graph.
-			Graphs: []serve.GraphSpec{{Family: "random-regular", D: 32, Seed: seed}},
-			NS:     ns,
-			Deltas: deltas,
-			Trials: []int{trials},
-		},
+		// One spec.Grid end to end: the same type the experiment registry
+		// publishes and the server expands. Topology templates keep one
+		// seed per family on purpose: every δ-cell after the first reuses
+		// the pooled graph.
+		Grid:        grid,
 		Seed:        seed,
 		Concurrency: concurrency,
 	}
@@ -62,8 +72,8 @@ func sweepTest(base string, quick bool, trials, concurrency int, seed uint64) er
 		return fmt.Errorf("results stream returned %s", stream.Status)
 	}
 
-	t := table.New(fmt.Sprintf("bo3serve sweep %s against %s (random-regular d=32, %d trials/cell)", accepted.ID, base, trials),
-		"n", "delta", "state", "red wins", "consensus", "mean rounds", "cache hit")
+	t := table.New(fmt.Sprintf("bo3serve sweep %s against %s (%s)", accepted.ID, base, grid.Graphs[0].Family),
+		"graph", "n", "delta", "state", "red wins", "consensus", "mean rounds", "cache hit")
 	var final *serve.SweepView
 	failures, totalTrials := 0, 0
 	sc := bufio.NewScanner(stream.Body)
@@ -78,12 +88,12 @@ func sweepTest(base string, quick bool, trials, concurrency int, seed uint64) er
 			c := ev.Cell
 			if c.State != serve.StateDone || c.Result == nil {
 				failures++
-				t.AddRow(c.Request.Graph.N, c.Request.Delta, c.State+": "+c.Error, "-", "-", "-", "-")
+				t.AddRow(c.Request.Graph.Family, cellSize(c.Request.Graph), c.Request.Delta, c.State+": "+c.Error, "-", "-", "-", "-")
 				continue
 			}
 			r := c.Result
 			totalTrials += r.Trials
-			t.AddRow(c.Request.Graph.N, c.Request.Delta, c.State,
+			t.AddRow(c.Request.Graph.Family, cellSize(c.Request.Graph), c.Request.Delta, c.State,
 				fmt.Sprintf("%d/%d", r.RedWins, r.Trials),
 				fmt.Sprintf("%d/%d", r.Consensus, r.Trials),
 				fmt.Sprintf("%.1f", r.MeanRounds), r.CacheHit)

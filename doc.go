@@ -11,11 +11,26 @@
 // reaches Red consensus within O(log log n) + O(log δ⁻¹) rounds with high
 // probability.
 //
-// The root package exposes the high-level API:
+// The root package exposes the high-level API. A run is described
+// declaratively as a RunSpec (package spec, re-exported here) and executed
+// by a Runner:
 //
-//	g := repro.RandomRegular(1<<14, 128, repro.NewRNG(1))
-//	report, err := repro.RunBestOfThree(g, 0.05, repro.Options{Seed: 2})
-//	// report.RedWon, report.Rounds, report.PredictedRounds, ...
+//	runner, err := repro.NewRunner(repro.RunSpec{
+//		Graph:  repro.GraphSpec{Family: "random-regular", N: 1 << 14, D: 128, Seed: 1},
+//		Delta:  0.05,
+//		Trials: 8,
+//		Seed:   2,
+//	})
+//	report, err := runner.Run(ctx)
+//	// report.RedWins, report.MeanRounds, report.PredictedRounds, ...
+//
+// The same spec — serialised to JSON — is what `bo3sim -spec` runs and
+// what `POST /v1/runs` on bo3serve accepts, with byte-identical per-trial
+// outcomes across all three entry points: trial i always runs with
+// rng.ChildSeed(Seed, i) on the same engine configuration. Runner.Stream
+// delivers outcomes as trials complete; WithObserver taps per-round blue
+// counts. The imperative v1 entry point RunBestOfThree remains as a
+// deprecated shim.
 //
 // Underneath sit the substrates, each its own package under internal/:
 // graph generators and analyses (internal/graph), the parallel Best-of-k

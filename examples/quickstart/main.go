@@ -1,10 +1,15 @@
-// Quickstart: run the paper's Best-of-Three protocol once on a dense random
-// regular graph and print what Theorem 1 predicts versus what happened.
+// Quickstart: describe a run of the paper's Best-of-Three protocol as a
+// declarative RunSpec, execute it with the v2 Runner, and print what
+// Theorem 1 predicts versus what happened.
 //
 //	go run ./examples/quickstart
+//
+// The same spec — as JSON — is exactly what `bo3sim -spec` runs and what
+// `POST /v1/runs` accepts, with byte-identical per-trial outcomes.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -13,22 +18,29 @@ import (
 
 func main() {
 	// A graph inside the paper's class: n = 2^14 vertices with minimum
-	// degree d = 128 = n^0.5, i.e. density exponent alpha = 0.5.
-	g := repro.RandomRegular(1<<14, 128, repro.NewRNG(1))
+	// degree d = 128 = n^0.5, i.e. density exponent alpha = 0.5. Each
+	// vertex starts Blue with probability 1/2 - delta, Red otherwise.
+	spec := repro.RunSpec{
+		Graph:  repro.GraphSpec{Family: "random-regular", N: 1 << 14, D: 128, Seed: 1},
+		Delta:  0.05,
+		Trials: 3,
+		Seed:   2,
+	}
 
-	// Each vertex starts Blue with probability 1/2 - delta, Red otherwise.
-	const delta = 0.05
-
-	pre := repro.CheckPrecondition(g, delta)
-	fmt.Println("Theorem 1 preconditions:", pre)
-
-	report, err := repro.RunBestOfThree(g, delta, repro.Options{Seed: 2})
+	runner, err := repro.NewRunner(spec)
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	fmt.Printf("consensus reached: %v (red won: %v)\n", report.Consensus, report.RedWon)
-	fmt.Printf("rounds: %d (paper predicts O(log log n + log 1/delta) ~ %d)\n",
-		report.Rounds, report.PredictedRounds)
-	fmt.Println("blue count per round:", report.BlueTrajectory)
+	report, err := runner.Run(context.Background())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("Theorem 1 preconditions:", report.Precondition)
+	fmt.Printf("red wins: %d/%d, consensus: %d/%d\n",
+		report.RedWins, spec.Trials, report.ConsensusCount, spec.Trials)
+	fmt.Printf("mean rounds: %.1f (paper predicts O(log log n + log 1/delta) ~ %d)\n",
+		report.MeanRounds, report.PredictedRounds)
+	fmt.Println("trial 0 blue count per round:", report.Reports[0].BlueTrajectory)
 }

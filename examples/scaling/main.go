@@ -1,11 +1,14 @@
 // Scaling study: measure Best-of-Three consensus time as n grows and
-// compare against the paper's O(log log n) claim — the laptop-scale version
-// of experiment E1.
+// compare against the paper's O(log log n) claim — the laptop-scale
+// version of experiment E1, written against the v2 spec API. The "dense"
+// family derives the minimum degree ⌈n^alpha⌉ itself, so one spec template
+// covers every size.
 //
 //	go run ./examples/scaling
 package main
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -19,33 +22,29 @@ func main() {
 		trials = 20
 	)
 
-	fmt.Println("Best-of-3 consensus time vs n on random regular graphs (d = n^0.6)")
-	fmt.Printf("%8s %6s %12s %14s %10s\n", "n", "d", "mean rounds", "rounds/loglogn", "red wins")
+	fmt.Println("Best-of-3 consensus time vs n on dense random graphs (d = n^0.6)")
+	fmt.Printf("%8s %12s %14s %10s\n", "n", "mean rounds", "rounds/loglogn", "red wins")
 
 	for exp := 10; exp <= 14; exp++ {
 		n := 1 << exp
-		d := int(math.Ceil(math.Pow(float64(n), alpha)))
-		if (n*d)%2 != 0 {
-			d++
+		// One graph per size (the generator seed is fixed per spec);
+		// randomness across trials comes from the per-trial seed tree.
+		runner, err := repro.NewRunner(repro.RunSpec{
+			Graph:  repro.GraphSpec{Family: "dense", N: n, Alpha: alpha, Seed: uint64(1000 * exp)},
+			Delta:  delta,
+			Trials: trials,
+			Seed:   uint64(exp),
+		})
+		if err != nil {
+			panic(err)
 		}
-		// One graph per size; randomness across trials comes from the
-		// initial colouring and the protocol's sampling.
-		g := repro.RandomRegular(n, d, repro.NewRNG(uint64(1000*exp)))
-		totalRounds, redWins := 0, 0
-		for trial := 0; trial < trials; trial++ {
-			rep, err := repro.RunBestOfThree(g, delta, repro.Options{Seed: uint64(trial)})
-			if err != nil {
-				panic(err)
-			}
-			totalRounds += rep.Rounds
-			if rep.RedWon {
-				redWins++
-			}
+		rep, err := runner.Run(context.Background())
+		if err != nil {
+			panic(err)
 		}
-		mean := float64(totalRounds) / trials
 		loglog := math.Log(math.Log(float64(n)))
-		fmt.Printf("%8d %6d %12.2f %14.2f %9d/%d\n",
-			n, d, mean, mean/loglog, redWins, trials)
+		fmt.Printf("%8d %12.2f %14.2f %9d/%d\n",
+			n, rep.MeanRounds, rep.MeanRounds/loglog, rep.RedWins, trials)
 	}
 
 	fmt.Println()

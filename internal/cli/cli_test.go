@@ -1,0 +1,241 @@
+package cli
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro"
+	"repro/internal/serve"
+	"repro/spec"
+)
+
+// outcomeTriple is the per-trial summary every entry point must agree on.
+type outcomeTriple struct {
+	RedWon    bool `json:"red_won"`
+	Consensus bool `json:"consensus"`
+	Rounds    int  `json:"rounds"`
+}
+
+// TestSpecEquivalenceAcrossEntryPoints is the PR's acceptance criterion:
+// one RunSpec produces byte-identical per-trial outcomes through the
+// library Runner, the bo3sim CLI (-spec -json), and POST /v1/runs.
+func TestSpecEquivalenceAcrossEntryPoints(t *testing.T) {
+	runSpec := spec.RunSpec{
+		Graph:  spec.GraphSpec{Family: "random-regular", N: 512, D: 16, Seed: 7},
+		Delta:  0.1,
+		Trials: 6,
+		Seed:   99,
+		Rule:   &spec.RuleSpec{K: 3},
+	}
+
+	// Entry point 1: the library Runner.
+	runner, err := repro.NewRunner(runSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	libRep, err := runner.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	lib := make([]outcomeTriple, len(libRep.Outcomes))
+	for i, o := range libRep.Outcomes {
+		lib[i] = outcomeTriple{RedWon: o.RedWon, Consensus: o.Consensus, Rounds: o.Rounds}
+	}
+
+	// Entry point 2: the bo3sim CLI, fed the identical spec as JSON.
+	specPath := filepath.Join(t.TempDir(), "run.json")
+	raw, err := json.Marshal(runSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(specPath, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var stdout, stderr bytes.Buffer
+	if code := SimMain([]string{"-spec", specPath, "-json"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("bo3sim exited %d: %s", code, stderr.String())
+	}
+	var cliRep repro.RunReport
+	if err := json.Unmarshal(stdout.Bytes(), &cliRep); err != nil {
+		t.Fatalf("parsing bo3sim -json output: %v", err)
+	}
+	cli := make([]outcomeTriple, len(cliRep.Outcomes))
+	for i, o := range cliRep.Outcomes {
+		cli[i] = outcomeTriple{RedWon: o.RedWon, Consensus: o.Consensus, Rounds: o.Rounds}
+	}
+
+	// Entry point 3: POST /v1/runs on a live server, polled to done.
+	mgr := serve.NewManager(serve.Config{Workers: 2})
+	defer mgr.Close(context.Background())
+	ts := httptest.NewServer(serve.NewServer(mgr))
+	defer ts.Close()
+
+	resp, err := http.Post(ts.URL+"/v1/runs", "application/json", bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var view serve.JobView
+	if err := json.NewDecoder(resp.Body).Decode(&view); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	deadline := time.Now().Add(30 * time.Second)
+	for view.State != serve.StateDone {
+		if time.Now().After(deadline) || view.State == serve.StateFailed {
+			t.Fatalf("server job ended %s (%s)", view.State, view.Error)
+		}
+		time.Sleep(2 * time.Millisecond)
+		r, err := http.Get(ts.URL + "/v1/runs/" + view.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := json.NewDecoder(r.Body).Decode(&view); err != nil {
+			t.Fatal(err)
+		}
+		r.Body.Close()
+	}
+	srv := make([]outcomeTriple, len(view.Result.Reports))
+	for i, o := range view.Result.Reports {
+		srv[i] = outcomeTriple{RedWon: o.RedWon, Consensus: o.Consensus, Rounds: o.Rounds}
+	}
+
+	// Byte-identical across all three.
+	libJSON, _ := json.Marshal(lib)
+	cliJSON, _ := json.Marshal(cli)
+	srvJSON, _ := json.Marshal(srv)
+	if !bytes.Equal(libJSON, cliJSON) {
+		t.Errorf("library and CLI outcomes differ:\nlib %s\ncli %s", libJSON, cliJSON)
+	}
+	if !bytes.Equal(libJSON, srvJSON) {
+		t.Errorf("library and server outcomes differ:\nlib %s\nsrv %s", libJSON, srvJSON)
+	}
+	if view.Result.Seed != runSpec.Seed {
+		t.Errorf("server replaced the explicit seed: %d vs %d", view.Result.Seed, runSpec.Seed)
+	}
+}
+
+// TestSimMainFlagsMatchSpecFile: the flag binder resolves to the same spec
+// (and therefore the same outcomes) as the equivalent -spec file.
+func TestSimMainFlagsMatchSpecFile(t *testing.T) {
+	args := []string{"-graph", "regular", "-n", "256", "-d", "8", "-delta", "0.15", "-trials", "3", "-seed", "5", "-json", "-quiet"}
+	var flagOut, errBuf bytes.Buffer
+	if code := SimMain(args, &flagOut, &errBuf); code != 0 {
+		t.Fatalf("flags run exited %d: %s", code, errBuf.String())
+	}
+	var flagRep repro.RunReport
+	if err := json.Unmarshal(flagOut.Bytes(), &flagRep); err != nil {
+		t.Fatal(err)
+	}
+
+	raw, err := json.Marshal(flagRep.Spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	specPath := filepath.Join(t.TempDir(), "run.json")
+	if err := os.WriteFile(specPath, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var fileOut bytes.Buffer
+	if code := SimMain([]string{"-spec", specPath, "-json"}, &fileOut, &errBuf); code != 0 {
+		t.Fatalf("spec-file run exited %d: %s", code, errBuf.String())
+	}
+	if !bytes.Equal(flagOut.Bytes(), fileOut.Bytes()) {
+		t.Errorf("flag-built and file-loaded specs diverge:\n%s\n%s", flagOut.String(), fileOut.String())
+	}
+}
+
+// TestGraphFlagsDerivations pins the historical CLI derivations now routed
+// through the registry.
+func TestGraphFlagsDerivations(t *testing.T) {
+	cases := []struct {
+		name string
+		in   GraphFlags
+		want spec.GraphSpec
+	}{
+		{"regular from alpha", GraphFlags{Family: "regular", N: 1024, Alpha: 0.5},
+			spec.GraphSpec{Family: "random-regular", N: 1024, D: 32, Seed: 9}},
+		{"regular odd nd bumped", GraphFlags{Family: "regular", N: 255, Alpha: 0.5},
+			spec.GraphSpec{Family: "random-regular", N: 255, D: 16, Seed: 9}},
+		{"regular saturates to Kn", GraphFlags{Family: "regular", N: 16, Alpha: 1},
+			spec.GraphSpec{Family: "complete-virtual", N: 16}},
+		{"complete is materialised", GraphFlags{Family: "complete", N: 64},
+			spec.GraphSpec{Family: "complete", N: 64}},
+		{"complete-virtual", GraphFlags{Family: "complete-virtual", N: 64},
+			spec.GraphSpec{Family: "complete-virtual", N: 64}},
+		{"gnp from alpha", GraphFlags{Family: "gnp", N: 100, Alpha: 1},
+			spec.GraphSpec{Family: "gnp", N: 100, P: 1, Seed: 9}},
+		{"dense passthrough", GraphFlags{Family: "dense", N: 128, Alpha: 0.7},
+			spec.GraphSpec{Family: "dense", N: 128, Alpha: 0.7, Seed: 9}},
+		{"torus side from n", GraphFlags{Family: "torus", N: 100},
+			spec.GraphSpec{Family: "torus", Rows: 10, Cols: 10}},
+		{"torus explicit", GraphFlags{Family: "torus", Rows: 4, Cols: 8},
+			spec.GraphSpec{Family: "torus", Rows: 4, Cols: 8}},
+		{"hypercube from n", GraphFlags{Family: "hypercube", N: 1024},
+			spec.GraphSpec{Family: "hypercube", Dim: 10}},
+		{"cycle", GraphFlags{Family: "cycle", N: 12},
+			spec.GraphSpec{Family: "cycle", N: 12}},
+		{"sbm explicit", GraphFlags{Family: "sbm", A: 60, B: 40, PIn: 0.4, POut: 0.1},
+			spec.GraphSpec{Family: "sbm", A: 60, B: 40, PIn: 0.4, POut: 0.1, Seed: 9}},
+	}
+	for _, c := range cases {
+		got, err := c.in.Spec(9)
+		if err != nil {
+			t.Errorf("%s: %v", c.name, err)
+			continue
+		}
+		if got != c.want {
+			t.Errorf("%s: got %+v, want %+v", c.name, got, c.want)
+		}
+	}
+
+	// sbm halves -n and derives probabilities when unset.
+	got, err := (&GraphFlags{Family: "sbm", N: 1000, Alpha: 0.6}).Spec(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.A != 500 || got.B != 500 || got.PIn <= 0 || got.POut <= 0 || got.POut >= got.PIn {
+		t.Errorf("sbm defaults wrong: %+v", got)
+	}
+
+	if _, err := (&GraphFlags{Family: "petersen", N: 10}).Spec(1); err == nil {
+		t.Error("unknown family accepted")
+	}
+
+	// Every registry family appears exactly once in the accepted names.
+	seen := map[string]int{}
+	for _, name := range FamilyNames() {
+		seen[name]++
+	}
+	for _, name := range spec.Families() {
+		if seen[name] != 1 {
+			t.Errorf("family %q appears %d times in FamilyNames", name, seen[name])
+		}
+	}
+}
+
+// TestGraphFlagsRegisterDefaults: field values at Register time become the
+// flag defaults, and parsed flags land in the spec.
+func TestGraphFlagsRegisterDefaults(t *testing.T) {
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	gf := &GraphFlags{Family: "regular", N: 2048, Alpha: 0.6, D: 32}
+	gf.Register(fs)
+	if err := fs.Parse([]string{"-graph", "sbm", "-a", "30", "-b", "20", "-pin", "0.5"}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := gf.Spec(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := spec.GraphSpec{Family: "sbm", A: 30, B: 20, PIn: 0.5, POut: 0.125, Seed: 3}
+	if got != want {
+		t.Errorf("got %+v, want %+v", got, want)
+	}
+}

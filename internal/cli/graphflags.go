@@ -1,0 +1,169 @@
+// Package cli hosts the flag→spec binding shared by cmd/bo3sim and
+// cmd/bo3sweep, plus the bo3sim entry point in library form so the
+// spec-equivalence tests can drive the CLI in-process. Both commands
+// resolve graph families through the spec registry and maintain no family
+// list of their own: the binder only adds per-family flag derivations
+// (alpha→d, n→torus side, …), families without derivations pass straight
+// through to the registry, and unknown names are rejected by it.
+package cli
+
+import (
+	"flag"
+	"math"
+	"sort"
+	"strings"
+
+	"repro/spec"
+)
+
+// GraphFlags binds the shared graph-selection flags. Zero-valued
+// family-specific fields are derived from -n and -alpha at Spec time, so
+// `-graph regular -n 16384 -alpha 0.6` works exactly like the historical
+// CLIs while `-d`, `-rows`, `-dim`, `-a`, … pin parameters explicitly.
+// Field values at Register time become the flag defaults, letting each
+// command choose its own.
+type GraphFlags struct {
+	Family     string
+	N          int
+	Alpha      float64
+	D          int
+	P          float64
+	Rows, Cols int
+	Dim        int
+	A, B       int
+	PIn, POut  float64
+}
+
+// cliAliases maps the historical CLI family names onto the registry.
+// Registry names always win: an alias may only name a family the registry
+// does not, so every registered family stays reachable from the flags.
+// (The historical "complete" shorthand is gone — "complete" now selects
+// the registry's materialised K_n; use "complete-virtual" for the O(1)
+// virtual graph the old shorthand meant.)
+var cliAliases = map[string]string{
+	"regular": "random-regular",
+}
+
+// FamilyNames lists every accepted -graph value, sorted: the spec
+// registry plus the CLI aliases.
+func FamilyNames() []string {
+	names := spec.Families()
+	for alias := range cliAliases {
+		names = append(names, alias)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Register installs the flags on fs, using the receiver's current field
+// values as defaults.
+func (f *GraphFlags) Register(fs *flag.FlagSet) {
+	fs.StringVar(&f.Family, "graph", f.Family, "graph family: "+strings.Join(FamilyNames(), "|"))
+	fs.IntVar(&f.N, "n", f.N, "number of vertices (n-parameterised families; split across communities for sbm)")
+	fs.Float64Var(&f.Alpha, "alpha", f.Alpha, "density exponent: derives d = ⌈n^alpha⌉ (regular/dense), p = n^(alpha-1) (gnp), and the sbm default pin when the explicit flags are zero")
+	fs.IntVar(&f.D, "d", f.D, "random-regular degree (0 = derive from -alpha)")
+	fs.Float64Var(&f.P, "p", f.P, "gnp edge probability (0 = derive from -alpha)")
+	fs.IntVar(&f.Rows, "rows", f.Rows, "torus rows (0 = derive from -n)")
+	fs.IntVar(&f.Cols, "cols", f.Cols, "torus cols (0 = derive from -n)")
+	fs.IntVar(&f.Dim, "dim", f.Dim, "hypercube dimension (0 = derive from -n)")
+	fs.IntVar(&f.A, "a", f.A, "sbm community size a (0 = n/2)")
+	fs.IntVar(&f.B, "b", f.B, "sbm community size b (0 = n - a)")
+	fs.Float64Var(&f.PIn, "pin", f.PIn, "sbm intra-community edge probability (0 = derive from -alpha)")
+	fs.Float64Var(&f.POut, "pout", f.POut, "sbm inter-community edge probability (0 = pin/4)")
+}
+
+// Spec resolves the flags to a canonical GraphSpec. seed becomes the
+// generator seed for the families that consume one. The returned spec is
+// validated by the registry.
+func (f *GraphFlags) Spec(seed uint64) (spec.GraphSpec, error) {
+	family := f.Family
+	if canonical, ok := cliAliases[family]; ok {
+		family = canonical
+	}
+	s := spec.GraphSpec{Family: family}
+	switch family {
+	case "random-regular":
+		d := f.D
+		if d <= 0 {
+			d = int(math.Ceil(math.Pow(float64(f.N), f.Alpha)))
+		}
+		if (f.N*d)%2 != 0 {
+			d++
+		}
+		if d >= f.N {
+			// The derived degree saturates: the family member is K_n.
+			s.Family = "complete-virtual"
+			s.N = f.N
+			break
+		}
+		s.N, s.D = f.N, d
+	case "gnp":
+		p := f.P
+		if p <= 0 {
+			p = math.Pow(float64(f.N), f.Alpha-1)
+		}
+		s.N, s.P = f.N, p
+	case "dense":
+		s.N, s.Alpha = f.N, f.Alpha
+	case "complete", "complete-virtual", "cycle":
+		s.N = f.N
+	case "torus":
+		rows, cols := f.Rows, f.Cols
+		if rows <= 0 && cols <= 0 {
+			side := int(math.Round(math.Sqrt(float64(f.N))))
+			if side < 3 {
+				side = 3
+			}
+			rows, cols = side, side
+		} else if rows <= 0 {
+			rows = cols
+		} else if cols <= 0 {
+			cols = rows
+		}
+		s.Rows, s.Cols = rows, cols
+	case "hypercube":
+		dim := f.Dim
+		if dim <= 0 {
+			dim = int(math.Round(math.Log2(float64(f.N))))
+			if dim < 2 {
+				dim = 2
+			}
+		}
+		s.Dim = dim
+	case "sbm":
+		a, b := f.A, f.B
+		if a <= 0 {
+			a = f.N / 2
+		}
+		if b <= 0 {
+			b = f.N - a
+		}
+		pin, pout := f.PIn, f.POut
+		if pin <= 0 {
+			// Dense enough that isolated vertices are vanishingly unlikely
+			// at either community size: alpha-derived, floored at 16·ln n/n.
+			n := float64(a + b)
+			pin = math.Max(math.Pow(n, f.Alpha-1), 16*math.Log(n)/n)
+		}
+		if pout <= 0 {
+			pout = pin / 4
+		}
+		s.A, s.B, s.PIn, s.POut = a, b, pin, pout
+	default:
+		// A family registered in spec but without CLI derivations of its
+		// own still works: every flag maps straight onto its spec field,
+		// and the registry's validation decides what the family consumes.
+		// Only names absent from the registry are rejected (by Validate
+		// below) — the binder never maintains its own family list.
+		s.N, s.D, s.P, s.Alpha = f.N, f.D, f.P, f.Alpha
+		s.Rows, s.Cols, s.Dim = f.Rows, f.Cols, f.Dim
+		s.A, s.B, s.PIn, s.POut = f.A, f.B, f.PIn, f.POut
+	}
+	if spec.FamilySeeded(s.Family) {
+		s.Seed = seed
+	}
+	if err := s.Validate(); err != nil {
+		return spec.GraphSpec{}, err
+	}
+	return s, nil
+}

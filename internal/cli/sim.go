@@ -1,0 +1,186 @@
+package cli
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"os"
+
+	"repro"
+	"repro/internal/trace"
+	"repro/spec"
+)
+
+// SimMain is the bo3sim command in library form: it parses args (without
+// the program name), runs the spec through the shared repro.Runner, and
+// writes the report to stdout. The exit code is 0 on success, 1 on a
+// usage/run error, and 2 when any trial missed consensus — so the same
+// code path is testable in-process and byte-comparable with the library
+// and the HTTP server.
+func SimMain(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("bo3sim", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+
+	gf := &GraphFlags{Family: "regular", N: 1 << 14, Alpha: 0.6}
+	gf.Register(fs)
+	var (
+		delta     = fs.Float64("delta", 0.05, "initial imbalance: P(blue) = 1/2 - delta")
+		k         = fs.Int("k", 3, "neighbours sampled per round (1 = voter model)")
+		tie       = fs.String("tie", "keep", "tie rule for even k: keep|random")
+		noise     = fs.Float64("noise", 0, "per-sample misreporting probability in [0, 0.5]")
+		noReplace = fs.Bool("noreplace", false, "sample k distinct neighbours (ablation rule)")
+		trials    = fs.Int("trials", 1, "independent trials (trial i is seeded ChildSeed(seed, i))")
+		seed      = fs.Uint64("seed", 1, "run seed (runs are deterministic per seed)")
+		maxRounds = fs.Int("maxrounds", 0, "round budget (0 = auto from prediction)")
+		quiet     = fs.Bool("quiet", false, "suppress the per-round trajectory")
+		specPath  = fs.String("spec", "", "read the RunSpec from this JSON file instead of the flags")
+		jsonOut   = fs.Bool("json", false, "print the aggregate report as JSON")
+		traceCSV  = fs.String("trace", "", "write trial 0's trajectory to this CSV file")
+		traceJSON = fs.String("tracejson", "", "write trial 0's full run record to this JSON file")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 1
+	}
+	fail := func(err error) int {
+		fmt.Fprintf(stderr, "bo3sim: %v\n", err)
+		return 1
+	}
+
+	var runSpec spec.RunSpec
+	if *specPath != "" {
+		data, err := os.ReadFile(*specPath)
+		if err != nil {
+			return fail(err)
+		}
+		if err := json.Unmarshal(data, &runSpec); err != nil {
+			return fail(fmt.Errorf("parsing %s: %w", *specPath, err))
+		}
+	} else {
+		g, err := gf.Spec(*seed)
+		if err != nil {
+			return fail(err)
+		}
+		runSpec = spec.RunSpec{
+			Graph:     g,
+			Delta:     *delta,
+			Trials:    *trials,
+			MaxRounds: *maxRounds,
+			Seed:      *seed,
+			Rule:      &spec.RuleSpec{K: *k, Tie: *tie, Noise: *noise, WithoutReplacement: *noReplace},
+		}
+	}
+
+	opts := []repro.RunnerOption{}
+	live := !*quiet && !*jsonOut && runSpec.Trials <= 1
+	// Set once the topology is built, before Run fires the observer.
+	nVertices := 1.0
+	if live {
+		// Single-trial interactive mode: stream the trajectory as the run
+		// executes instead of replaying it afterwards.
+		opts = append(opts, repro.WithObserver(func(_, round, blues int) {
+			fmt.Fprintf(stdout, "%5d  %10d  %.6f\n", round, blues, float64(blues)/nVertices)
+		}))
+	}
+	runner, err := repro.NewRunner(runSpec, opts...)
+	if err != nil {
+		return fail(err)
+	}
+	runSpec = runner.Spec() // normalised (Trials default applied)
+	g, err := runner.Topology()
+	if err != nil {
+		return fail(err)
+	}
+	nVertices = math.Max(1, float64(g.N()))
+
+	if !*jsonOut {
+		fmt.Fprintf(stdout, "graph       %s\n", g.Name())
+		fmt.Fprintf(stdout, "protocol    %s\n", runSpec.Rule.Name())
+		fmt.Fprintf(stdout, "delta       %.4f\n", runSpec.Delta)
+		pre := repro.CheckPrecondition(g, runSpec.Delta)
+		fmt.Fprintf(stdout, "theorem 1   %s\n", pre)
+		if !pre.Satisfied() {
+			fmt.Fprintln(stdout, "note        instance is outside Theorem 1's hypotheses; behaviour is not guaranteed")
+		}
+		if runSpec.Delta < pre.NoiseFloor {
+			fmt.Fprintf(stdout, "note        delta below the finite-size noise floor %.4f; the sampled majority may be blue\n",
+				pre.NoiseFloor)
+		}
+		if live {
+			fmt.Fprintln(stdout, "round  blue-count  blue-fraction")
+		}
+	}
+
+	rep, err := runner.Run(context.Background())
+	if err != nil {
+		return fail(err)
+	}
+
+	switch {
+	case *jsonOut:
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			return fail(err)
+		}
+	case runSpec.Trials > 1:
+		if !*quiet {
+			fmt.Fprintln(stdout, "trial  consensus  red-won  rounds")
+			for _, o := range rep.Outcomes {
+				fmt.Fprintf(stdout, "%5d  %9v  %7v  %6d\n", o.Trial, o.Consensus, o.RedWon, o.Rounds)
+			}
+		}
+		fmt.Fprintf(stdout, "result      trials=%d redWins=%d consensus=%d meanRounds=%.2f maxRounds=%d predicted=%d\n",
+			runSpec.Trials, rep.RedWins, rep.ConsensusCount, rep.MeanRounds, rep.MaxRounds, rep.PredictedRounds)
+	default:
+		// Single trial, not quiet: the live observer above already printed
+		// the trajectory.
+		first := rep.Reports[0]
+		fmt.Fprintf(stdout, "result      consensus=%v redWon=%v rounds=%d predicted=%d\n",
+			first.Consensus, first.RedWon, first.Rounds, rep.PredictedRounds)
+	}
+
+	if *traceCSV != "" || *traceJSON != "" {
+		first := rep.Reports[0]
+		run := &trace.Run{
+			Graph:      g.Name(),
+			Protocol:   rep.RuleName,
+			N:          g.N(),
+			Delta:      runSpec.Delta,
+			Seed:       rep.Outcomes[0].Seed,
+			Consensus:  first.Consensus,
+			RedWon:     first.RedWon,
+			Rounds:     first.Rounds,
+			BlueCounts: first.BlueTrajectory,
+		}
+		if *traceCSV != "" {
+			if err := writeFile(*traceCSV, run.WriteCSV); err != nil {
+				return fail(err)
+			}
+		}
+		if *traceJSON != "" {
+			if err := writeFile(*traceJSON, run.WriteJSON); err != nil {
+				return fail(err)
+			}
+		}
+	}
+	if rep.ConsensusCount < runSpec.Trials {
+		return 2
+	}
+	return 0
+}
+
+// writeFile creates path and streams write into it, reporting close errors.
+func writeFile(path string, write func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -5,6 +5,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -104,12 +105,26 @@ type Options struct {
 	// Rule overrides the protocol (zero value = Best-of-Three). Exposed so
 	// the facade also serves the baseline protocols.
 	Rule dynamics.Rule
+	// OnRound, when non-nil, is invoked after every recorded blue count —
+	// first with (0, initial count), then once per executed round — on the
+	// goroutine driving the run. It must not retain the process.
+	OnRound func(round, blueCount int)
 }
 
 // RunBestOfThree initialises each vertex independently Blue with
 // probability 1/2 − delta (Red otherwise) and runs the protocol to
-// consensus, returning the full report.
+// consensus, returning the full report. It cannot be cancelled; Run is the
+// context-aware entry point.
 func RunBestOfThree(g Topology, delta float64, opt Options) (Report, error) {
+	return Run(context.Background(), g, delta, opt)
+}
+
+// Run is RunBestOfThree with cancellation and per-round observation: the
+// context is checked between rounds, and a cancelled run returns the
+// partial report (trajectory up to the last completed round) together with
+// ctx.Err(). For a fixed seed and worker count the trajectory is identical
+// to RunBestOfThree's.
+func Run(ctx context.Context, g Topology, delta float64, opt Options) (Report, error) {
 	if delta < 0 || delta > 0.5 {
 		return Report{}, fmt.Errorf("core: delta = %v outside [0, 0.5]", delta)
 	}
@@ -129,13 +144,39 @@ func RunBestOfThree(g Topology, delta float64, opt Options) (Report, error) {
 	if err != nil {
 		return Report{}, err
 	}
-	res := proc.Run(budget)
-	return Report{
-		Consensus:       res.Consensus,
-		RedWon:          res.Winner == opinion.Red,
-		Rounds:          res.Rounds,
-		PredictedRounds: predicted,
-		BlueTrajectory:  res.BlueTrajectory,
-		Precondition:    pre,
-	}, nil
+
+	rep := Report{PredictedRounds: predicted, Precondition: pre}
+	blues := proc.Config().Blues()
+	rep.BlueTrajectory = []int{blues}
+	if opt.OnRound != nil {
+		opt.OnRound(0, blues)
+	}
+	finish := func(err error) (Report, error) {
+		rep.Rounds = proc.Round()
+		if col, ok := proc.Config().IsConsensus(); ok {
+			rep.Consensus = true
+			rep.RedWon = col == opinion.Red
+		} else {
+			rep.RedWon = proc.Config().Majority() == opinion.Red
+		}
+		return rep, err
+	}
+	for proc.Round() < budget {
+		if col, ok := proc.Config().IsConsensus(); ok {
+			rep.Consensus = true
+			rep.RedWon = col == opinion.Red
+			rep.Rounds = proc.Round()
+			return rep, nil
+		}
+		if err := ctx.Err(); err != nil {
+			return finish(err)
+		}
+		proc.Step()
+		blues = proc.Config().Blues()
+		rep.BlueTrajectory = append(rep.BlueTrajectory, blues)
+		if opt.OnRound != nil {
+			opt.OnRound(proc.Round(), blues)
+		}
+	}
+	return finish(nil)
 }

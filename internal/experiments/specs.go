@@ -1,0 +1,117 @@
+package experiments
+
+import (
+	"sort"
+
+	"repro/spec"
+)
+
+// This file expresses the experiment suite's parameter grids as spec.Grid
+// values — the same type POST /v1/sweeps consumes — so the registry's
+// "sweep grid" column in DESIGN.md is executable code rather than prose,
+// and the CLIs, the server, and the suite enumerate cells from one type.
+
+// Grids returns the server-sweepable slice of the E1–E21 registry as
+// spec grids, scaled by cfg (trials per cell, largest n, seed). Entries
+// built on dual objects, per-round trajectories, or engine variants not
+// exposed over the wire are library-only and absent here; DESIGN.md's
+// registry table records why, entry by entry.
+func Grids(cfg Config) map[string]spec.Grid {
+	ns := nsUpTo(cfg.MaxN)
+	trials := []int{cfg.Trials}
+	return map[string]spec.Grid{
+		// E1: consensus time vs n across the dense families.
+		"E1": {
+			Graphs: []spec.GraphSpec{
+				{Family: "dense", Alpha: 0.6, Seed: cfg.Seed},
+				{Family: "gnp", P: 0.05, Seed: cfg.Seed},
+				{Family: "complete-virtual"},
+			},
+			NS:     ns,
+			Deltas: []float64{0.05},
+			Trials: trials,
+		},
+		// E2: δ-dependence at fixed n.
+		"E2": {
+			Graphs: []spec.GraphSpec{{Family: "dense", N: cfg.MaxN, Alpha: 0.6, Seed: cfg.Seed}},
+			Deltas: []float64{0.2, 0.1, 0.05, 0.02, 0.01},
+			Trials: trials,
+		},
+		// E9: protocol baselines; the generous round cap keeps the k = 1
+		// voter model from being cut off.
+		"E9": {
+			Graphs: []spec.GraphSpec{
+				{Family: "complete-virtual"},
+				{Family: "random-regular", D: 32, Seed: cfg.Seed},
+			},
+			NS:     ns[len(ns)-1:],
+			Deltas: []float64{0.1},
+			Ks:     []int{1, 2, 3, 5},
+			Trials: trials,
+		},
+		// E10: density gate — inside vs outside the paper's class.
+		"E10": {
+			Graphs: []spec.GraphSpec{
+				{Family: "dense", Alpha: 0.7, Seed: cfg.Seed},
+				{Family: "dense", Alpha: 0.3, Seed: cfg.Seed},
+				{Family: "cycle"},
+			},
+			NS:     ns[len(ns)-1:],
+			Deltas: []float64{0.05},
+			Trials: trials,
+		},
+		// E20: the simulated side of the exact-chain validation.
+		"E20": {
+			Graphs: []spec.GraphSpec{{Family: "complete-virtual"}},
+			NS:     []int{256, 512, 1024},
+			Deltas: []float64{0.05},
+			Trials: trials,
+		},
+	}
+}
+
+// GridIDs returns the sweepable experiment ids, sorted.
+func GridIDs(cfg Config) []string {
+	grids := Grids(cfg)
+	ids := make([]string, 0, len(grids))
+	for id := range grids {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// nsUpTo lists the power-of-two size axis 2^10 … maxN the scaling
+// experiments sweep.
+func nsUpTo(maxN int) []int {
+	var ns []int
+	for n := 1 << 10; n <= maxN; n <<= 1 {
+		ns = append(ns, n)
+	}
+	if len(ns) == 0 {
+		ns = []int{maxN}
+	}
+	return ns
+}
+
+// LoadTestGrid is the n × δ grid bo3sweep replays against a running
+// bo3serve instance — as one /v1/sweeps request or as per-cell /v1/runs
+// calls — built around an arbitrary topology template from the spec
+// registry. Templates of n-parameterised families are crossed with the
+// size axis; fixed-size families (torus, hypercube, sbm) sweep δ only.
+func LoadTestGrid(template spec.GraphSpec, quick bool, trials int) spec.Grid {
+	g := spec.Grid{
+		Graphs: []spec.GraphSpec{template},
+		NS:     []int{1 << 10, 1 << 12, 1 << 14},
+		Deltas: []float64{0.02, 0.05, 0.1, 0.2},
+		Trials: []int{trials},
+	}
+	if quick {
+		g.NS = []int{1 << 9, 1 << 10}
+		g.Deltas = []float64{0.05, 0.2}
+	}
+	if !spec.FamilyUsesN(template.Family) {
+		g.NS = nil
+	}
+	return g
+}

@@ -1,0 +1,59 @@
+package experiments
+
+import (
+	"testing"
+
+	"repro/spec"
+)
+
+// TestGridsAreServable: every registry grid validates, stays under the
+// server's default sweep cap, and expands into cells that pass the same
+// admission limits bo3serve applies — so `bo3sweep -serve -grid <id>` can
+// never submit a grid the server rejects.
+func TestGridsAreServable(t *testing.T) {
+	limits := spec.Limits{MaxN: 1 << 22, MaxEdges: 1 << 27, MaxTrials: 4096, MaxRounds: 1 << 20}
+	const maxSweepCells = 4096
+	for _, cfg := range []Config{Quick(), Default()} {
+		for id, grid := range Grids(cfg) {
+			grid.Normalize()
+			if err := grid.Validate(); err != nil {
+				t.Errorf("%s: grid invalid: %v", id, err)
+				continue
+			}
+			count, err := grid.CellCount()
+			if err != nil || count == 0 || count > maxSweepCells {
+				t.Errorf("%s: cell count %d, err %v", id, count, err)
+				continue
+			}
+			cells := grid.Expand(cfg.Seed, 0)
+			if len(cells) != count {
+				t.Errorf("%s: expanded %d cells, count says %d", id, len(cells), count)
+			}
+			for i := range cells {
+				if err := cells[i].ValidateLimits(limits); err != nil {
+					t.Errorf("%s: cell %d: %v", id, i, err)
+					break
+				}
+			}
+		}
+	}
+	if ids := GridIDs(Quick()); len(ids) == 0 {
+		t.Error("no sweepable grids registered")
+	}
+}
+
+// TestLoadTestGrid: n-parameterised templates cross the size axis;
+// fixed-size families drop it.
+func TestLoadTestGrid(t *testing.T) {
+	rr := LoadTestGrid(spec.GraphSpec{Family: "random-regular", D: 32, Seed: 1}, true, 8)
+	if len(rr.NS) == 0 || len(rr.Deltas) == 0 || rr.Trials[0] != 8 {
+		t.Errorf("load-test grid malformed: %+v", rr)
+	}
+	sbm := LoadTestGrid(spec.GraphSpec{Family: "sbm", A: 256, B: 256, PIn: 0.1, POut: 0.02, Seed: 1}, true, 4)
+	if len(sbm.NS) != 0 {
+		t.Errorf("sbm template kept the NS axis: %+v", sbm)
+	}
+	if err := sbm.Validate(); err != nil {
+		t.Errorf("sbm load-test grid invalid: %v", err)
+	}
+}

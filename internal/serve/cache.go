@@ -86,7 +86,7 @@ func (c *GraphCache) Get(spec GraphSpec) (core.Topology, bool, error) {
 	c.building[key] = call
 	c.mu.Unlock()
 
-	call.g, call.err = spec.build()
+	call.g, call.err = spec.Build()
 	close(call.done)
 
 	c.mu.Lock()

@@ -5,15 +5,15 @@ import (
 	"testing"
 )
 
-func spec(n int) GraphSpec { return GraphSpec{Family: "cycle", N: n} }
+func cycleSpec(n int) GraphSpec { return GraphSpec{Family: "cycle", N: n} }
 
 func TestCacheHitOnSecondGet(t *testing.T) {
 	c := NewGraphCache(4)
-	g1, hit, err := c.Get(spec(10))
+	g1, hit, err := c.Get(cycleSpec(10))
 	if err != nil || hit {
 		t.Fatalf("first get: hit = %v, err = %v", hit, err)
 	}
-	g2, hit, err := c.Get(spec(10))
+	g2, hit, err := c.Get(cycleSpec(10))
 	if err != nil || !hit {
 		t.Fatalf("second get: hit = %v, err = %v", hit, err)
 	}
@@ -35,7 +35,7 @@ func TestCacheKeyCanonicalisation(t *testing.T) {
 		t.Errorf("keys differ: %q vs %q", a.Key(), b.Key())
 	}
 	// Distinct parameters must split.
-	if spec(10).Key() == spec(12).Key() {
+	if cycleSpec(10).Key() == cycleSpec(12).Key() {
 		t.Error("distinct specs share a key")
 	}
 	c := GraphSpec{Family: "random-regular", N: 64, D: 4, Seed: 1}
@@ -48,20 +48,20 @@ func TestCacheKeyCanonicalisation(t *testing.T) {
 func TestCacheEvictionLRU(t *testing.T) {
 	c := NewGraphCache(2)
 	for _, n := range []int{10, 11} {
-		if _, _, err := c.Get(spec(n)); err != nil {
+		if _, _, err := c.Get(cycleSpec(n)); err != nil {
 			t.Fatal(err)
 		}
 	}
 	// Touch 10 so 11 is the LRU victim.
-	if _, hit, _ := c.Get(spec(10)); !hit {
+	if _, hit, _ := c.Get(cycleSpec(10)); !hit {
 		t.Fatal("expected hit on resident entry")
 	}
-	if _, _, err := c.Get(spec(12)); err != nil {
+	if _, _, err := c.Get(cycleSpec(12)); err != nil {
 		t.Fatal(err)
 	}
-	if !c.Contains(spec(10)) || c.Contains(spec(11)) || !c.Contains(spec(12)) {
+	if !c.Contains(cycleSpec(10)) || c.Contains(cycleSpec(11)) || !c.Contains(cycleSpec(12)) {
 		t.Errorf("LRU eviction wrong: 10 in = %v, 11 in = %v, 12 in = %v",
-			c.Contains(spec(10)), c.Contains(spec(11)), c.Contains(spec(12)))
+			c.Contains(cycleSpec(10)), c.Contains(cycleSpec(11)), c.Contains(cycleSpec(12)))
 	}
 	if s := c.Stats(); s.Evictions != 1 || s.Size != 2 {
 		t.Errorf("stats = %+v, want 1 eviction at size 2", s)

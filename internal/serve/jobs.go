@@ -4,18 +4,19 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"math"
 	"runtime"
 	"sync"
 	"time"
 
-	"repro/internal/core"
+	"repro"
 	"repro/internal/rng"
 	"repro/internal/sim"
-	"repro/internal/theory"
+	"repro/spec"
 )
 
-// Limits bound what a single request may ask of the server.
+// Limits bound what a single request may ask of the server. The
+// graph/rule/run checks themselves live in the spec package; these are
+// only the admission ceilings this server plugs into them.
 type Limits struct {
 	// MaxN is the largest admissible vertex count.
 	MaxN int
@@ -28,6 +29,11 @@ type Limits struct {
 	// MaxSweepCells caps how many child runs one sweep grid may expand
 	// into.
 	MaxSweepCells int
+}
+
+// spec converts the admission ceilings to the spec package's limit type.
+func (l Limits) spec() spec.Limits {
+	return spec.Limits{MaxN: l.MaxN, MaxEdges: l.MaxEdges, MaxTrials: l.MaxTrials, MaxRounds: l.MaxRounds}
 }
 
 // DefaultLimits are sized for a few GiB of RAM: the largest admissible CSR
@@ -180,7 +186,7 @@ func (m *Manager) Cache() *GraphCache { return m.cache }
 // returned view is in state "queued". A full queue fails fast with
 // ErrQueueFull rather than blocking the client.
 func (m *Manager) Submit(req RunRequest) (JobView, error) {
-	if err := req.validate(m.cfg.Limits); err != nil {
+	if err := validateRun(&req, m.cfg.Limits); err != nil {
 		m.mu.Lock()
 		m.rejected++
 		m.mu.Unlock()
@@ -447,16 +453,14 @@ func (m *Manager) worker() {
 	}
 }
 
-// run executes one job: fetch the graph from the pool, fan the trials out
-// over the sim harness with per-trial seeds derived from the job seed, and
-// aggregate.
+// run executes one job: fetch the graph from the pool, hand the spec to
+// the shared repro.Runner (which derives per-trial seeds from the job seed
+// via the ChildSeed tree), and aggregate. Because the Runner is the same
+// code path the library and the CLIs execute, a job's per-trial outcomes
+// are byte-identical to running its spec anywhere else.
 func (m *Manager) run(ctx context.Context, j *job) (*RunResult, error) {
 	req := j.req
 	g, cacheHit, err := m.cache.Get(req.Graph)
-	if err != nil {
-		return nil, err
-	}
-	rule, err := req.Rule.rule()
 	if err != nil {
 		return nil, err
 	}
@@ -464,51 +468,63 @@ func (m *Manager) run(ctx context.Context, j *job) (*RunResult, error) {
 	if jobSeed == 0 {
 		jobSeed = rng.ChildSeed(m.cfg.RootSeed, j.seq)
 	}
-
-	// A single-trial job parallelises inside the engine; multi-trial jobs
-	// parallelise across trials with a sequential engine per trial, which
-	// avoids oversubscribing the scheduler.
-	engineWorkers := 0
-	if req.Trials > 1 {
-		engineWorkers = 1
-	}
-
-	start := time.Now()
-	reports := make([]TrialReport, req.Trials)
-	var trialMu sync.Mutex
-	var trialErr error
-	_, err = sim.RunOutcomesContext(ctx, req.Trials, jobSeed, m.cfg.TrialParallelism,
-		func(i int, _ *rng.Source) sim.Outcome {
-			rep, rerr := core.RunBestOfThree(g, req.Delta, core.Options{
-				Seed:      rng.ChildSeed(jobSeed, uint64(i)),
-				MaxRounds: req.MaxRounds,
-				Workers:   engineWorkers,
-				Rule:      rule,
-			})
-			if rerr != nil {
-				trialMu.Lock()
-				if trialErr == nil {
-					trialErr = rerr
-				}
-				trialMu.Unlock()
-				return sim.Outcome{}
-			}
-			reports[i] = TrialReport{RedWon: rep.RedWon, Consensus: rep.Consensus, Rounds: rep.Rounds}
-			return sim.Outcome{Rounds: float64(rep.Rounds), Win: rep.RedWon}
-		})
+	runSpec := req
+	runSpec.Seed = jobSeed
+	// The Runner's canonical engine configuration (one engine worker per
+	// trial) is deliberately left in place: it is what makes a job's
+	// outcomes byte-identical to the same spec run through the library or
+	// bo3sim, at the cost of in-engine parallelism for single-trial jobs
+	// (trial-level parallelism is unaffected).
+	runner, err := repro.NewRunner(runSpec,
+		repro.WithTopology(g),
+		repro.WithWorkers(m.cfg.TrialParallelism))
 	if err != nil {
 		return nil, err
 	}
-	if trialErr != nil {
-		return nil, trialErr
-	}
+	runSpec = runner.Spec()
 
-	pre := core.CheckPrecondition(g, req.Delta)
+	// Consume the trial stream rather than the aggregate report: each
+	// trial's trajectory is dropped as soon as its summary is recorded, so
+	// a max-size job holds O(TrialParallelism) trajectories in memory, not
+	// all of them at once.
+	start := time.Now()
+	stream, err := runner.Stream(ctx)
+	if err != nil {
+		return nil, err
+	}
+	reports := make([]TrialReport, runSpec.Trials)
+	var firstErr error
+	var predicted int
+	var pre string
+	var preOK bool
+	for tr := range stream {
+		if tr.Err != nil {
+			if firstErr == nil {
+				firstErr = tr.Err
+			}
+			continue
+		}
+		reports[tr.Trial] = TrialReport{RedWon: tr.Report.RedWon, Consensus: tr.Report.Consensus, Rounds: tr.Report.Rounds}
+		// Instance-level diagnostics are identical across trials; keep one.
+		predicted = tr.Report.PredictedRounds
+		pre = tr.Report.Precondition.String()
+		preOK = tr.Report.Precondition.Satisfied()
+	}
+	if firstErr == nil {
+		firstErr = ctx.Err()
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	rule, err := runSpec.DynamicsRule()
+	if err != nil {
+		return nil, err
+	}
 	res := &RunResult{
-		Trials:          req.Trials,
-		PredictedRounds: theory.PredictedRounds(g.N(), float64(g.MinDegree()), math.Max(req.Delta, 1e-6)),
-		Precondition:    pre.String(),
-		PreconditionOK:  pre.Satisfied(),
+		Trials:          runSpec.Trials,
+		PredictedRounds: predicted,
+		Precondition:    pre,
+		PreconditionOK:  preOK,
 		Seed:            jobSeed,
 		GraphName:       g.Name(),
 		Rule:            rule.Name(),

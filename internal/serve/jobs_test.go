@@ -108,11 +108,11 @@ func TestManagerRejectsInvalidRequests(t *testing.T) {
 	m := NewManager(Config{Workers: 1})
 	defer m.Close(context.Background())
 	for name, req := range map[string]RunRequest{
-		"bad delta":      {Graph: spec(10), Delta: 0.7},
+		"bad delta":      {Graph: cycleSpec(10), Delta: 0.7},
 		"bad family":     {Graph: GraphSpec{Family: "petersen", N: 10}, Delta: 0.1},
 		"missing n":      {Graph: GraphSpec{Family: "cycle"}, Delta: 0.1},
 		"odd nd":         {Graph: GraphSpec{Family: "random-regular", N: 9, D: 3}, Delta: 0.1},
-		"too many runs":  {Graph: spec(10), Delta: 0.1, Trials: 1 << 30},
+		"too many runs":  {Graph: cycleSpec(10), Delta: 0.1, Trials: 1 << 30},
 		"dim overflow":   {Graph: GraphSpec{Family: "hypercube", Dim: 63}, Delta: 0.1},
 		"dim wraparound": {Graph: GraphSpec{Family: "hypercube", Dim: 64}, Delta: 0.1},
 		"torus overflow": {Graph: GraphSpec{Family: "torus", Rows: 1 << 32, Cols: 1 << 32}, Delta: 0.1},

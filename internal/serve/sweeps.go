@@ -4,7 +4,6 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"math"
 	"sync"
 	"time"
 
@@ -13,113 +12,9 @@ import (
 	"repro/internal/stats"
 )
 
-// SweepGrid is the cross-product parameter grid of a sweep. Cells are the
-// product of every non-empty axis; empty optional axes take the documented
-// single-value default. Expansion order puts the topology axes outermost,
-// so consecutive cells share a graph and all but the first per topology
-// hit the server's graph pool.
-type SweepGrid struct {
-	// Graphs lists the topology templates. With NS set, each template's N
-	// is overridden by every value of the NS axis, so templates may leave
-	// it zero; every family must then be n-parameterised (not torus or
-	// hypercube).
-	Graphs []GraphSpec `json:"graphs"`
-	// NS is the optional vertex-count axis crossed with Graphs.
-	NS []int `json:"ns,omitempty"`
-	// Deltas is the initial-imbalance axis, each in [0, 0.5].
-	Deltas []float64 `json:"deltas"`
-	// Ks is the Best-of-k sample-count axis (default [3]).
-	Ks []int `json:"ks,omitempty"`
-	// Ties is the tie-rule axis, "keep" or "random" (default ["keep"]).
-	Ties []string `json:"ties,omitempty"`
-	// Trials is the trials-per-cell axis (default [1]).
-	Trials []int `json:"trials,omitempty"`
-}
-
-// normalize applies the single-value axis defaults in place.
-func (g *SweepGrid) normalize() {
-	if len(g.Ks) == 0 {
-		g.Ks = []int{3}
-	}
-	if len(g.Ties) == 0 {
-		g.Ties = []string{"keep"}
-	}
-	if len(g.Trials) == 0 {
-		g.Trials = []int{1}
-	}
-}
-
-// cellCount multiplies the axis lengths with overflow checks, so a huge
-// grid reports "too many cells" instead of wrapping into a small positive
-// count that slips past the cap.
-func (g SweepGrid) cellCount() (int, error) {
-	return safeProduct(len(g.Graphs), max(len(g.NS), 1), len(g.Deltas), len(g.Ks), len(g.Ties), len(g.Trials))
-}
-
-// safeProduct multiplies axis lengths, treating empty axes as single-value
-// and failing on int overflow rather than wrapping.
-func safeProduct(axes ...int) (int, error) {
-	count := 1
-	for _, axis := range axes {
-		if axis == 0 {
-			axis = 1
-		}
-		if count > math.MaxInt/axis {
-			return 0, fmt.Errorf("sweep: grid cell count overflows")
-		}
-		count *= axis
-	}
-	return count, nil
-}
-
-// usesN reports whether the family consumes the N parameter.
-func usesN(family string) bool {
-	switch family {
-	case "torus", "hypercube":
-		return false
-	}
-	return true
-}
-
-// expand enumerates the grid into per-cell run requests, topology axes
-// outermost. Cell i gets the deterministic seed rng.ChildSeed(sweepSeed, i)
-// regardless of scheduling, so two sweeps with the same seed and grid
-// produce identical cells.
-func (g SweepGrid) expand(sweepSeed uint64, maxRounds int) []RunRequest {
-	ns := g.NS
-	if len(ns) == 0 {
-		ns = []int{0} // keep each template's own N
-	}
-	cells := make([]RunRequest, 0)
-	for _, tmpl := range g.Graphs {
-		for _, n := range ns {
-			gs := tmpl
-			if n > 0 {
-				gs.N = n
-			}
-			for _, delta := range g.Deltas {
-				for _, k := range g.Ks {
-					for _, tie := range g.Ties {
-						for _, trials := range g.Trials {
-							cells = append(cells, RunRequest{
-								Graph:     gs,
-								Delta:     delta,
-								Trials:    trials,
-								MaxRounds: maxRounds,
-								Seed:      rng.ChildSeed(sweepSeed, uint64(len(cells))),
-								Rule:      &RuleSpec{K: k, Tie: tie},
-							})
-						}
-					}
-				}
-			}
-		}
-	}
-	return cells
-}
-
-// SweepRequest is the body of POST /v1/sweeps: expand Grid into child runs
-// and execute them on the job pool under one sweep ID.
+// SweepRequest is the body of POST /v1/sweeps: expand Grid (a spec.Grid;
+// the experiment suite enumerates the very same type) into child runs and
+// execute them on the job pool under one sweep ID.
 type SweepRequest struct {
 	Grid SweepGrid `json:"grid"`
 	// MaxRounds caps every cell's runs; 0 uses the theory-derived default.
@@ -268,21 +163,11 @@ func (m *Manager) SubmitSweep(req SweepRequest) (SweepView, error) {
 }
 
 func (m *Manager) submitSweep(req SweepRequest) (SweepView, error) {
-	req.Grid.normalize()
-	if len(req.Grid.Graphs) == 0 {
-		return SweepView{}, errors.New("sweep: grid.graphs must list at least one topology")
+	req.Grid.Normalize()
+	if err := req.Grid.Validate(); err != nil {
+		return SweepView{}, err
 	}
-	if len(req.Grid.Deltas) == 0 {
-		return SweepView{}, errors.New("sweep: grid.deltas must list at least one imbalance")
-	}
-	if len(req.Grid.NS) > 0 {
-		for _, g := range req.Grid.Graphs {
-			if !usesN(g.Family) {
-				return SweepView{}, fmt.Errorf("sweep: family %q does not take n; drop it from grid.graphs or omit grid.ns", g.Family)
-			}
-		}
-	}
-	count, err := req.Grid.cellCount()
+	count, err := req.Grid.CellCount()
 	if err != nil {
 		return SweepView{}, err
 	}
@@ -301,9 +186,9 @@ func (m *Manager) submitSweep(req SweepRequest) (SweepView, error) {
 	// thousand validations still should not stall every snapshot reader.
 	// Cell seeds are assigned under the lock below, where the sweep index
 	// that may feed the sweep seed is reserved.
-	reqs := req.Grid.expand(req.Seed, req.MaxRounds)
+	reqs := req.Grid.Expand(req.Seed, req.MaxRounds)
 	for i := range reqs {
-		if err := reqs[i].validate(m.cfg.Limits); err != nil {
+		if err := validateRun(&reqs[i], m.cfg.Limits); err != nil {
 			return SweepView{}, fmt.Errorf("sweep: cell %d: %w", i, err)
 		}
 	}

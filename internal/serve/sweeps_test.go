@@ -5,7 +5,6 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
-	"math"
 	"net/http"
 	"testing"
 	"time"
@@ -205,24 +204,6 @@ func TestSweepValidation(t *testing.T) {
 	doJSON(t, http.MethodGet, ts.URL+"/v1/stats", nil, http.StatusOK, &stats)
 	if int(stats.SweepsRejected) != len(cases) || stats.SweepsSubmitted != 0 {
 		t.Errorf("rejected = %d, submitted = %d, want %d rejected", stats.SweepsRejected, stats.SweepsSubmitted, len(cases))
-	}
-}
-
-// TestSafeProduct pins the overflow-safe cell counting: axis sizes whose
-// product wraps int must be reported as an error, never as a small count.
-func TestSafeProduct(t *testing.T) {
-	if n, err := safeProduct(3, 2, 2); err != nil || n != 12 {
-		t.Errorf("safeProduct(3,2,2) = %d, %v", n, err)
-	}
-	if n, err := safeProduct(0, 5, 0); err != nil || n != 5 {
-		t.Errorf("empty axes should count as 1: got %d, %v", n, err)
-	}
-	huge := 1 << 31
-	if _, err := safeProduct(huge, huge, huge); err == nil {
-		t.Error("2^93 cells did not report overflow")
-	}
-	if _, err := safeProduct(math.MaxInt, 2); err == nil {
-		t.Error("MaxInt×2 did not report overflow")
 	}
 }
 

@@ -1,268 +1,39 @@
 package serve
 
 import (
-	"fmt"
-	"math"
-	"strings"
 	"time"
 
-	"repro/internal/core"
-	"repro/internal/dynamics"
-	"repro/internal/graph"
-	"repro/internal/rng"
+	"repro/spec"
 )
 
-// GraphSpec names a topology for a simulation job. Family selects the
-// generator; the remaining fields are family-specific parameters. Seed
-// drives the random generators, so equal specs describe (and the graph
-// pool shares) the identical graph.
-type GraphSpec struct {
-	// Family is one of "complete", "complete-virtual", "random-regular",
-	// "gnp", "dense", "cycle", "torus", "hypercube".
-	Family string `json:"family"`
-	// N is the vertex count (complete, complete-virtual, random-regular,
-	// gnp, dense, cycle).
-	N int `json:"n,omitempty"`
-	// D is the degree for random-regular.
-	D int `json:"d,omitempty"`
-	// P is the edge probability for gnp.
-	P float64 `json:"p,omitempty"`
-	// Alpha is the density exponent for dense (min degree ⌈n^alpha⌉).
-	Alpha float64 `json:"alpha,omitempty"`
-	// Rows and Cols size the torus.
-	Rows int `json:"rows,omitempty"`
-	Cols int `json:"cols,omitempty"`
-	// Dim is the hypercube dimension.
-	Dim int `json:"dim,omitempty"`
-	// Seed drives the random generators (random-regular, gnp, dense).
-	Seed uint64 `json:"seed,omitempty"`
-}
+// The request vocabulary of the wire API is the spec package verbatim: the
+// server defines no graph/rule/run shapes or validation of its own, so a
+// spec that works in the library or the CLIs is byte-for-byte the JSON a
+// client POSTs here. Only HTTP-specific concerns remain in this package:
+// admission limits (Limits), job/sweep lifecycle views, and counters.
+type (
+	// GraphSpec names a topology for a simulation job; see spec.GraphSpec.
+	GraphSpec = spec.GraphSpec
+	// RuleSpec selects a Best-of-k protocol over the wire; see
+	// spec.RuleSpec.
+	RuleSpec = spec.RuleSpec
+	// RunRequest is the body of POST /v1/runs; it is exactly a
+	// spec.RunSpec. Trial i of a job with seed s runs with
+	// rng.ChildSeed(s, i); a zero seed is replaced by a server-derived one,
+	// recorded in the response, so every job is reproducible after the
+	// fact.
+	RunRequest = spec.RunSpec
+	// SweepGrid is the cross-product grid of POST /v1/sweeps; see
+	// spec.Grid.
+	SweepGrid = spec.Grid
+)
 
-// Key returns the canonical cache key for the spec: two specs that would
-// build the same graph render identically. Only the parameters the family
-// actually consumes are included — a stray "d" on a cycle spec, or a seed
-// on a deterministic family, does not split cache entries.
-func (s GraphSpec) Key() string {
-	parts := []string{"family=" + s.Family}
-	add := func(k string, v any) {
-		parts = append(parts, fmt.Sprintf("%s=%v", k, v))
-	}
-	switch s.Family {
-	case "complete", "complete-virtual", "cycle":
-		add("n", s.N)
-	case "random-regular":
-		add("n", s.N)
-		add("d", s.D)
-		add("seed", s.Seed)
-	case "gnp":
-		add("n", s.N)
-		add("p", s.P)
-		add("seed", s.Seed)
-	case "dense":
-		add("n", s.N)
-		add("alpha", s.Alpha)
-		add("seed", s.Seed)
-	case "torus":
-		add("rows", s.Rows)
-		add("cols", s.Cols)
-	case "hypercube":
-		add("dim", s.Dim)
-	}
-	return strings.Join(parts, ",")
-}
-
-// edgeEstimate approximates the number of edges the spec materialises, for
-// the admission limit. Virtual families cost O(1).
-func (s GraphSpec) edgeEstimate() int64 {
-	switch s.Family {
-	case "complete":
-		return int64(s.N) * int64(s.N-1) / 2
-	case "complete-virtual":
-		return 0
-	case "random-regular":
-		return int64(s.N) * int64(s.D) / 2
-	case "gnp":
-		return int64(float64(s.N) * float64(s.N-1) / 2 * s.P)
-	case "dense":
-		// min degree ⌈n^alpha⌉ regular-ish
-		d := math.Pow(float64(s.N), s.Alpha)
-		return int64(float64(s.N) * d / 2)
-	case "cycle":
-		return int64(s.N)
-	case "torus":
-		return 2 * int64(s.Rows) * int64(s.Cols)
-	case "hypercube":
-		return int64(s.Dim) << (s.Dim - 1)
-	default:
-		return 0
-	}
-}
-
-// validate checks the spec against the server's size limits and returns a
-// client-facing error.
-func (s GraphSpec) validate(limits Limits) error {
-	needN := func() error {
-		if s.N < 3 {
-			return fmt.Errorf("graph: family %q needs n >= 3, got %d", s.Family, s.N)
-		}
-		if s.N > limits.MaxN {
-			return fmt.Errorf("graph: n = %d exceeds the server limit %d", s.N, limits.MaxN)
-		}
-		return nil
-	}
-	switch s.Family {
-	case "complete", "complete-virtual", "cycle":
-		return needN()
-	case "random-regular":
-		if err := needN(); err != nil {
-			return err
-		}
-		if s.D < 1 || s.D >= s.N {
-			return fmt.Errorf("graph: random-regular needs 1 <= d < n, got d = %d, n = %d", s.D, s.N)
-		}
-		if s.N*s.D%2 != 0 {
-			return fmt.Errorf("graph: random-regular needs n·d even, got n = %d, d = %d", s.N, s.D)
-		}
-	case "gnp":
-		if err := needN(); err != nil {
-			return err
-		}
-		if s.P <= 0 || s.P > 1 {
-			return fmt.Errorf("graph: gnp needs 0 < p <= 1, got %v", s.P)
-		}
-	case "dense":
-		if err := needN(); err != nil {
-			return err
-		}
-		if s.Alpha <= 0 || s.Alpha > 1 {
-			return fmt.Errorf("graph: dense needs 0 < alpha <= 1, got %v", s.Alpha)
-		}
-	case "torus":
-		if s.Rows < 3 || s.Cols < 3 {
-			return fmt.Errorf("graph: torus needs rows, cols >= 3, got %d×%d", s.Rows, s.Cols)
-		}
-		// Bound each dimension before multiplying: with both ≤ MaxN the
-		// int64 product cannot wrap, whereas rows = cols = 2^32 would
-		// overflow straight past the limit.
-		if s.Rows > limits.MaxN || s.Cols > limits.MaxN ||
-			int64(s.Rows)*int64(s.Cols) > int64(limits.MaxN) {
-			return fmt.Errorf("graph: torus %d×%d exceeds the server limit of %d vertices", s.Rows, s.Cols, limits.MaxN)
-		}
-	case "hypercube":
-		// Bound dim itself before shifting: 1<<63 is negative and 1<<64
-		// wraps to zero, either of which would sail past the limit check.
-		if s.Dim < 2 || s.Dim > 30 || 1<<s.Dim > limits.MaxN {
-			return fmt.Errorf("graph: hypercube needs 2 <= dim <= 30 and 2^dim <= %d, got dim = %d", limits.MaxN, s.Dim)
-		}
-	case "":
-		return fmt.Errorf("graph: family is required")
-	default:
-		return fmt.Errorf("graph: unknown family %q", s.Family)
-	}
-	if est := s.edgeEstimate(); est > limits.MaxEdges {
-		return fmt.Errorf("graph: estimated %d edges exceeds the server limit %d", est, limits.MaxEdges)
-	}
-	return nil
-}
-
-// build materialises the graph. It is called at most once per cache key.
-func (s GraphSpec) build() (core.Topology, error) {
-	switch s.Family {
-	case "complete":
-		return graph.Complete(s.N), nil
-	case "complete-virtual":
-		return graph.NewKn(s.N), nil
-	case "random-regular":
-		return graph.RandomRegular(s.N, s.D, rng.New(s.Seed)), nil
-	case "gnp":
-		g := graph.Gnp(s.N, s.P, rng.New(s.Seed))
-		if g.MinDegree() == 0 {
-			return nil, fmt.Errorf("graph: gnp(n=%d, p=%v, seed=%d) has an isolated vertex; raise p or change the seed", s.N, s.P, s.Seed)
-		}
-		return g, nil
-	case "dense":
-		return graph.DenseMinDegree(s.N, s.Alpha, rng.New(s.Seed)), nil
-	case "cycle":
-		return graph.Cycle(s.N), nil
-	case "torus":
-		return graph.Torus2D(s.Rows, s.Cols), nil
-	case "hypercube":
-		return graph.Hypercube(s.Dim), nil
-	default:
-		return nil, fmt.Errorf("graph: unknown family %q", s.Family)
-	}
-}
-
-// RuleSpec selects a Best-of-k protocol over the wire.
-type RuleSpec struct {
-	// K is the sample count; 0 defaults to 3 (the paper's protocol).
-	K int `json:"k,omitempty"`
-	// Tie is "keep" (default) or "random"; consulted only for even K.
-	Tie string `json:"tie,omitempty"`
-	// WithoutReplacement samples K distinct neighbours.
-	WithoutReplacement bool `json:"without_replacement,omitempty"`
-	// Noise is the per-sample misreporting probability in [0, 0.5].
-	Noise float64 `json:"noise,omitempty"`
-}
-
-// rule converts the wire spec to a dynamics.Rule, applying defaults.
-func (r *RuleSpec) rule() (dynamics.Rule, error) {
-	if r == nil {
-		return dynamics.BestOfThree, nil
-	}
-	out := dynamics.Rule{K: r.K, WithoutReplacement: r.WithoutReplacement, Noise: r.Noise}
-	if out.K == 0 {
-		out.K = 3
-	}
-	switch r.Tie {
-	case "", "keep":
-		out.Tie = dynamics.TieKeep
-	case "random":
-		out.Tie = dynamics.TieRandom
-	default:
-		return dynamics.Rule{}, fmt.Errorf("rule: unknown tie rule %q (want \"keep\" or \"random\")", r.Tie)
-	}
-	return out, out.Validate()
-}
-
-// RunRequest is the body of POST /v1/runs: simulate Trials independent
-// Best-of-k runs on the named graph from an i.i.d. initial configuration
-// with P(Blue) = 1/2 − Delta.
-type RunRequest struct {
-	Graph GraphSpec `json:"graph"`
-	// Delta is the initial imbalance, in [0, 0.5].
-	Delta float64 `json:"delta"`
-	// Trials is the number of independent runs; 0 defaults to 1.
-	Trials int `json:"trials,omitempty"`
-	// MaxRounds caps each run; 0 uses the theory-derived default.
-	MaxRounds int `json:"max_rounds,omitempty"`
-	// Seed is the job seed. Trial i derives its seed as
-	// rng.ChildSeed(Seed, i); a zero seed is replaced by a seed derived
-	// from the server's root seed and the job index, recorded in the
-	// response, so every job is reproducible after the fact.
-	Seed uint64 `json:"seed,omitempty"`
-	// Rule selects the protocol; nil means Best-of-Three.
-	Rule *RuleSpec `json:"rule,omitempty"`
-}
-
-// validate applies defaults and checks the request against the limits.
-func (r *RunRequest) validate(limits Limits) error {
-	if r.Trials == 0 {
-		r.Trials = 1
-	}
-	if r.Trials < 0 || r.Trials > limits.MaxTrials {
-		return fmt.Errorf("trials = %d outside [1, %d]", r.Trials, limits.MaxTrials)
-	}
-	if r.Delta < 0 || r.Delta > 0.5 {
-		return fmt.Errorf("delta = %v outside [0, 0.5]", r.Delta)
-	}
-	if r.MaxRounds < 0 || r.MaxRounds > limits.MaxRounds {
-		return fmt.Errorf("max_rounds = %d outside [0, %d]", r.MaxRounds, limits.MaxRounds)
-	}
-	if _, err := r.Rule.rule(); err != nil {
-		return err
-	}
-	return r.Graph.validate(limits)
+// validateRun applies the spec defaults and checks the request against the
+// server's admission limits. All graph/rule/parameter validation is the
+// spec package's; only the limit values are the server's.
+func validateRun(r *RunRequest, limits Limits) error {
+	r.Normalize()
+	return r.ValidateLimits(limits.spec())
 }
 
 // TrialReport is the per-trial slice of a result.

@@ -1,0 +1,17 @@
+// Command specfamilies prints the spec registry's graph family names, one
+// per line, sorted. CI (.github/check-api-docs.sh) diffs this output
+// against the family table in docs/API.md so the documentation cannot
+// drift from the registry.
+package main
+
+import (
+	"fmt"
+
+	"repro/spec"
+)
+
+func main() {
+	for _, name := range spec.Families() {
+		fmt.Println(name)
+	}
+}

@@ -1,0 +1,178 @@
+package repro_test
+
+import (
+	"context"
+	"reflect"
+	"sync"
+	"testing"
+
+	"repro"
+)
+
+func testSpec(trials int) repro.RunSpec {
+	return repro.RunSpec{
+		Graph:  repro.GraphSpec{Family: "random-regular", N: 256, D: 8, Seed: 3},
+		Delta:  0.1,
+		Trials: trials,
+		Seed:   11,
+	}
+}
+
+// TestRunnerDeterministic: Run is a pure function of the spec — repeated
+// runs, and a separately constructed runner, agree outcome for outcome.
+func TestRunnerDeterministic(t *testing.T) {
+	r1, err := repro.NewRunner(testSpec(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := r1.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := r1.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := repro.NewRunner(testSpec(5), repro.WithWorkers(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := r2.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a.Outcomes, b.Outcomes) || !reflect.DeepEqual(a.Outcomes, c.Outcomes) {
+		t.Errorf("outcomes differ across identical specs:\n%+v\n%+v\n%+v", a.Outcomes, b.Outcomes, c.Outcomes)
+	}
+	if a.RedWins+a.ConsensusCount == 0 || a.MeanRounds <= 0 {
+		t.Errorf("implausible aggregate: %+v", a)
+	}
+}
+
+// TestRunnerStreamMatchesRun: the stream delivers exactly the Run
+// outcomes, keyed by trial index.
+func TestRunnerStreamMatchesRun(t *testing.T) {
+	r, err := repro.NewRunner(testSpec(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := r.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	stream, err := r.Stream(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := 0
+	for res := range stream {
+		if res.Err != nil {
+			t.Fatalf("trial %d: %v", res.Trial, res.Err)
+		}
+		seen++
+		w := want.Outcomes[res.Trial]
+		if res.Seed != w.Seed || res.Report.RedWon != w.RedWon || res.Report.Rounds != w.Rounds {
+			t.Errorf("trial %d stream result %+v disagrees with run outcome %+v", res.Trial, res.Report, w)
+		}
+	}
+	if seen != 6 {
+		t.Errorf("stream delivered %d results, want 6", seen)
+	}
+}
+
+// TestRunnerObserver: per-round callbacks replay each trial's trajectory
+// exactly.
+func TestRunnerObserver(t *testing.T) {
+	var mu sync.Mutex
+	observed := map[int][]int{} // trial -> blue counts in call order
+	r, err := repro.NewRunner(testSpec(3), repro.WithObserver(func(trial, round, blues int) {
+		mu.Lock()
+		defer mu.Unlock()
+		if round != len(observed[trial]) {
+			t.Errorf("trial %d: round %d arrived out of order (have %d)", trial, round, len(observed[trial]))
+		}
+		observed[trial] = append(observed[trial], blues)
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := r.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, report := range rep.Reports {
+		if !reflect.DeepEqual(observed[i], report.BlueTrajectory) {
+			t.Errorf("trial %d: observer saw %v, trajectory is %v", i, observed[i], report.BlueTrajectory)
+		}
+	}
+}
+
+// TestRunnerCancellation: a cancelled context surfaces as an error from
+// Run, and the stream still closes.
+func TestRunnerCancellation(t *testing.T) {
+	// A cycle at δ = 0 will not reach consensus: the run burns its full
+	// budget, giving cancellation something to interrupt.
+	s := repro.RunSpec{
+		Graph:     repro.GraphSpec{Family: "cycle", N: 4096},
+		Delta:     0,
+		Trials:    64,
+		MaxRounds: 5000,
+		Seed:      1,
+	}
+	r, err := repro.NewRunner(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := r.Run(ctx); err == nil {
+		t.Error("cancelled run returned no error")
+	}
+}
+
+// TestRunnerOptions: WithMaxRounds overrides the cap, WithTopology injects
+// a pre-built graph, and the deprecated v1 shim still works.
+func TestRunnerOptions(t *testing.T) {
+	s := repro.RunSpec{Graph: repro.GraphSpec{Family: "cycle", N: 64}, Delta: 0, Seed: 2}
+	r, err := repro.NewRunner(s, repro.WithMaxRounds(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := r.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Reports[0].Rounds > 7 {
+		t.Errorf("WithMaxRounds(7) ran %d rounds", rep.Reports[0].Rounds)
+	}
+
+	g := repro.Complete(32)
+	r2, err := repro.NewRunner(testSpec(1), repro.WithTopology(g))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := r2.Topology()
+	if err != nil || got != repro.Topology(g) {
+		t.Errorf("WithTopology not honoured: %v, %v", got, err)
+	}
+	rep2, err := r2.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep2.GraphName != g.Name() {
+		t.Errorf("report names %q, want injected %q", rep2.GraphName, g.Name())
+	}
+
+	// The v1 shim still runs (deprecated, not removed).
+	if _, err := repro.RunBestOfThree(repro.Complete(64), 0.2, repro.Options{Seed: 1}); err != nil {
+		t.Errorf("v1 shim failed: %v", err)
+	}
+
+	// Invalid specs are rejected at construction.
+	if _, err := repro.NewRunner(repro.RunSpec{Graph: repro.GraphSpec{Family: "nope"}, Delta: 0.1}); err == nil {
+		t.Error("invalid family accepted by NewRunner")
+	}
+	if _, err := repro.NewRunner(repro.RunSpec{Graph: repro.GraphSpec{Family: "cycle", N: 8}, Delta: 0.9}); err == nil {
+		t.Error("invalid delta accepted by NewRunner")
+	}
+}

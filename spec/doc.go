@@ -1,0 +1,26 @@
+// Package spec is the single declarative description of a simulation run,
+// shared by every entry point of the repository: the library Runner in the
+// root package, the bo3sim and bo3sweep CLIs, and the bo3serve HTTP API all
+// consume the same JSON-round-trippable GraphSpec, RuleSpec, RunSpec, and
+// Grid types defined here.
+//
+// The package owns the canonical semantics of a run:
+//
+//   - Graph families live in one registry (Families), each with its own
+//     validation, canonical cache key, edge estimate, and builder, so a new
+//     family added here lights up in the library, both CLIs, and the server
+//     at once.
+//   - Validation is central: GraphSpec.Validate and RunSpec.Validate apply
+//     the same structural checks (including the torus/hypercube overflow
+//     guards) everywhere; servers tighten them with ValidateLimits.
+//   - Seeds form one deterministic tree: a RunSpec with seed s executes
+//     trial i with rng.ChildSeed(s, i) (RunSpec.TrialSeed), and a Grid
+//     expanded with sweep seed s gives cell i the run seed
+//     rng.ChildSeed(s, i) — identical across every entry point, so the same
+//     spec produces byte-identical per-trial outcomes no matter which door
+//     it walks through.
+//
+// The root package repro builds its Runner from a RunSpec; internal/serve
+// aliases its wire types to the types here and adds only HTTP-specific
+// limits.
+package spec

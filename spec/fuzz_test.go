@@ -1,0 +1,70 @@
+package spec
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzGraphSpecKey fuzzes the family/parameter space and checks the
+// canonical-key contract: keys are deterministic, stray parameters never
+// split a valid spec's key, and validation never panics (overflow-scale
+// parameters included).
+func FuzzGraphSpecKey(f *testing.F) {
+	fams := Families()
+	f.Add(0, 10, 3, 0.5, 0.5, 4, 4, 4, 8, 8, 0.5, 0.1, uint64(1))
+	f.Add(5, 0, 0, 0.0, 0.0, 1<<30, 1<<30, 63, 1<<30, 1<<30, 1.5, -0.5, uint64(0))
+	f.Add(2, 1<<20, 1<<12, 1.0, 1.0, 3, 3, 30, 1, 2, 1.0, 1.0, uint64(42))
+	f.Fuzz(func(t *testing.T, famIdx, n, d int, p, alpha float64, rows, cols, dim, a, b int, pin, pout float64, seed uint64) {
+		family := "no-such-family"
+		if famIdx >= 0 && famIdx < len(fams) {
+			family = fams[famIdx]
+		}
+		s := GraphSpec{
+			Family: family, N: n, D: d, P: p, Alpha: alpha,
+			Rows: rows, Cols: cols, Dim: dim, A: a, B: b, PIn: pin, POut: pout,
+			Seed: seed,
+		}
+
+		// Validation must be total: no panics, no wraparound acceptance.
+		err := s.ValidateLimits(Limits{MaxN: 1 << 22, MaxEdges: 1 << 27, MaxTrials: 4096, MaxRounds: 1 << 20})
+		_ = s.EdgeEstimate()
+
+		key := s.Key()
+		if key != s.Key() {
+			t.Fatalf("key not deterministic: %q vs %q", key, s.Key())
+		}
+		if !strings.HasPrefix(key, "family="+family) {
+			t.Fatalf("key %q does not lead with the family", key)
+		}
+
+		if err != nil {
+			return
+		}
+		// A valid spec's key must ignore every parameter its family does
+		// not consume: rebuild the spec from only the keyed parameters and
+		// demand the same key.
+		canon := GraphSpec{Family: family, Seed: s.Seed}
+		switch family {
+		case "complete", "complete-virtual", "cycle":
+			canon.N, canon.Seed = s.N, 0
+		case "random-regular":
+			canon.N, canon.D = s.N, s.D
+		case "gnp":
+			canon.N, canon.P = s.N, s.P
+		case "dense":
+			canon.N, canon.Alpha = s.N, s.Alpha
+		case "sbm":
+			canon.A, canon.B, canon.PIn, canon.POut = s.A, s.B, s.PIn, s.POut
+		case "torus":
+			canon.Rows, canon.Cols, canon.Seed = s.Rows, s.Cols, 0
+		case "hypercube":
+			canon.Dim, canon.Seed = s.Dim, 0
+		}
+		if canon.Key() != key {
+			t.Fatalf("stray parameters split the key:\nfull  %+v -> %q\ncanon %+v -> %q", s, key, canon, canon.Key())
+		}
+		if verr := canon.ValidateLimits(Limits{MaxN: 1 << 22, MaxEdges: 1 << 27, MaxTrials: 4096, MaxRounds: 1 << 20}); verr != nil {
+			t.Fatalf("canonical form of a valid spec is invalid: %v", verr)
+		}
+	})
+}

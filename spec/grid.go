@@ -1,0 +1,128 @@
+package spec
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/rng"
+)
+
+// Grid is the cross-product parameter grid of a sweep: the one type both
+// the experiment suite and the bo3serve /v1/sweeps endpoint enumerate
+// cells from. Cells are the product of every non-empty axis; empty
+// optional axes take the documented single-value default. Expansion order
+// puts the topology axes outermost, so consecutive cells share a graph and
+// all but the first per topology hit a graph pool.
+type Grid struct {
+	// Graphs lists the topology templates. With NS set, each template's N
+	// is overridden by every value of the NS axis, so templates may leave
+	// it zero; every family must then be n-parameterised (FamilyUsesN).
+	Graphs []GraphSpec `json:"graphs"`
+	// NS is the optional vertex-count axis crossed with Graphs.
+	NS []int `json:"ns,omitempty"`
+	// Deltas is the initial-imbalance axis, each in [0, 0.5].
+	Deltas []float64 `json:"deltas"`
+	// Ks is the Best-of-k sample-count axis (default [3]).
+	Ks []int `json:"ks,omitempty"`
+	// Ties is the tie-rule axis, "keep" or "random" (default ["keep"]).
+	Ties []string `json:"ties,omitempty"`
+	// Trials is the trials-per-cell axis (default [1]).
+	Trials []int `json:"trials,omitempty"`
+}
+
+// Normalize applies the single-value axis defaults in place.
+func (g *Grid) Normalize() {
+	if len(g.Ks) == 0 {
+		g.Ks = []int{3}
+	}
+	if len(g.Ties) == 0 {
+		g.Ties = []string{"keep"}
+	}
+	if len(g.Trials) == 0 {
+		g.Trials = []int{1}
+	}
+}
+
+// Validate checks the grid's shape: at least one topology (of a
+// registered family) and one delta, and an NS axis only over families
+// that consume N. Per-cell parameter validation happens on the expanded
+// RunSpecs.
+func (g Grid) Validate() error {
+	if len(g.Graphs) == 0 {
+		return fmt.Errorf("sweep: grid.graphs must list at least one topology")
+	}
+	if len(g.Deltas) == 0 {
+		return fmt.Errorf("sweep: grid.deltas must list at least one imbalance")
+	}
+	for _, gs := range g.Graphs {
+		// Resolve the family first so an unknown name reports as unknown,
+		// not as "does not take n".
+		if _, err := gs.family(); err != nil {
+			return err
+		}
+		if len(g.NS) > 0 && !FamilyUsesN(gs.Family) {
+			return fmt.Errorf("sweep: family %q does not take n; drop it from grid.graphs or omit grid.ns", gs.Family)
+		}
+	}
+	return nil
+}
+
+// CellCount multiplies the axis lengths with overflow checks, so a huge
+// grid reports "too many cells" instead of wrapping into a small positive
+// count that slips past a cap.
+func (g Grid) CellCount() (int, error) {
+	return safeProduct(len(g.Graphs), max(len(g.NS), 1), len(g.Deltas), len(g.Ks), len(g.Ties), len(g.Trials))
+}
+
+// safeProduct multiplies axis lengths, treating empty axes as single-value
+// and failing on int overflow rather than wrapping.
+func safeProduct(axes ...int) (int, error) {
+	count := 1
+	for _, axis := range axes {
+		if axis == 0 {
+			axis = 1
+		}
+		if count > math.MaxInt/axis {
+			return 0, fmt.Errorf("sweep: grid cell count overflows")
+		}
+		count *= axis
+	}
+	return count, nil
+}
+
+// Expand enumerates the grid into per-cell run specs, topology axes
+// outermost. Cell i gets the deterministic seed rng.ChildSeed(sweepSeed, i)
+// regardless of scheduling, so two sweeps with the same seed and grid
+// produce identical cells. maxRounds is applied to every cell.
+func (g Grid) Expand(sweepSeed uint64, maxRounds int) []RunSpec {
+	ns := g.NS
+	if len(ns) == 0 {
+		ns = []int{0} // keep each template's own N
+	}
+	cells := make([]RunSpec, 0)
+	for _, tmpl := range g.Graphs {
+		for _, n := range ns {
+			gs := tmpl
+			if n > 0 {
+				gs.N = n
+			}
+			for _, delta := range g.Deltas {
+				for _, k := range g.Ks {
+					for _, tie := range g.Ties {
+						for _, trials := range g.Trials {
+							cells = append(cells, RunSpec{
+								Graph:     gs,
+								Delta:     delta,
+								Trials:    trials,
+								MaxRounds: maxRounds,
+								Seed:      rng.ChildSeed(sweepSeed, uint64(len(cells))),
+								Rule:      &RuleSpec{K: k, Tie: tie},
+							})
+						}
+					}
+				}
+			}
+		}
+	}
+	return cells
+}

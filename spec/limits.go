@@ -1,0 +1,31 @@
+package spec
+
+import "math"
+
+// Limits bound what a spec may describe. The zero value is not useful; use
+// Unlimited for library contexts or construct explicit limits (the HTTP
+// server derives its admission limits from flags and converts to this
+// type).
+type Limits struct {
+	// MaxN is the largest admissible vertex count.
+	MaxN int
+	// MaxEdges is the largest admissible materialised edge count.
+	MaxEdges int64
+	// MaxTrials caps trials per run.
+	MaxTrials int
+	// MaxRounds caps the per-run round budget a spec may request.
+	MaxRounds int
+}
+
+// Unlimited returns limits that only rule out overflow-scale requests, for
+// library and CLI use where the caller owns the machine. The vertex cap
+// stays below 2³¹ so downstream int arithmetic (edge counts, bitset sizes)
+// cannot overflow even on 32-bit builds.
+func Unlimited() Limits {
+	return Limits{
+		MaxN:      math.MaxInt32,
+		MaxEdges:  math.MaxInt64 / 4,
+		MaxTrials: math.MaxInt32,
+		MaxRounds: math.MaxInt32,
+	}
+}

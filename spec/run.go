@@ -1,0 +1,95 @@
+package spec
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/dynamics"
+	"repro/internal/rng"
+)
+
+// RunSpec is the complete declarative description of one simulation job:
+// Trials independent Best-of-k runs on one graph from an i.i.d. initial
+// configuration with P(Blue) = 1/2 − Delta. It round-trips through JSON
+// unchanged and is the request body of the bo3serve POST /v1/runs
+// endpoint.
+type RunSpec struct {
+	Graph GraphSpec `json:"graph"`
+	// Delta is the initial imbalance, in [0, 0.5].
+	Delta float64 `json:"delta"`
+	// Trials is the number of independent runs; 0 defaults to 1.
+	Trials int `json:"trials,omitempty"`
+	// MaxRounds caps each run; 0 uses the theory-derived default.
+	MaxRounds int `json:"max_rounds,omitempty"`
+	// Seed is the run seed. Trial i derives its seed as
+	// rng.ChildSeed(Seed, i) — see TrialSeed — so a spec pins every
+	// trial's randomness no matter which entry point executes it.
+	Seed uint64 `json:"seed,omitempty"`
+	// Rule selects the protocol; nil means Best-of-Three.
+	Rule *RuleSpec `json:"rule,omitempty"`
+}
+
+// Normalize applies the documented defaults in place (Trials 0 → 1).
+func (s *RunSpec) Normalize() {
+	if s.Trials == 0 {
+		s.Trials = 1
+	}
+}
+
+// Validate checks the spec structurally (library/CLI contexts). It treats
+// Trials = 0 as the default 1; call Normalize first to also persist the
+// default.
+func (s *RunSpec) Validate() error { return s.ValidateLimits(Unlimited()) }
+
+// ValidateLimits checks the spec against the given limits. This is the one
+// validation path shared by the library Runner, the CLIs, and the server.
+func (s *RunSpec) ValidateLimits(l Limits) error {
+	trials := s.Trials
+	if trials == 0 {
+		trials = 1
+	}
+	if trials < 0 || trials > l.MaxTrials {
+		return fmt.Errorf("trials = %d outside [1, %d]", trials, l.MaxTrials)
+	}
+	if s.Delta < 0 || s.Delta > 0.5 {
+		return fmt.Errorf("delta = %v outside [0, 0.5]", s.Delta)
+	}
+	if s.MaxRounds < 0 || s.MaxRounds > l.MaxRounds {
+		return fmt.Errorf("max_rounds = %d outside [0, %d]", s.MaxRounds, l.MaxRounds)
+	}
+	if err := s.Rule.Validate(); err != nil {
+		return err
+	}
+	return s.Graph.ValidateLimits(l)
+}
+
+// TrialSeed returns the deterministic seed of trial i: the ChildSeed tree
+// rooted at the run seed. Every entry point derives trial seeds through
+// this method, which is what makes a RunSpec's outcomes byte-identical
+// across the library, the CLIs, and the server.
+func (s RunSpec) TrialSeed(i int) uint64 { return rng.ChildSeed(s.Seed, uint64(i)) }
+
+// DynamicsRule resolves the protocol with defaults applied.
+func (s RunSpec) DynamicsRule() (dynamics.Rule, error) { return s.Rule.Rule() }
+
+// Build materialises the topology (a convenience for Graph.Build).
+func (s RunSpec) Build() (core.Topology, error) { return s.Graph.Build() }
+
+// Key returns a canonical identity string for the whole run: two specs
+// that would execute the identical trials render identically (the graph
+// contributes its own canonical key; rule defaults are resolved first).
+func (s RunSpec) Key() string {
+	trials := s.Trials
+	if trials == 0 {
+		trials = 1
+	}
+	return strings.Join([]string{
+		s.Graph.Key(),
+		kv("delta", s.Delta),
+		kv("trials", trials),
+		kv("max_rounds", s.MaxRounds),
+		kv("seed", s.Seed),
+		kv("rule", s.Rule.Name()),
+	}, "|")
+}

@@ -1,0 +1,325 @@
+package spec
+
+import (
+	"encoding/json"
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func validLimits() Limits {
+	return Limits{MaxN: 1 << 22, MaxEdges: 1 << 27, MaxTrials: 4096, MaxRounds: 1 << 20}
+}
+
+// TestRunSpecJSONRoundTrip: a fully populated spec survives
+// marshal→unmarshal unchanged, for every family, so specs are stable
+// artifacts (files, wire bodies, cache keys).
+func TestRunSpecJSONRoundTrip(t *testing.T) {
+	specs := []RunSpec{
+		{Graph: GraphSpec{Family: "random-regular", N: 1024, D: 16, Seed: 7}, Delta: 0.1, Trials: 8, MaxRounds: 500, Seed: 42,
+			Rule: &RuleSpec{K: 2, Tie: "random", WithoutReplacement: true, Noise: 0.05}},
+		{Graph: GraphSpec{Family: "gnp", N: 512, P: 0.25, Seed: 3}, Delta: 0.05},
+		{Graph: GraphSpec{Family: "dense", N: 2048, Alpha: 0.7, Seed: 1}, Delta: 0.2, Trials: 2},
+		{Graph: GraphSpec{Family: "sbm", A: 300, B: 200, PIn: 0.2, POut: 0.01, Seed: 9}, Delta: 0.1, Seed: 5},
+		{Graph: GraphSpec{Family: "torus", Rows: 8, Cols: 16}, Delta: 0.3},
+		{Graph: GraphSpec{Family: "hypercube", Dim: 10}, Delta: 0.4, Rule: &RuleSpec{K: 1}},
+		{Graph: GraphSpec{Family: "complete-virtual", N: 64}, Delta: 0},
+		{Graph: GraphSpec{Family: "cycle", N: 10}, Delta: 0.5},
+	}
+	for _, want := range specs {
+		b, err := json.Marshal(want)
+		if err != nil {
+			t.Fatalf("%s: marshal: %v", want.Graph.Family, err)
+		}
+		var got RunSpec
+		if err := json.Unmarshal(b, &got); err != nil {
+			t.Fatalf("%s: unmarshal: %v", want.Graph.Family, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("%s: round trip changed the spec:\nwant %+v\ngot  %+v", want.Graph.Family, want, got)
+		}
+		if err := got.Validate(); err != nil {
+			t.Errorf("%s: round-tripped spec no longer validates: %v", want.Graph.Family, err)
+		}
+	}
+}
+
+// TestGraphSpecValidationParity pins the validation behaviour the serve
+// wire layer used to implement itself — including the torus and hypercube
+// overflow guards — now that the spec package is its single source.
+func TestGraphSpecValidationParity(t *testing.T) {
+	l := validLimits()
+	bad := map[string]GraphSpec{
+		"missing family": {},
+		"unknown family": {Family: "petersen", N: 10},
+		"n too small":    {Family: "cycle", N: 2},
+		"n over limit":   {Family: "cycle", N: l.MaxN + 1},
+		"rr d zero":      {Family: "random-regular", N: 10, D: 0},
+		"rr d >= n":      {Family: "random-regular", N: 10, D: 10},
+		"rr odd nd":      {Family: "random-regular", N: 9, D: 3},
+		"gnp p zero":     {Family: "gnp", N: 10, P: 0},
+		"gnp p over one": {Family: "gnp", N: 10, P: 1.5},
+		"dense alpha":    {Family: "dense", N: 10, Alpha: 1.5},
+		"torus tiny":     {Family: "torus", Rows: 2, Cols: 8},
+		"torus too big":  {Family: "torus", Rows: 1 << 12, Cols: 1 << 12},
+		"torus overflow": {Family: "torus", Rows: 1 << 32, Cols: 1 << 32},
+		"dim too small":  {Family: "hypercube", Dim: 1},
+		"dim overflow":   {Family: "hypercube", Dim: 63},
+		"dim wraparound": {Family: "hypercube", Dim: 64},
+		"complete edges": {Family: "complete", N: 1 << 20},
+		"sbm empty side": {Family: "sbm", A: 0, B: 10, PIn: 0.5},
+		"sbm bad pin":    {Family: "sbm", A: 10, B: 10, PIn: 1.5},
+		"sbm bad pout":   {Family: "sbm", A: 10, B: 10, PIn: 0.5, POut: -0.1},
+		"sbm all zero p": {Family: "sbm", A: 10, B: 10},
+		"sbm over limit": {Family: "sbm", A: l.MaxN, B: l.MaxN, PIn: 0.5},
+		"sbm edge bound": {Family: "sbm", A: 1 << 14, B: 1 << 14, PIn: 1, POut: 1},
+		"gnp edge bound": {Family: "gnp", N: 1 << 20, P: 0.9},
+		"rr edge bound":  {Family: "random-regular", N: 1 << 20, D: 1 << 10},
+	}
+	for name, s := range bad {
+		if err := s.ValidateLimits(l); err == nil {
+			t.Errorf("%s: spec %+v validated", name, s)
+		}
+	}
+	good := map[string]GraphSpec{
+		"complete":  {Family: "complete", N: 64},
+		"virtual":   {Family: "complete-virtual", N: 1 << 22},
+		"rr":        {Family: "random-regular", N: 1024, D: 3, Seed: 1},
+		"gnp":       {Family: "gnp", N: 512, P: 0.1},
+		"dense":     {Family: "dense", N: 512, Alpha: 0.5},
+		"sbm":       {Family: "sbm", A: 100, B: 50, PIn: 0.3, POut: 0.05},
+		"sbm pout":  {Family: "sbm", A: 100, B: 50, POut: 0.05},
+		"cycle":     {Family: "cycle", N: 3},
+		"torus":     {Family: "torus", Rows: 3, Cols: 3},
+		"hypercube": {Family: "hypercube", Dim: 10},
+	}
+	for name, s := range good {
+		if err := s.ValidateLimits(l); err != nil {
+			t.Errorf("%s: spec %+v rejected: %v", name, s, err)
+		}
+	}
+}
+
+// TestGraphSpecKeyCanonical: parameters a family does not consume never
+// split cache keys, and every consumed parameter does.
+func TestGraphSpecKeyCanonical(t *testing.T) {
+	a := GraphSpec{Family: "cycle", N: 10}
+	b := GraphSpec{Family: "cycle", N: 10, D: 7, P: 0.3, Alpha: 0.4, Rows: 2, Dim: 5, A: 1, PIn: 0.2, Seed: 99}
+	if a.Key() != b.Key() {
+		t.Errorf("stray parameters split the key: %q vs %q", a.Key(), b.Key())
+	}
+	distinct := []GraphSpec{
+		{Family: "cycle", N: 10},
+		{Family: "cycle", N: 12},
+		{Family: "complete", N: 10},
+		{Family: "complete-virtual", N: 10},
+		{Family: "random-regular", N: 64, D: 4, Seed: 1},
+		{Family: "random-regular", N: 64, D: 4, Seed: 2},
+		{Family: "random-regular", N: 64, D: 6, Seed: 1},
+		{Family: "gnp", N: 64, P: 0.5, Seed: 1},
+		{Family: "dense", N: 64, Alpha: 0.5, Seed: 1},
+		{Family: "sbm", A: 32, B: 32, PIn: 0.5, POut: 0.1, Seed: 1},
+		{Family: "sbm", A: 32, B: 32, PIn: 0.5, POut: 0.2, Seed: 1},
+		{Family: "sbm", A: 16, B: 48, PIn: 0.5, POut: 0.1, Seed: 1},
+		{Family: "torus", Rows: 4, Cols: 8},
+		{Family: "torus", Rows: 8, Cols: 4},
+		{Family: "hypercube", Dim: 4},
+	}
+	seen := map[string]GraphSpec{}
+	for _, s := range distinct {
+		k := s.Key()
+		if prev, dup := seen[k]; dup {
+			t.Errorf("distinct specs share key %q: %+v and %+v", k, prev, s)
+		}
+		seen[k] = s
+	}
+}
+
+// TestFamiliesRegistry: the registry is sorted, includes the full paper
+// set plus the extensions, and the UsesN/Seeded predicates agree with the
+// per-family parameters.
+func TestFamiliesRegistry(t *testing.T) {
+	fams := Families()
+	if !strings.Contains(strings.Join(fams, ","), "sbm") {
+		t.Fatalf("registry %v is missing sbm", fams)
+	}
+	want := []string{"complete", "complete-virtual", "cycle", "dense", "gnp", "hypercube", "random-regular", "sbm", "torus"}
+	if !reflect.DeepEqual(fams, want) {
+		t.Errorf("Families() = %v, want %v", fams, want)
+	}
+	for _, f := range []string{"torus", "hypercube", "sbm"} {
+		if FamilyUsesN(f) {
+			t.Errorf("%s should not consume n", f)
+		}
+	}
+	for _, f := range []string{"complete", "complete-virtual", "cycle", "dense", "gnp", "random-regular"} {
+		if !FamilyUsesN(f) {
+			t.Errorf("%s should consume n", f)
+		}
+	}
+	for _, f := range []string{"random-regular", "gnp", "dense", "sbm"} {
+		if !FamilySeeded(f) {
+			t.Errorf("%s should consume the seed", f)
+		}
+	}
+	if FamilySeeded("cycle") || FamilyUsesN("nope") || FamilySeeded("nope") {
+		t.Error("predicates wrong on deterministic/unknown families")
+	}
+}
+
+// TestSBMBuild: the sbm family builds through the registry with the
+// declared community sizes, and the isolated-vertex guard fires.
+func TestSBMBuild(t *testing.T) {
+	g, err := GraphSpec{Family: "sbm", A: 60, B: 40, PIn: 0.4, POut: 0.05, Seed: 1}.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 100 || g.MinDegree() == 0 {
+		t.Errorf("sbm built n=%d minDeg=%d", g.N(), g.MinDegree())
+	}
+	if _, err := (GraphSpec{Family: "sbm", A: 50, B: 50, PIn: 1e-9, POut: 0, Seed: 1}).Build(); err == nil {
+		t.Error("near-empty sbm with isolated vertices built without error")
+	}
+}
+
+// TestRunSpecValidate covers the run-level checks shared by every entry
+// point.
+func TestRunSpecValidate(t *testing.T) {
+	l := validLimits()
+	base := RunSpec{Graph: GraphSpec{Family: "cycle", N: 8}, Delta: 0.1}
+	if err := base.ValidateLimits(l); err != nil {
+		t.Fatalf("base spec rejected: %v", err)
+	}
+	for name, mut := range map[string]func(*RunSpec){
+		"negative delta":  func(s *RunSpec) { s.Delta = -0.1 },
+		"delta over half": func(s *RunSpec) { s.Delta = 0.6 },
+		"trials negative": func(s *RunSpec) { s.Trials = -1 },
+		"trials over cap": func(s *RunSpec) { s.Trials = l.MaxTrials + 1 },
+		"rounds over cap": func(s *RunSpec) { s.MaxRounds = l.MaxRounds + 1 },
+		"bad tie":         func(s *RunSpec) { s.Rule = &RuleSpec{Tie: "coin"} },
+		"bad noise":       func(s *RunSpec) { s.Rule = &RuleSpec{Noise: 0.9} },
+		"bad graph":       func(s *RunSpec) { s.Graph.N = 1 },
+	} {
+		s := base
+		mut(&s)
+		if err := s.ValidateLimits(l); err == nil {
+			t.Errorf("%s: validated", name)
+		}
+	}
+	var s RunSpec
+	s = base
+	s.Normalize()
+	if s.Trials != 1 {
+		t.Errorf("Normalize left trials = %d", s.Trials)
+	}
+}
+
+// TestTrialSeedTree: trial seeds are the ChildSeed tree and differ across
+// trials and run seeds.
+func TestTrialSeedTree(t *testing.T) {
+	s := RunSpec{Graph: GraphSpec{Family: "cycle", N: 8}, Delta: 0.1, Seed: 42}
+	if s.TrialSeed(0) == s.TrialSeed(1) {
+		t.Error("adjacent trials share a seed")
+	}
+	s2 := s
+	s2.Seed = 43
+	if s.TrialSeed(0) == s2.TrialSeed(0) {
+		t.Error("distinct run seeds share trial seeds")
+	}
+	if s.TrialSeed(3) != s.TrialSeed(3) {
+		t.Error("trial seeds are not deterministic")
+	}
+}
+
+// TestGridCellCountOverflow pins the overflow-safe cell counting: axis
+// sizes whose product wraps int must be reported as an error, never as a
+// small count.
+func TestGridCellCountOverflow(t *testing.T) {
+	if n, err := safeProduct(3, 2, 2); err != nil || n != 12 {
+		t.Errorf("safeProduct(3,2,2) = %d, %v", n, err)
+	}
+	if n, err := safeProduct(0, 5, 0); err != nil || n != 5 {
+		t.Errorf("empty axes should count as 1: got %d, %v", n, err)
+	}
+	huge := 1 << 31
+	if _, err := safeProduct(huge, huge, huge); err == nil {
+		t.Error("2^93 cells did not report overflow")
+	}
+	if _, err := safeProduct(math.MaxInt, 2); err == nil {
+		t.Error("MaxInt×2 did not report overflow")
+	}
+}
+
+// TestGridExpandDeterministic: expansion order and per-cell seeds depend
+// only on (grid, sweep seed).
+func TestGridExpandDeterministic(t *testing.T) {
+	g := Grid{
+		Graphs: []GraphSpec{{Family: "cycle"}, {Family: "complete-virtual"}},
+		NS:     []int{8, 16},
+		Deltas: []float64{0.1, 0.2},
+		Trials: []int{2},
+	}
+	g.Normalize()
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	n, err := g.CellCount()
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := g.Expand(7, 100), g.Expand(7, 100)
+	if len(a) != n || !reflect.DeepEqual(a, b) {
+		t.Fatalf("expansion not deterministic: %d cells vs count %d", len(a), n)
+	}
+	seeds := map[uint64]bool{}
+	for i, cell := range a {
+		if cell.MaxRounds != 100 {
+			t.Errorf("cell %d lost the round cap", i)
+		}
+		if seeds[cell.Seed] {
+			t.Errorf("cell %d duplicates a seed", i)
+		}
+		seeds[cell.Seed] = true
+		if err := cell.Validate(); err != nil {
+			t.Errorf("cell %d invalid: %v", i, err)
+		}
+	}
+	// NS over a fixed-size family is rejected.
+	bad := Grid{Graphs: []GraphSpec{{Family: "sbm", A: 8, B: 8, PIn: 0.5}}, NS: []int{16}, Deltas: []float64{0.1}}
+	if err := bad.Validate(); err == nil {
+		t.Error("ns axis over sbm validated")
+	}
+	// An unregistered family reports as unknown, not as "does not take n".
+	unknown := Grid{Graphs: []GraphSpec{{Family: "petersen", N: 64}}, NS: []int{128}, Deltas: []float64{0.1}}
+	err = unknown.Validate()
+	if err == nil || !strings.Contains(err.Error(), "unknown family") {
+		t.Errorf("unknown family error = %v, want an unknown-family report", err)
+	}
+}
+
+// TestRunSpecKeyCanonical: equivalent run specs (defaults applied or not)
+// render the identical key; any consumed parameter splits it.
+func TestRunSpecKeyCanonical(t *testing.T) {
+	a := RunSpec{Graph: GraphSpec{Family: "cycle", N: 8}, Delta: 0.1, Seed: 4}
+	b := a
+	b.Trials = 1             // = the normalised default of a
+	b.Rule = &RuleSpec{K: 3} // = the nil-rule default of a
+	if a.Key() != b.Key() {
+		t.Errorf("equivalent specs split the key: %q vs %q", a.Key(), b.Key())
+	}
+	for name, mut := range map[string]func(*RunSpec){
+		"delta":  func(s *RunSpec) { s.Delta = 0.2 },
+		"trials": func(s *RunSpec) { s.Trials = 2 },
+		"rounds": func(s *RunSpec) { s.MaxRounds = 9 },
+		"seed":   func(s *RunSpec) { s.Seed = 5 },
+		"rule":   func(s *RunSpec) { s.Rule = &RuleSpec{K: 5} },
+		"graph":  func(s *RunSpec) { s.Graph.N = 10 },
+	} {
+		c := a
+		mut(&c)
+		if c.Key() == a.Key() {
+			t.Errorf("%s change did not split the key %q", name, a.Key())
+		}
+	}
+}
