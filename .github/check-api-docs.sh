@@ -1,9 +1,12 @@
 #!/bin/sh
-# Fails when docs/API.md drifts from the code it documents:
+# Fails when docs/API.md or docs/PERFORMANCE.md drifts from the code it
+# documents:
 #   1. every route registered in internal/serve must have its own
-#      "## METHOD /path" section, and
+#      "## METHOD /path" section,
 #   2. the graph-family table must list exactly the families in the spec
-#      registry (one row per family, no extras, none missing).
+#      registry (one row per family, no extras, none missing), and
+#   3. the docs/PERFORMANCE.md scenario table must list exactly the
+#      scenarios cmd/bo3bench registers (bo3bench -list).
 # Also gates the spec layer with go vet + gofmt so a drifted or
 # unformatted spec/cli package fails the same check.
 set -eu
@@ -54,7 +57,32 @@ elif [ "$doc_families" != "$reg_families" ]; then
     status=1
 fi
 
-# --- 3. vet + gofmt gate over the spec layer ---------------------------
+# --- 3. Bench scenario table vs the bo3bench registry ------------------
+# Documented scenarios: the first backticked cell of each row of the
+# table headed "| Scenario | What it measures |" in docs/PERFORMANCE.md.
+doc_scenarios=$(awk '
+    /^\| Scenario \| What it measures \|$/ { in_table = 1; next }
+    in_table && /^\|-/ { next }
+    in_table && /^\| `/ {
+        if (match($0, /`[a-z0-9\/-]+`/)) print substr($0, RSTART + 1, RLENGTH - 2)
+        next
+    }
+    in_table { exit }
+' docs/PERFORMANCE.md | sort)
+reg_scenarios=$(go run ./cmd/bo3bench -list | sort)
+if [ -z "$doc_scenarios" ]; then
+    echo "check-api-docs: no scenario table rows found in docs/PERFORMANCE.md (pattern drift?)" >&2
+    status=1
+elif [ "$doc_scenarios" != "$reg_scenarios" ]; then
+    echo "check-api-docs: docs/PERFORMANCE.md scenario table disagrees with cmd/bo3bench:" >&2
+    echo "--- registry (go run ./cmd/bo3bench -list)" >&2
+    echo "$reg_scenarios" >&2
+    echo "--- docs/PERFORMANCE.md table" >&2
+    echo "$doc_scenarios" >&2
+    status=1
+fi
+
+# --- 4. vet + gofmt gate over the spec layer ---------------------------
 go vet ./spec/... ./internal/cli/... || status=1
 unformatted=$(gofmt -l spec internal/cli)
 if [ -n "$unformatted" ]; then

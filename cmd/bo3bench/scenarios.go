@@ -1,0 +1,262 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"time"
+
+	"repro"
+	"repro/internal/dynamics"
+	"repro/internal/graph"
+	"repro/internal/opinion"
+	"repro/internal/rng"
+	"repro/internal/serve"
+	"repro/spec"
+)
+
+// Scale parameterises the scenarios. Quick shrinks everything to CI-smoke
+// size; KnN is the vertex count of the K_n engine comparison (the
+// committed baseline uses 10⁶).
+type Scale struct {
+	KnN   int
+	Seed  uint64
+	Quick bool
+}
+
+func (s Scale) pick(full, quick int) int {
+	if s.Quick {
+		return quick
+	}
+	return full
+}
+
+// scenario is one registered bench. Names are stable identifiers: the
+// docs/PERFORMANCE.md scenario table is checked against them in CI, and
+// BENCH_engine.json keys results by them across PRs.
+type scenario struct {
+	name        string
+	description string
+	run         func(Scale) (params map[string]any, metrics map[string]float64, err error)
+}
+
+// scenarios is the registry, in execution order. Keep `-list` output (the
+// name column) in sync with docs/PERFORMANCE.md.
+var scenarios = []scenario{
+	{
+		name:        "round/kn-meanfield",
+		description: "per-round cost of the mean-field fast path on virtual K_n (two binomial draws per round)",
+		run:         func(s Scale) (map[string]any, map[string]float64, error) { return roundKn(s, dynamics.EngineMeanField) },
+	},
+	{
+		name:        "round/kn-general",
+		description: "per-round cost of the general sharded engine on the same virtual K_n instance",
+		run:         func(s Scale) (map[string]any, map[string]float64, error) { return roundKn(s, dynamics.EngineGeneral) },
+	},
+	{
+		name:        "round/regular",
+		description: "general-engine round throughput on random-regular (batched sampling hot path)",
+		run:         roundRegular,
+	},
+	{
+		name:        "round/regular-noise",
+		description: "general-engine round throughput with per-sample noise (scalar fallback path)",
+		run:         roundRegularNoise,
+	},
+	{
+		name:        "trials/kn",
+		description: "trial throughput of repro.Runner on complete-virtual (mean-field engine, full init-to-consensus trials)",
+		run:         trialsKn,
+	},
+	{
+		name:        "trials/regular",
+		description: "trial throughput of repro.Runner on random-regular (general engine)",
+		run:         trialsRegular,
+	},
+	{
+		name:        "serve/jobs",
+		description: "end-to-end job throughput through an in-process bo3serve HTTP server",
+		run:         serveJobs,
+	},
+}
+
+// timedRounds steps the process r times, resetting the blue count to a
+// mixed state (0.4·n) after every round so absorption never turns later
+// rounds into no-ops; the reset is O(1) on the mean-field engine and an
+// O(n/64) word-fill on the general engine, both negligible against a
+// sampled round. Returns ns/round.
+func timedRounds(p *dynamics.Process, n, r int) float64 {
+	b := 2 * n / 5
+	p.SetBlueCount(b)
+	start := time.Now()
+	for i := 0; i < r; i++ {
+		p.Step()
+		p.SetBlueCount(b)
+	}
+	return float64(time.Since(start).Nanoseconds()) / float64(r)
+}
+
+func roundKn(s Scale, engine dynamics.Engine) (map[string]any, map[string]float64, error) {
+	n := s.KnN
+	g := graph.NewKn(n)
+	init := opinion.RandomConfig(n, 0.4, rng.New(s.Seed))
+	p, err := dynamics.New(g, dynamics.BestOfThree, init, dynamics.Options{Seed: s.Seed + 1, Engine: engine})
+	if err != nil {
+		return nil, nil, err
+	}
+	rounds := s.pick(16, 8)
+	if engine == dynamics.EngineMeanField {
+		rounds = s.pick(200_000, 20_000)
+	}
+	nsPerRound := timedRounds(p, n, rounds)
+	return map[string]any{"family": "complete-virtual", "n": n, "k": 3, "engine": engine.String(), "rounds": rounds},
+		map[string]float64{
+			"ns_per_round":      nsPerRound,
+			"rounds_per_sec":    1e9 / nsPerRound,
+			"mvertices_per_sec": float64(n) / nsPerRound * 1e3,
+		}, nil
+}
+
+func roundRegular(s Scale) (map[string]any, map[string]float64, error) {
+	n, d := s.pick(1<<17, 1<<14), 32
+	g := graph.RandomRegular(n, d, rng.New(s.Seed))
+	init := opinion.RandomConfig(n, 0.4, rng.New(s.Seed+1))
+	p, err := dynamics.New(g, dynamics.BestOfThree, init, dynamics.Options{Seed: s.Seed + 2})
+	if err != nil {
+		return nil, nil, err
+	}
+	rounds := s.pick(128, 64)
+	nsPerRound := timedRounds(p, n, rounds)
+	return map[string]any{"family": "random-regular", "n": n, "d": d, "k": 3, "engine": p.Engine().String(), "rounds": rounds},
+		map[string]float64{
+			"ns_per_round":      nsPerRound,
+			"rounds_per_sec":    1e9 / nsPerRound,
+			"mvertices_per_sec": float64(n) / nsPerRound * 1e3,
+		}, nil
+}
+
+func roundRegularNoise(s Scale) (map[string]any, map[string]float64, error) {
+	n, d := s.pick(1<<17, 1<<14), 32
+	g := graph.RandomRegular(n, d, rng.New(s.Seed))
+	init := opinion.RandomConfig(n, 0.4, rng.New(s.Seed+1))
+	rule := dynamics.Rule{K: 3, Noise: 0.01}
+	p, err := dynamics.New(g, rule, init, dynamics.Options{Seed: s.Seed + 2})
+	if err != nil {
+		return nil, nil, err
+	}
+	rounds := s.pick(64, 32)
+	nsPerRound := timedRounds(p, n, rounds)
+	return map[string]any{"family": "random-regular", "n": n, "d": d, "k": 3, "noise": 0.01, "engine": p.Engine().String(), "rounds": rounds},
+		map[string]float64{
+			"ns_per_round":      nsPerRound,
+			"rounds_per_sec":    1e9 / nsPerRound,
+			"mvertices_per_sec": float64(n) / nsPerRound * 1e3,
+		}, nil
+}
+
+func runTrials(s Scale, gs spec.GraphSpec, trials int) (map[string]any, map[string]float64, error) {
+	rs := spec.RunSpec{Graph: gs, Delta: 0.1, Trials: trials, Seed: s.Seed}
+	runner, err := repro.NewRunner(rs)
+	if err != nil {
+		return nil, nil, err
+	}
+	engine, err := runner.EngineName()
+	if err != nil {
+		return nil, nil, err
+	}
+	start := time.Now()
+	rep, err := runner.Run(context.Background())
+	if err != nil {
+		return nil, nil, err
+	}
+	secs := time.Since(start).Seconds()
+	rounds := 0
+	for _, o := range rep.Outcomes {
+		rounds += o.Rounds
+	}
+	return map[string]any{"family": gs.Family, "n": gs.N, "d": gs.D, "trials": trials, "delta": 0.1, "engine": engine},
+		map[string]float64{
+			"trials_per_sec": float64(trials) / secs,
+			"rounds_per_sec": float64(rounds) / secs,
+			"mean_rounds":    rep.MeanRounds,
+		}, nil
+}
+
+func trialsKn(s Scale) (map[string]any, map[string]float64, error) {
+	return runTrials(s, spec.GraphSpec{Family: "complete-virtual", N: s.pick(1<<16, 1<<12)}, s.pick(64, 16))
+}
+
+func trialsRegular(s Scale) (map[string]any, map[string]float64, error) {
+	return runTrials(s, spec.GraphSpec{Family: "random-regular", N: s.pick(1<<12, 1<<10), D: 32, Seed: 1}, s.pick(32, 8))
+}
+
+func serveJobs(s Scale) (map[string]any, map[string]float64, error) {
+	mgr := serve.NewManager(serve.Config{Workers: 4, RootSeed: s.Seed})
+	srv := httptest.NewServer(serve.NewServer(mgr))
+	defer srv.Close()
+	defer mgr.Close(context.Background())
+
+	jobs := s.pick(48, 8)
+	n, trials := 1<<12, 4
+	body := func(i int) []byte {
+		b, _ := json.Marshal(spec.RunSpec{
+			Graph:  spec.GraphSpec{Family: "complete-virtual", N: n},
+			Delta:  0.1,
+			Trials: trials,
+			Seed:   s.Seed + uint64(i) + 1,
+		})
+		return b
+	}
+	ids := make([]string, 0, jobs)
+	start := time.Now()
+	for i := 0; i < jobs; i++ {
+		resp, err := http.Post(srv.URL+"/v1/runs", "application/json", bytes.NewReader(body(i)))
+		if err != nil {
+			return nil, nil, err
+		}
+		var view serve.JobView
+		err = json.NewDecoder(resp.Body).Decode(&view)
+		resp.Body.Close()
+		if err != nil {
+			return nil, nil, err
+		}
+		if resp.StatusCode != http.StatusAccepted {
+			return nil, nil, fmt.Errorf("submit %d: status %d", i, resp.StatusCode)
+		}
+		ids = append(ids, view.ID)
+	}
+	deadline := time.Now().Add(2 * time.Minute)
+	for _, id := range ids {
+		for {
+			if time.Now().After(deadline) {
+				return nil, nil, fmt.Errorf("job %s did not finish in time", id)
+			}
+			resp, err := http.Get(srv.URL + "/v1/runs/" + id)
+			if err != nil {
+				return nil, nil, err
+			}
+			var view serve.JobView
+			err = json.NewDecoder(resp.Body).Decode(&view)
+			resp.Body.Close()
+			if err != nil {
+				return nil, nil, err
+			}
+			if view.State == serve.StateDone {
+				break
+			}
+			if view.State == serve.StateFailed || view.State == serve.StateCancelled {
+				return nil, nil, fmt.Errorf("job %s ended %s: %s", id, view.State, view.Error)
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+	}
+	secs := time.Since(start).Seconds()
+	return map[string]any{"jobs": jobs, "family": "complete-virtual", "n": n, "trials": trials, "workers": 4},
+		map[string]float64{
+			"jobs_per_sec":   float64(jobs) / secs,
+			"trials_per_sec": float64(jobs*trials) / secs,
+		}, nil
+}

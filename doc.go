@@ -32,6 +32,15 @@
 // counts. The imperative v1 entry point RunBestOfThree remains as a
 // deprecated shim.
 //
+// Rounds execute on one of two engines behind an automatic dispatch seam
+// (spec field "engine", default "auto"): complete-graph specs
+// (complete-virtual) take a mean-field fast path that advances a round in
+// O(1) — two binomial draws against the exact blue-count chain — while
+// everything else runs the general sharded engine with batched sampling.
+// "general" opts a spec out for A/B validation; docs/PERFORMANCE.md
+// documents the architecture and the committed BENCH_engine.json baseline
+// (regenerable with cmd/bo3bench).
+//
 // Underneath sit the substrates, each its own package under internal/:
 // graph generators and analyses (internal/graph), the parallel Best-of-k
 // engine and baselines (internal/dynamics), the voting-DAG dual object

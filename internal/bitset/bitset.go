@@ -100,6 +100,44 @@ func (s *Set) Fill() {
 	s.trim()
 }
 
+// SetFirstN sets bits [0, k) and clears bits [k, n), word-at-a-time. It
+// panics if k is out of [0, n]. This is the O(n/64) materialisation path
+// for count-only engine states (k blue vertices in canonical prefix
+// positions).
+func (s *Set) SetFirstN(k int) {
+	if k < 0 || k > s.n {
+		panic("bitset: SetFirstN count out of range")
+	}
+	full := k >> 6
+	for i := 0; i < full; i++ {
+		s.words[i] = ^uint64(0)
+	}
+	if rem := uint(k) & 63; rem != 0 {
+		s.words[full] = (1 << rem) - 1
+		full++
+	}
+	for i := full; i < len(s.words); i++ {
+		s.words[i] = 0
+	}
+}
+
+// SetWord overwrites the wi-th 64-bit word (bits [64·wi, 64·wi+64)) in one
+// store, masking any bits beyond the set's length so the canonical
+// trailing-zero invariant survives. It panics if wi is out of range. This
+// is the bulk-write path for engines that assemble 64 vertex updates into
+// one word before touching shared memory.
+func (s *Set) SetWord(wi int, w uint64) {
+	if wi < 0 || wi >= len(s.words) {
+		panic("bitset: SetWord index out of range")
+	}
+	if wi == len(s.words)-1 {
+		if rem := uint(s.n) & 63; rem != 0 {
+			w &= (1 << rem) - 1
+		}
+	}
+	s.words[wi] = w
+}
+
 // trim zeroes the unused high bits of the last word so Count and Equal see
 // a canonical representation.
 func (s *Set) trim() {

@@ -353,3 +353,63 @@ func BenchmarkForEach(b *testing.B) {
 	}
 	_ = sink
 }
+
+func TestSetFirstN(t *testing.T) {
+	for _, n := range []int{0, 1, 63, 64, 65, 130, 256} {
+		s := New(n)
+		for _, k := range []int{0, 1, n / 2, n} {
+			if k > n {
+				continue
+			}
+			// Pre-dirty the set so SetFirstN must clear the tail.
+			for i := 0; i < n; i += 3 {
+				s.Set(i)
+			}
+			s.SetFirstN(k)
+			if got := s.Count(); got != k {
+				t.Fatalf("n=%d SetFirstN(%d): count = %d", n, k, got)
+			}
+			for i := 0; i < n; i++ {
+				if s.Get(i) != (i < k) {
+					t.Fatalf("n=%d SetFirstN(%d): bit %d = %v", n, k, i, s.Get(i))
+				}
+			}
+		}
+	}
+}
+
+func TestSetFirstNPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("SetFirstN out of range did not panic")
+		}
+	}()
+	New(10).SetFirstN(11)
+}
+
+func TestSetWord(t *testing.T) {
+	s := New(100)
+	s.SetWord(0, ^uint64(0))
+	if got := s.Count(); got != 64 {
+		t.Fatalf("count after full word = %d", got)
+	}
+	// The last word is masked to the set length: bits ≥ 100 must not leak
+	// into Count.
+	s.SetWord(1, ^uint64(0))
+	if got := s.Count(); got != 100 {
+		t.Fatalf("count after masked last word = %d", got)
+	}
+	s.SetWord(0, 0b1011)
+	if !s.Get(0) || !s.Get(1) || s.Get(2) || !s.Get(3) {
+		t.Error("SetWord bit pattern wrong")
+	}
+}
+
+func TestSetWordPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("SetWord out of range did not panic")
+		}
+	}()
+	New(64).SetWord(1, 1)
+}

@@ -105,6 +105,11 @@ type Options struct {
 	// Rule overrides the protocol (zero value = Best-of-Three). Exposed so
 	// the facade also serves the baseline protocols.
 	Rule dynamics.Rule
+	// Engine selects the round engine; the zero value (EngineAuto) takes
+	// the O(1) mean-field fast path on eligible topologies (graph.Kn) and
+	// the general sharded engine otherwise. EngineGeneral forces the
+	// general engine for A/B validation.
+	Engine dynamics.Engine
 	// OnRound, when non-nil, is invoked after every recorded blue count —
 	// first with (0, initial count), then once per executed round — on the
 	// goroutine driving the run. It must not retain the process.
@@ -140,29 +145,32 @@ func Run(ctx context.Context, g Topology, delta float64, opt Options) (Report, e
 	}
 	src := rng.New(opt.Seed)
 	init := opinion.RandomConfig(g.N(), 0.5-delta, src)
-	proc, err := dynamics.New(g, rule, init, dynamics.Options{Seed: src.Uint64(), Workers: opt.Workers})
+	proc, err := dynamics.New(g, rule, init, dynamics.Options{Seed: src.Uint64(), Workers: opt.Workers, Engine: opt.Engine})
 	if err != nil {
 		return Report{}, err
 	}
 
 	rep := Report{PredictedRounds: predicted, Precondition: pre}
-	blues := proc.Config().Blues()
+	// Counts come from the process, not the materialised configuration:
+	// under the mean-field engine Blues and Consensus are O(1) reads, so
+	// the per-round bookkeeping never forces an O(n) materialisation.
+	blues := proc.Blues()
 	rep.BlueTrajectory = []int{blues}
 	if opt.OnRound != nil {
 		opt.OnRound(0, blues)
 	}
 	finish := func(err error) (Report, error) {
 		rep.Rounds = proc.Round()
-		if col, ok := proc.Config().IsConsensus(); ok {
+		if col, ok := proc.Consensus(); ok {
 			rep.Consensus = true
 			rep.RedWon = col == opinion.Red
 		} else {
-			rep.RedWon = proc.Config().Majority() == opinion.Red
+			rep.RedWon = 2*proc.Blues() <= proc.Graph().N()
 		}
 		return rep, err
 	}
 	for proc.Round() < budget {
-		if col, ok := proc.Config().IsConsensus(); ok {
+		if col, ok := proc.Consensus(); ok {
 			rep.Consensus = true
 			rep.RedWon = col == opinion.Red
 			rep.Rounds = proc.Round()
@@ -172,11 +180,18 @@ func Run(ctx context.Context, g Topology, delta float64, opt Options) (Report, e
 			return finish(err)
 		}
 		proc.Step()
-		blues = proc.Config().Blues()
+		blues = proc.Blues()
 		rep.BlueTrajectory = append(rep.BlueTrajectory, blues)
 		if opt.OnRound != nil {
 			opt.OnRound(proc.Round(), blues)
 		}
 	}
 	return finish(nil)
+}
+
+// EngineFor reports which engine a Run with the given options would
+// execute on (g, rule): "general" or "mean-field". The serve layer records
+// it per job.
+func EngineFor(g Topology, rule dynamics.Rule, e dynamics.Engine) string {
+	return dynamics.ResolveEngine(e, g, rule).String()
 }

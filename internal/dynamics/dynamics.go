@@ -8,10 +8,26 @@
 // by a configurable rule. Best-of-1 is the classical voter model and
 // Best-of-3 is the paper's protocol.
 //
-// The engine double-buffers the configuration and shards the vertex range
-// across a worker pool; each shard owns an independent RNG stream, so runs
-// are deterministic for a fixed (seed, worker count) pair and configuration
-// updates are race-free by construction.
+// Two engines implement a round, selected by an automatic dispatch seam
+// (see Engine):
+//
+//   - The general engine double-buffers the configuration and shards the
+//     vertex range across a worker pool; each shard owns an independent RNG
+//     stream fronted by a refill buffer (64-word blocks drawn at once,
+//     Lemire bounded reduction per sample), opinions are read and written
+//     word-at-a-time against the packed bitsets, and runs are deterministic
+//     for a fixed (seed, worker count) pair with updates race-free by
+//     construction. The buffered sampler consumes generator words in
+//     exactly the order the scalar sampler would, so batching does not
+//     change any trajectory.
+//   - The mean-field engine advances topologies that declare mean-field
+//     exchangeability (the virtual complete graph graph.Kn) in O(1) per
+//     round: the blue count is a Markov chain, so one round is two binomial
+//     draws with analytically exact adoption probabilities honouring K, tie
+//     rules, sampling without replacement, and per-sample noise. Its
+//     trajectories are distributionally identical to the general engine's
+//     (and exactly the internal/markov chain) but follow a different RNG
+//     stream.
 package dynamics
 
 import (
@@ -38,6 +54,88 @@ type Topology interface {
 	MinDegree() int
 	// Name identifies the topology in logs and tables.
 	Name() string
+}
+
+// MeanFielder is an optional Topology extension: a topology reporting
+// MeanFieldEligible() == true asserts that every vertex's k samples are
+// uniform over all other vertices, so a synchronous Best-of-k round
+// depends on the configuration only through the global blue count.
+// graph.Kn implements it; the engine dispatch (Engine, ResolveEngine) uses
+// it to select the O(1)-per-round mean-field fast path.
+type MeanFielder interface {
+	Topology
+	MeanFieldEligible() bool
+}
+
+// neighborSlicer is an optional Topology extension implemented by the CSR
+// graph type: the neighbour row of v as a slice, letting the sampler index
+// it directly instead of paying one interface call per sample. Detected
+// dynamically so the engine still depends only on Topology.
+type neighborSlicer interface {
+	Neighbors(v int) []int32
+}
+
+// Engine selects the per-round update implementation.
+type Engine uint8
+
+const (
+	// EngineAuto picks the mean-field fast path when the topology declares
+	// mean-field eligibility (see MeanFielder) and the general sharded
+	// engine otherwise. This is the default.
+	EngineAuto Engine = iota
+	// EngineGeneral forces the per-vertex sharded sampling engine, e.g. for
+	// A/B validation against the mean-field path.
+	EngineGeneral
+	// EngineMeanField requires the mean-field fast path; New fails if the
+	// topology does not declare eligibility.
+	EngineMeanField
+)
+
+// String implements fmt.Stringer with the spec-level names.
+func (e Engine) String() string {
+	switch e {
+	case EngineAuto:
+		return "auto"
+	case EngineGeneral:
+		return "general"
+	case EngineMeanField:
+		return "mean-field"
+	default:
+		return fmt.Sprintf("Engine(%d)", uint8(e))
+	}
+}
+
+// ParseEngine converts the spec-level engine name; "" means EngineAuto.
+func ParseEngine(s string) (Engine, error) {
+	switch s {
+	case "", "auto":
+		return EngineAuto, nil
+	case "general":
+		return EngineGeneral, nil
+	case "mean-field":
+		return EngineMeanField, nil
+	default:
+		return EngineAuto, fmt.Errorf("dynamics: unknown engine %q (want \"auto\", \"general\", or \"mean-field\")", s)
+	}
+}
+
+// ResolveEngine reports which engine New selects for the requested mode on
+// (g, rule): EngineAuto resolves to EngineMeanField exactly when the
+// topology declares mean-field eligibility. The returned value is always
+// EngineGeneral or EngineMeanField; a forced EngineMeanField is returned
+// as requested even when ineligible (New then fails with the reason).
+func ResolveEngine(e Engine, g Topology, rule Rule) Engine {
+	switch e {
+	case EngineGeneral:
+		return EngineGeneral
+	case EngineMeanField:
+		return EngineMeanField
+	default:
+		if mf, ok := g.(MeanFielder); ok && mf.MeanFieldEligible() {
+			return EngineMeanField
+		}
+		return EngineGeneral
+	}
 }
 
 // TieRule determines the adopted opinion when the k sampled neighbours
@@ -132,11 +230,19 @@ type Process struct {
 	shards  []shard
 	round   int
 	workers int
+	engine  Engine
+
+	// Mean-field state: the blue count is the whole configuration. cur is
+	// materialised from it lazily (mfDirty tracks staleness) so Config()
+	// stays correct while Step stays O(1).
+	mfBlues int
+	mfDirty bool
 }
 
 type shard struct {
 	lo, hi int
 	src    *rng.Source
+	buf    sampleBuf
 }
 
 // Options configures a Process.
@@ -146,6 +252,9 @@ type Options struct {
 	// Seed drives all sampling; equal seeds with equal worker counts give
 	// identical trajectories.
 	Seed uint64
+	// Engine selects the per-round implementation; the zero value
+	// (EngineAuto) uses the mean-field fast path on eligible topologies.
+	Engine Engine
 }
 
 // New returns a Process evolving init under the rule on g. The initial
@@ -170,12 +279,21 @@ func New(g Topology, rule Rule, init *opinion.Config, opt Options) (*Process, er
 	if w < 1 {
 		w = 1
 	}
+	engine := ResolveEngine(opt.Engine, g, rule)
+	if engine == EngineMeanField {
+		mf, ok := g.(MeanFielder)
+		if !ok || !mf.MeanFieldEligible() {
+			return nil, fmt.Errorf("dynamics: engine %q requested but topology %s does not declare mean-field eligibility", EngineMeanField, g.Name())
+		}
+	}
 	p := &Process{
 		g:       g,
 		rule:    rule,
 		cur:     init.Clone(),
 		next:    opinion.NewConfig(g.N()),
 		workers: w,
+		engine:  engine,
+		mfBlues: init.Blues(),
 	}
 	n := g.N()
 	// Shard boundaries are aligned to 64-vertex blocks: configurations are
@@ -195,6 +313,8 @@ func New(g Topology, rule Rule, init *opinion.Config, opt Options) (*Process, er
 			hi:  bounds[i+1],
 			src: rng.NewFrom(opt.Seed, uint64(i)),
 		})
+		p.shards[i].buf.src = p.shards[i].src
+		p.shards[i].buf.pos = sampleBufWords
 	}
 	return p, nil
 }
@@ -208,10 +328,67 @@ func (p *Process) Rule() Rule { return p.rule }
 // Round returns the number of completed rounds.
 func (p *Process) Round() int { return p.round }
 
+// Engine returns the resolved engine executing the rounds (EngineGeneral
+// or EngineMeanField, never EngineAuto).
+func (p *Process) Engine() Engine { return p.engine }
+
 // Config returns the current configuration. The returned value aliases
 // live process state — do not mutate it — and is invalidated by the next
-// Step; Clone it to keep a snapshot.
-func (p *Process) Config() *opinion.Config { return p.cur }
+// Step; Clone it to keep a snapshot. Under the mean-field engine the
+// configuration is materialised on demand in canonical form (blue count b
+// ⇒ vertices [0, b) blue), which is distribution-preserving because the
+// topology is exchangeable; prefer Blues or Consensus when only counts are
+// needed.
+func (p *Process) Config() *opinion.Config {
+	if p.mfDirty {
+		p.cur.SetBluePrefix(p.mfBlues)
+		p.mfDirty = false
+	}
+	return p.cur
+}
+
+// Blues returns the current number of Blue vertices: O(1) under the
+// mean-field engine, a popcount otherwise.
+func (p *Process) Blues() int {
+	if p.engine == EngineMeanField {
+		return p.mfBlues
+	}
+	return p.cur.Blues()
+}
+
+// Consensus reports whether every vertex holds one opinion, and which,
+// without materialising mean-field state.
+func (p *Process) Consensus() (opinion.Colour, bool) {
+	if p.engine == EngineMeanField {
+		switch p.mfBlues {
+		case 0:
+			return opinion.Red, true
+		case p.g.N():
+			return opinion.Blue, true
+		default:
+			return opinion.Red, false
+		}
+	}
+	return p.cur.IsConsensus()
+}
+
+// SetBlueCount replaces the current configuration with the canonical one
+// holding exactly b Blue vertices (vertices [0, b) blue). O(1) under the
+// mean-field engine, O(n/64) otherwise. On exchangeable topologies this is
+// the exact-count initial condition matching markov.Chain's
+// PointDistribution; benchmarks use it to hold the process in a mixed
+// state across timed rounds.
+func (p *Process) SetBlueCount(b int) {
+	if b < 0 || b > p.g.N() {
+		panic("dynamics: SetBlueCount out of range")
+	}
+	p.mfBlues = b
+	if p.engine == EngineMeanField {
+		p.mfDirty = true
+		return
+	}
+	p.cur.SetBluePrefix(b)
+}
 
 // Step performs one synchronous round. All vertices sample from the
 // pre-round configuration, so the update is a simultaneous one as the paper
@@ -221,15 +398,20 @@ func (p *Process) Step() {
 		p.round++
 		return
 	}
+	if p.engine == EngineMeanField {
+		p.stepMeanField()
+		p.round++
+		return
+	}
 	if p.workers == 1 {
-		p.stepRange(p.shards[0].lo, p.shards[0].hi, p.shards[0].src)
+		p.stepRange(&p.shards[0])
 	} else {
 		var wg sync.WaitGroup
 		for i := range p.shards {
 			wg.Add(1)
 			go func(s *shard) {
 				defer wg.Done()
-				p.stepRange(s.lo, s.hi, s.src)
+				p.stepRange(s)
 			}(&p.shards[i])
 		}
 		wg.Wait()
@@ -238,15 +420,87 @@ func (p *Process) Step() {
 	p.round++
 }
 
-// stepRange updates vertices [lo, hi) into p.next.
-func (p *Process) stepRange(lo, hi int, src *rng.Source) {
+// stepRange updates vertices [s.lo, s.hi) into p.next. Noise-free rules
+// take the batched path (buffered RNG, word-at-a-time bitset access);
+// noisy rules keep the scalar path, whose per-vertex Binomial draws pull
+// from the raw source and must not interleave with a refill buffer.
+func (p *Process) stepRange(s *shard) {
+	if p.rule.Noise > 0 {
+		p.stepRangeScalar(s.lo, s.hi, s.src)
+		return
+	}
+	p.stepRangeBatched(s.lo, s.hi, &s.buf)
+}
+
+// stepRangeBatched is the noise-free hot path. Uniform words come from the
+// shard's refill buffer (consumed in exactly the order the scalar path
+// would draw them, so trajectories are unchanged), opinions are read by
+// direct word indexing, and the 64 results of each aligned vertex block
+// are assembled in a register and stored with one write. Shard bounds are
+// 64-aligned, so blocks never straddle shards.
+func (p *Process) stepRangeBatched(lo, hi int, buf *sampleBuf) {
+	k := p.rule.K
+	g := p.g
+	ns, hasRows := g.(neighborSlicer)
+	curWords := p.cur.BlueSet().Words()
+	next := p.next.BlueSet()
+	tieRandom := p.rule.Tie == TieRandom
+	woRepl := p.rule.WithoutReplacement
+	for base := lo; base < hi; base += 64 {
+		end := base + 64
+		if end > hi {
+			end = hi
+		}
+		var out uint64
+		for v := base; v < end; v++ {
+			deg := g.Degree(v)
+			blues := 0
+			switch {
+			case woRepl && deg >= k:
+				blues = p.sampleDistinctBatched(v, deg, k, buf, curWords)
+			case hasRows:
+				row := ns.Neighbors(v)
+				for i := 0; i < k; i++ {
+					w := int(row[buf.intn(deg)])
+					blues += int((curWords[w>>6] >> (uint(w) & 63)) & 1)
+				}
+			default:
+				for i := 0; i < k; i++ {
+					w := g.Neighbor(v, buf.intn(deg))
+					blues += int((curWords[w>>6] >> (uint(w) & 63)) & 1)
+				}
+			}
+			var bit uint64
+			switch {
+			case 2*blues > k:
+				bit = 1
+			case 2*blues < k:
+				bit = 0
+			case tieRandom:
+				if buf.bernoulliHalf() {
+					bit = 1
+				}
+			default: // TieKeep
+				bit = (curWords[v>>6] >> (uint(v) & 63)) & 1
+			}
+			out |= bit << (uint(v) & 63)
+		}
+		next.SetWord(base>>6, out)
+	}
+}
+
+// stepRangeScalar is the pre-batching update loop, kept for rules with
+// per-sample noise: their Binomial draws consume the raw source directly,
+// and the trajectory contract (fixed seed and workers ⇒ fixed outcome)
+// pins this consumption order.
+func (p *Process) stepRangeScalar(lo, hi int, src *rng.Source) {
 	k := p.rule.K
 	noise := p.rule.Noise
 	for v := lo; v < hi; v++ {
 		deg := p.g.Degree(v)
 		blues := 0
 		if p.rule.WithoutReplacement && deg >= k {
-			blues = p.sampleDistinct(v, deg, k, src)
+			blues = p.sampleDistinctScalar(v, deg, k, src)
 		} else {
 			for i := 0; i < k; i++ {
 				w := p.g.Neighbor(v, src.Intn(deg))
@@ -283,21 +537,51 @@ func (p *Process) stepRange(lo, hi int, src *rng.Source) {
 	}
 }
 
-// sampleDistinct counts blue opinions among k distinct uniform neighbours
-// of v via a partial Floyd sample. Only used for the ablation rule; k is
-// tiny (≤ 5), so the rejection loop is cheap.
-func (p *Process) sampleDistinct(v, deg, k int, src *rng.Source) int {
-	var chosen [8]int
+// sampleDistinctBatched counts blue opinions among k distinct uniform
+// neighbours of v via a partial Floyd sample drawing from the shard
+// buffer. k is tiny in practice (≤ 5), so the rejection loop is cheap;
+// k > 8 spills the seen-index scratch to the heap instead of overrunning
+// it.
+func (p *Process) sampleDistinctBatched(v, deg, k int, buf *sampleBuf, curWords []uint64) int {
+	var chosenArr [8]int
+	chosen := chosenArr[:0]
+	if k > len(chosenArr) {
+		chosen = make([]int, 0, k)
+	}
+	blues := 0
+	for i := 0; i < k; i++ {
+	retry:
+		idx := buf.intn(deg)
+		for _, c := range chosen {
+			if c == idx {
+				goto retry
+			}
+		}
+		chosen = append(chosen, idx)
+		w := p.g.Neighbor(v, idx)
+		blues += int((curWords[w>>6] >> (uint(w) & 63)) & 1)
+	}
+	return blues
+}
+
+// sampleDistinctScalar is sampleDistinctBatched for the scalar (noisy)
+// path, drawing from the raw source.
+func (p *Process) sampleDistinctScalar(v, deg, k int, src *rng.Source) int {
+	var chosenArr [8]int
+	chosen := chosenArr[:0]
+	if k > len(chosenArr) {
+		chosen = make([]int, 0, k)
+	}
 	blues := 0
 	for i := 0; i < k; i++ {
 	retry:
 		idx := src.Intn(deg)
-		for j := 0; j < i; j++ {
-			if chosen[j] == idx {
+		for _, c := range chosen {
+			if c == idx {
 				goto retry
 			}
 		}
-		chosen[i] = idx
+		chosen = append(chosen, idx)
 		if p.cur.Get(p.g.Neighbor(v, idx)) == opinion.Blue {
 			blues++
 		}
@@ -323,23 +607,23 @@ type Result struct {
 // Run advances the process until consensus or maxRounds, whichever comes
 // first, recording the blue-count trajectory.
 func (p *Process) Run(maxRounds int) Result {
-	res := Result{BlueTrajectory: []int{p.cur.Blues()}}
+	res := Result{BlueTrajectory: []int{p.Blues()}}
 	for p.round < maxRounds {
-		if col, ok := p.cur.IsConsensus(); ok {
+		if col, ok := p.Consensus(); ok {
 			res.Consensus = true
 			res.Winner = col
 			res.Rounds = p.round
 			return res
 		}
 		p.Step()
-		res.BlueTrajectory = append(res.BlueTrajectory, p.cur.Blues())
+		res.BlueTrajectory = append(res.BlueTrajectory, p.Blues())
 	}
 	res.Rounds = p.round
-	if col, ok := p.cur.IsConsensus(); ok {
+	if col, ok := p.Consensus(); ok {
 		res.Consensus = true
 		res.Winner = col
 	} else {
-		res.Winner = p.cur.Majority()
+		res.Winner = p.majority()
 	}
 	return res
 }
@@ -347,17 +631,26 @@ func (p *Process) Run(maxRounds int) Result {
 // RunQuiet is Run without trajectory recording, for the benchmark hot path.
 func (p *Process) RunQuiet(maxRounds int) Result {
 	for p.round < maxRounds {
-		if col, ok := p.cur.IsConsensus(); ok {
+		if col, ok := p.Consensus(); ok {
 			return Result{Consensus: true, Winner: col, Rounds: p.round}
 		}
 		p.Step()
 	}
 	res := Result{Rounds: p.round}
-	if col, ok := p.cur.IsConsensus(); ok {
+	if col, ok := p.Consensus(); ok {
 		res.Consensus = true
 		res.Winner = col
 	} else {
-		res.Winner = p.cur.Majority()
+		res.Winner = p.majority()
 	}
 	return res
+}
+
+// majority is Config().Majority() without forcing a mean-field
+// materialisation.
+func (p *Process) majority() opinion.Colour {
+	if 2*p.Blues() > p.g.N() {
+		return opinion.Blue
+	}
+	return opinion.Red
 }

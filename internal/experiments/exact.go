@@ -39,7 +39,10 @@ type E20Result struct {
 // absorption time of Best-of-Three on K_n (by iterating the full blue-count
 // distribution) and checks the simulator lands inside the implied
 // confidence band. This pins the simulator to ground truth with no
-// asymptotics involved.
+// asymptotics involved — the general per-vertex engine is forced, because
+// the mean-field fast path samples the exact chain's own kernel and would
+// make the validation circular (the fast path itself is pinned against
+// both in internal/markov's engine tests).
 func E20ExactChainValidation(cfg Config) E20Result {
 	var res E20Result
 	for _, c := range []struct {
@@ -52,7 +55,7 @@ func E20ExactChainValidation(cfg Config) E20Result {
 		trials := cfg.Trials * 5
 		outs := sim.RunOutcomes(trials, cfg.Seed+uint64(c.n), cfg.Workers, func(i int, s *rng.Source) sim.Outcome {
 			init := opinion.RandomConfig(c.n, c.pBlue, s)
-			p, err := dynamics.New(graph.NewKn(c.n), dynamics.BestOfThree, init, dynamics.Options{Seed: s.Uint64(), Workers: 1})
+			p, err := dynamics.New(graph.NewKn(c.n), dynamics.BestOfThree, init, dynamics.Options{Seed: s.Uint64(), Workers: 1, Engine: dynamics.EngineGeneral})
 			if err != nil {
 				panic(err)
 			}

@@ -46,11 +46,16 @@ func E3IdealRecursion(cfg Config) E3Result {
 	for t := range perRound {
 		perRound[t] = make([]float64, 0, cfg.Trials)
 	}
+	// The recursion checks here (and in E8/E13/E20) validate the
+	// per-vertex sampling engine against analytic ground truth, so they
+	// force EngineGeneral: the mean-field fast path draws from the same
+	// kernel the recursion computes, which would make the comparison
+	// circular.
 	for i := 0; i < cfg.Trials; i++ {
 		src := rng.NewFrom(cfg.Seed, uint64(i))
 		g := graph.NewKn(n)
 		init := opinion.RandomConfig(n, 0.5-delta, src)
-		p, err := dynamics.New(g, dynamics.BestOfThree, init, dynamics.Options{Seed: src.Uint64(), Workers: 0})
+		p, err := dynamics.New(g, dynamics.BestOfThree, init, dynamics.Options{Seed: src.Uint64(), Workers: 0, Engine: dynamics.EngineGeneral})
 		if err != nil {
 			panic(err)
 		}
@@ -127,7 +132,7 @@ func E8DeltaGrowth(cfg Config) E8Result {
 	for i := 0; i < cfg.Trials; i++ {
 		src := rng.NewFrom(cfg.Seed, uint64(i))
 		init := opinion.RandomConfig(n, 0.5-delta0, src)
-		p, err := dynamics.New(graph.NewKn(n), dynamics.BestOfThree, init, dynamics.Options{Seed: src.Uint64(), Workers: 0})
+		p, err := dynamics.New(graph.NewKn(n), dynamics.BestOfThree, init, dynamics.Options{Seed: src.Uint64(), Workers: 0, Engine: dynamics.EngineGeneral})
 		if err != nil {
 			panic(err)
 		}
@@ -218,7 +223,7 @@ func E13PhaseSchedule(cfg Config) E13Result {
 	for i := 0; i < cfg.Trials; i++ {
 		src := rng.NewFrom(cfg.Seed, uint64(i))
 		init := opinion.RandomConfig(n, 0.5-delta0, src)
-		p, err := dynamics.New(graph.NewKn(n), dynamics.BestOfThree, init, dynamics.Options{Seed: src.Uint64(), Workers: 0})
+		p, err := dynamics.New(graph.NewKn(n), dynamics.BestOfThree, init, dynamics.Options{Seed: src.Uint64(), Workers: 0, Engine: dynamics.EngineGeneral})
 		if err != nil {
 			panic(err)
 		}

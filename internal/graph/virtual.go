@@ -39,3 +39,10 @@ func (k Kn) Neighbor(v, i int) int {
 
 // Name identifies the topology in experiment tables.
 func (k Kn) Name() string { return fmt.Sprintf("complete(n=%d,virtual)", int(k)) }
+
+// MeanFieldEligible marks the virtual complete graph as mean-field
+// exchangeable: every vertex samples uniformly from all other vertices, so
+// one Best-of-k round depends on the configuration only through the global
+// blue count. The dynamics engine dispatches such topologies to an O(1)
+// per-round fast path (two binomial draws) instead of Θ(n·k) sampling.
+func (k Kn) MeanFieldEligible() bool { return int(k) >= 2 }

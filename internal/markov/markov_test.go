@@ -173,7 +173,9 @@ func TestMonotoneInInitialBlue(t *testing.T) {
 
 func TestExactMatchesSimulation(t *testing.T) {
 	// The exact chain must agree with the simulator on K_n within Monte
-	// Carlo error.
+	// Carlo error. The general per-vertex engine is forced so this stays a
+	// genuine validation: the mean-field fast path samples this chain's own
+	// kernel (it is compared separately in engines_test.go).
 	const n = 64
 	const pBlue = 0.4
 	c := New(n, 3)
@@ -184,7 +186,7 @@ func TestExactMatchesSimulation(t *testing.T) {
 	for i := 0; i < trials; i++ {
 		src := rng.NewFrom(7, uint64(i))
 		init := opinion.RandomConfig(n, pBlue, src)
-		p, err := dynamics.New(graph.NewKn(n), dynamics.BestOfThree, init, dynamics.Options{Seed: src.Uint64(), Workers: 1})
+		p, err := dynamics.New(graph.NewKn(n), dynamics.BestOfThree, init, dynamics.Options{Seed: src.Uint64(), Workers: 1, Engine: dynamics.EngineGeneral})
 		if err != nil {
 			t.Fatal(err)
 		}

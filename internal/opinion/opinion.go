@@ -127,6 +127,12 @@ func (c *Config) FillRed() { c.blue.Reset() }
 // FillBlue sets every vertex to Blue.
 func (c *Config) FillBlue() { c.blue.Fill() }
 
+// SetBluePrefix makes vertices [0, b) Blue and the rest Red, word-at-a-
+// time. On exchangeable topologies (the complete graph) this is the
+// canonical configuration with blue count b; the mean-field engine uses it
+// to materialise count-only state on demand.
+func (c *Config) SetBluePrefix(b int) { c.blue.SetFirstN(b) }
+
 // BlueSet exposes the underlying Blue bitset (read-only use).
 func (c *Config) BlueSet() *bitset.Set { return c.blue }
 

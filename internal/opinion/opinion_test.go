@@ -224,3 +224,21 @@ func BenchmarkBlues(b *testing.B) {
 	}
 	_ = sink
 }
+
+func TestSetBluePrefix(t *testing.T) {
+	c := NewConfig(150)
+	c.Set(149, Blue) // pre-dirty the tail
+	c.SetBluePrefix(70)
+	if got := c.Blues(); got != 70 {
+		t.Fatalf("Blues = %d after SetBluePrefix(70)", got)
+	}
+	for v := 0; v < 150; v++ {
+		want := Red
+		if v < 70 {
+			want = Blue
+		}
+		if c.Get(v) != want {
+			t.Fatalf("vertex %d = %v after SetBluePrefix(70)", v, c.Get(v))
+		}
+	}
+}

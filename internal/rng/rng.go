@@ -89,6 +89,25 @@ func (s *Source) Uint64() uint64 {
 	return result
 }
 
+// Fill overwrites dst with len(dst) successive Uint64 outputs, exactly as
+// if Uint64 had been called once per element. Keeping the state in locals
+// for the whole block lets the compiler keep it in registers, which is the
+// refill path of the dynamics engine's per-shard sample buffer.
+func (s *Source) Fill(dst []uint64) {
+	s0, s1, s2, s3 := s.s0, s.s1, s.s2, s.s3
+	for i := range dst {
+		dst[i] = bits.RotateLeft64(s1*5, 7) * 9
+		t := s1 << 17
+		s2 ^= s0
+		s3 ^= s1
+		s1 ^= s2
+		s0 ^= s3
+		s2 ^= t
+		s3 = bits.RotateLeft64(s3, 45)
+	}
+	s.s0, s.s1, s.s2, s.s3 = s0, s1, s2, s3
+}
+
 // Uint64n returns a uniform integer in [0, n). It panics if n == 0.
 // It uses Lemire's multiply-shift rejection method, which needs slightly
 // more than one multiplication per draw on average and no division in the

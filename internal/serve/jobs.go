@@ -129,6 +129,7 @@ type Manager struct {
 	// Counters; guarded by mu.
 	completed, failed, cancelled, rejected           int64
 	trialsRun, roundsRun                             int64
+	jobsMeanField, jobsGeneral                       int64
 	queued, running                                  int
 	sweepsCompleted, sweepsCancelled, sweepsRejected int64
 	sweepCellsFinished                               int64
@@ -341,6 +342,8 @@ func (m *Manager) Stats() Stats {
 		Running:            m.running,
 		TrialsRun:          m.trialsRun,
 		RoundsRun:          m.roundsRun,
+		JobsMeanField:      m.jobsMeanField,
+		JobsGeneral:        m.jobsGeneral,
 		SweepsSubmitted:    int64(m.sweepSeq),
 		SweepsCompleted:    m.sweepsCompleted,
 		SweepsCancelled:    m.sweepsCancelled,
@@ -434,11 +437,17 @@ func (m *Manager) worker() {
 		switch {
 		case err == nil:
 			j.state = StateDone
+			result.QueueMS = j.started.Sub(j.created).Milliseconds()
 			j.result = result
 			m.completed++
 			m.trialsRun += int64(result.Trials)
 			for _, r := range result.Reports {
 				m.roundsRun += int64(r.Rounds)
+			}
+			if result.Engine == "mean-field" {
+				m.jobsMeanField++
+			} else {
+				m.jobsGeneral++
 			}
 		case errors.Is(err, context.Canceled):
 			j.state = StateCancelled
@@ -520,6 +529,11 @@ func (m *Manager) run(ctx context.Context, j *job) (*RunResult, error) {
 	if err != nil {
 		return nil, err
 	}
+	engine, err := runner.EngineName()
+	if err != nil {
+		return nil, err
+	}
+	elapsed := time.Since(start)
 	res := &RunResult{
 		Trials:          runSpec.Trials,
 		PredictedRounds: predicted,
@@ -528,8 +542,9 @@ func (m *Manager) run(ctx context.Context, j *job) (*RunResult, error) {
 		Seed:            jobSeed,
 		GraphName:       g.Name(),
 		Rule:            rule.Name(),
+		Engine:          engine,
 		CacheHit:        cacheHit,
-		ElapsedMS:       time.Since(start).Milliseconds(),
+		ElapsedMS:       elapsed.Milliseconds(),
 		Reports:         reports,
 	}
 	tl := tallyReports(reports)
@@ -537,6 +552,9 @@ func (m *Manager) run(ctx context.Context, j *job) (*RunResult, error) {
 	res.Consensus = tl.Consensus
 	res.MeanRounds = tl.MeanRounds()
 	res.MaxRounds = tl.MaxRounds
+	if secs := elapsed.Seconds(); secs > 0 {
+		res.RoundsPerSec = float64(tl.RoundSum) / secs
+	}
 	return res, nil
 }
 

@@ -346,3 +346,68 @@ func TestManagerConcurrentChurn(t *testing.T) {
 		t.Errorf("completed %d + cancelled %d != %d", s.Completed, s.Cancelled, clients*10)
 	}
 }
+
+func TestJobEngineAndTimingFields(t *testing.T) {
+	m := NewManager(Config{Workers: 2})
+	defer m.Close(context.Background())
+
+	// complete-virtual dispatches to the mean-field fast path by default.
+	v, err := m.Submit(smallRun(21))
+	if err != nil {
+		t.Fatal(err)
+	}
+	v = waitState(t, m, v.ID)
+	if v.State != StateDone {
+		t.Fatalf("state = %s (%s)", v.State, v.Error)
+	}
+	if v.Result.Engine != "mean-field" {
+		t.Errorf("engine = %q, want mean-field", v.Result.Engine)
+	}
+	if v.Result.QueueMS < 0 || v.Result.ElapsedMS < 0 {
+		t.Errorf("negative timings: queue %d, elapsed %d", v.Result.QueueMS, v.Result.ElapsedMS)
+	}
+
+	// The spec-level opt-out forces the general engine.
+	req := smallRun(22)
+	req.Engine = "general"
+	v, err = m.Submit(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v = waitState(t, m, v.ID)
+	if v.State != StateDone || v.Result.Engine != "general" {
+		t.Fatalf("forced-general job: state %s, engine %q", v.State, v.Result.Engine)
+	}
+
+	// A CSR family resolves general under auto.
+	v, err = m.Submit(RunRequest{
+		Graph: GraphSpec{Family: "random-regular", N: 64, D: 8, Seed: 1}, Delta: 0.2, Trials: 2, Seed: 23,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v = waitState(t, m, v.ID)
+	if v.State != StateDone || v.Result.Engine != "general" {
+		t.Fatalf("regular job: state %s, engine %q", v.State, v.Result.Engine)
+	}
+
+	st := m.Stats()
+	if st.JobsMeanField != 1 || st.JobsGeneral != 2 {
+		t.Errorf("engine counters = (mean-field %d, general %d), want (1, 2)", st.JobsMeanField, st.JobsGeneral)
+	}
+}
+
+func TestSubmitRejectsBadEngine(t *testing.T) {
+	m := NewManager(Config{Workers: 1})
+	defer m.Close(context.Background())
+
+	req := smallRun(1)
+	req.Engine = "warp"
+	if _, err := m.Submit(req); err == nil {
+		t.Error("unknown engine accepted by the server")
+	}
+	req = RunRequest{Graph: GraphSpec{Family: "cycle", N: 32}, Delta: 0.1, Engine: "mean-field"}
+	if _, err := m.Submit(req); err == nil {
+		t.Error("mean-field engine on cycle accepted by the server")
+	}
+}

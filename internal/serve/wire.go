@@ -69,10 +69,22 @@ type RunResult struct {
 	GraphName string `json:"graph_name"`
 	// Rule is the resolved protocol name, e.g. "best-of-3".
 	Rule string `json:"rule"`
+	// Engine is the resolved round engine the trials executed on:
+	// "mean-field" (the O(1)-per-round complete-graph fast path) or
+	// "general" (per-vertex sharded sampling). Requests opt out of the
+	// fast path with `"engine": "general"` on the RunRequest.
+	Engine string `json:"engine"`
 	// CacheHit reports whether the graph came from the pool.
 	CacheHit bool `json:"cache_hit"`
 	// ElapsedMS is the job's execution wall time in milliseconds.
 	ElapsedMS int64 `json:"elapsed_ms"`
+	// QueueMS is how long the job waited between submission and the start
+	// of execution, in milliseconds.
+	QueueMS int64 `json:"queue_ms"`
+	// RoundsPerSec is the executed protocol rounds divided by the
+	// execution wall time (0 when the job finished under the timer
+	// resolution).
+	RoundsPerSec float64 `json:"rounds_per_sec"`
 	// Reports lists the per-trial outcomes in trial order.
 	Reports []TrialReport `json:"reports"`
 }
@@ -117,6 +129,10 @@ type Stats struct {
 	TrialsRun int64 `json:"trials_run"`
 	// RoundsRun is the total number of protocol rounds executed.
 	RoundsRun int64 `json:"rounds_run"`
+	// JobsMeanField and JobsGeneral split completed jobs by the round
+	// engine that executed them.
+	JobsMeanField int64 `json:"jobs_mean_field"`
+	JobsGeneral   int64 `json:"jobs_general"`
 	// Sweep counters. SweepCellsFinished counts child runs that reached a
 	// terminal state (done, failed, or cancelled).
 	SweepsSubmitted    int64 `json:"sweeps_submitted"`

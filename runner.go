@@ -79,9 +79,10 @@ func WithTopology(g Topology) RunnerOption { return func(c *runnerConfig) { c.to
 // Run and Stream may be called any number of times and always produce the
 // same outcomes.
 type Runner struct {
-	spec RunSpec
-	rule dynamics.Rule
-	cfg  runnerConfig
+	spec   RunSpec
+	rule   dynamics.Rule
+	engine dynamics.Engine
+	cfg    runnerConfig
 
 	buildOnce sync.Once
 	g         Topology
@@ -107,7 +108,11 @@ func NewRunner(s RunSpec, opts ...RunnerOption) (*Runner, error) {
 	if err != nil {
 		return nil, err
 	}
-	r := &Runner{spec: s, rule: rule, cfg: cfg}
+	engine, err := s.EngineMode()
+	if err != nil {
+		return nil, err
+	}
+	r := &Runner{spec: s, rule: rule, engine: engine, cfg: cfg}
 	if cfg.topology != nil {
 		r.buildOnce.Do(func() { r.g = cfg.topology })
 	}
@@ -122,6 +127,17 @@ func (r *Runner) Spec() RunSpec { return r.spec }
 func (r *Runner) Topology() (Topology, error) {
 	r.buildOnce.Do(func() { r.g, r.buildErr = r.spec.Build() })
 	return r.g, r.buildErr
+}
+
+// EngineName reports the resolved round engine ("general" or
+// "mean-field") the runner's trials execute on, building the topology if
+// needed. The serve layer records it per job.
+func (r *Runner) EngineName() (string, error) {
+	g, err := r.Topology()
+	if err != nil {
+		return "", err
+	}
+	return core.EngineFor(g, r.rule, r.engine), nil
 }
 
 // TrialResult is one trial's outcome as delivered by Stream.
@@ -203,6 +219,7 @@ func (r *Runner) runTrial(ctx context.Context, g Topology, i int) TrialResult {
 		MaxRounds: r.spec.MaxRounds,
 		Workers:   r.cfg.engineWorkers,
 		Rule:      r.rule,
+		Engine:    r.engine,
 	}
 	if obs := r.cfg.observer; obs != nil {
 		opt.OnRound = func(round, blues int) { obs(i, round, blues) }

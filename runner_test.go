@@ -176,3 +176,70 @@ func TestRunnerOptions(t *testing.T) {
 		t.Error("invalid delta accepted by NewRunner")
 	}
 }
+
+func TestRunnerEngineName(t *testing.T) {
+	mf, err := repro.NewRunner(repro.RunSpec{
+		Graph: repro.GraphSpec{Family: "complete-virtual", N: 128}, Delta: 0.1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if name, err := mf.EngineName(); err != nil || name != "mean-field" {
+		t.Errorf("complete-virtual EngineName = %q, %v", name, err)
+	}
+
+	forced, err := repro.NewRunner(repro.RunSpec{
+		Graph: repro.GraphSpec{Family: "complete-virtual", N: 128}, Delta: 0.1, Engine: "general",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if name, err := forced.EngineName(); err != nil || name != "general" {
+		t.Errorf("forced general EngineName = %q, %v", name, err)
+	}
+
+	gen, err := repro.NewRunner(repro.RunSpec{
+		Graph: repro.GraphSpec{Family: "random-regular", N: 64, D: 8, Seed: 1}, Delta: 0.1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if name, err := gen.EngineName(); err != nil || name != "general" {
+		t.Errorf("random-regular EngineName = %q, %v", name, err)
+	}
+}
+
+// TestRunnerEngineABEquivalence is the A/B-validation knob end to end:
+// the same complete-graph spec run on both engines must produce
+// statistically compatible aggregates (here: red wins out of trials, with
+// a generous tolerance — the engines follow different RNG streams).
+func TestRunnerEngineABEquivalence(t *testing.T) {
+	base := repro.RunSpec{
+		Graph: repro.GraphSpec{Family: "complete-virtual", N: 256}, Delta: 0.15,
+		Trials: 64, Seed: 5,
+	}
+	run := func(engine string) *repro.RunReport {
+		s := base
+		s.Engine = engine
+		r, err := repro.NewRunner(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := r.Run(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+	mf := run("mean-field")
+	gen := run("general")
+	// δ = 0.15 on K_256 is far inside the red-wins regime: both engines
+	// should win nearly every trial; a large gap means the fast path is
+	// sampling a different process.
+	if mf.RedWins < 58 || gen.RedWins < 58 {
+		t.Errorf("red wins: mean-field %d/64, general %d/64", mf.RedWins, gen.RedWins)
+	}
+	if mf.ConsensusCount != 64 || gen.ConsensusCount != 64 {
+		t.Errorf("consensus: mean-field %d/64, general %d/64", mf.ConsensusCount, gen.ConsensusCount)
+	}
+}

@@ -19,6 +19,12 @@
 //     rng.ChildSeed(s, i) — identical across every entry point, so the same
 //     spec produces byte-identical per-trial outcomes no matter which door
 //     it walks through.
+//   - Engine selection is part of the spec: RunSpec.Engine ("auto" default)
+//     dispatches mean-field-eligible families (FamilyMeanField; the
+//     complete-virtual K_n) to the O(1)-per-round fast path everywhere at
+//     once, with "general" as the documented opt-out. Switching engines is
+//     the one way a spec's outcomes change (different RNG streams, equal
+//     distributions).
 //
 // The root package repro builds its Runner from a RunSpec; internal/serve
 // aliases its wire types to the types here and adds only HTTP-specific

@@ -56,6 +56,14 @@ type familyDef struct {
 	usesN bool
 	// seeded reports whether the generator consumes Seed.
 	seeded bool
+	// meanField reports whether the family builds topologies that declare
+	// mean-field eligibility (dynamics.MeanFielder), i.e. whose rounds the
+	// engine can advance in O(1) via the blue-count chain.
+	meanField bool
+	// minDegree returns the family's minimum degree when it is determined
+	// by the spec alone (deterministic families); ok = false for sampled
+	// families (gnp, dense, sbm) whose degrees depend on the draw.
+	minDegree func(s GraphSpec) (d int, ok bool)
 	// keyParams lists the parameters the family actually consumes, in
 	// canonical key order; stray fields never split cache entries.
 	keyParams func(s GraphSpec) []string
@@ -101,6 +109,41 @@ func FamilyUsesN(name string) bool {
 func FamilySeeded(name string) bool {
 	d, ok := families[name]
 	return ok && d.seeded
+}
+
+// FamilyMeanField reports whether the named family builds mean-field-
+// eligible topologies, on which the engine's O(1)-per-round fast path is
+// available (engine "auto" selects it; "mean-field" requires it). Unknown
+// families report false.
+func FamilyMeanField(name string) bool {
+	d, ok := families[name]
+	return ok && d.meanField
+}
+
+// MeanFieldFamilies returns the registered families with the mean-field
+// fast path, sorted.
+func MeanFieldFamilies() []string {
+	out := []string{}
+	for name, d := range families {
+		if d.meanField {
+			out = append(out, name)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// MinDegreeEstimate returns the spec's minimum degree when the family
+// determines it without building the graph (complete, complete-virtual,
+// random-regular, cycle, torus, hypercube); ok = false for sampled
+// families and unknown families. Validation uses it to reject
+// without-replacement rules whose K exceeds every vertex's degree.
+func (s GraphSpec) MinDegreeEstimate() (d int, ok bool) {
+	def, found := families[s.Family]
+	if !found || def.minDegree == nil {
+		return 0, false
+	}
+	return def.minDegree(s)
 }
 
 func (s GraphSpec) family() (*familyDef, error) {
@@ -186,13 +229,15 @@ func init() {
 	register(
 		&familyDef{
 			name: "complete", usesN: true,
+			minDegree: func(s GraphSpec) (int, bool) { return s.N - 1, true },
 			keyParams: func(s GraphSpec) []string { return []string{kv("n", s.N)} },
 			validate:  needN,
 			edges:     func(s GraphSpec) int64 { return int64(s.N) * int64(s.N-1) / 2 },
 			build:     func(s GraphSpec) (core.Topology, error) { return graph.Complete(s.N), nil },
 		},
 		&familyDef{
-			name: "complete-virtual", usesN: true,
+			name: "complete-virtual", usesN: true, meanField: true,
+			minDegree: func(s GraphSpec) (int, bool) { return s.N - 1, true },
 			keyParams: func(s GraphSpec) []string { return []string{kv("n", s.N)} },
 			validate:  needN,
 			edges:     func(s GraphSpec) int64 { return 0 },
@@ -200,6 +245,7 @@ func init() {
 		},
 		&familyDef{
 			name: "random-regular", usesN: true, seeded: true,
+			minDegree: func(s GraphSpec) (int, bool) { return s.D, true },
 			keyParams: func(s GraphSpec) []string {
 				return []string{kv("n", s.N), kv("d", s.D), kv("seed", s.Seed)}
 			},
@@ -303,13 +349,15 @@ func init() {
 		},
 		&familyDef{
 			name: "cycle", usesN: true,
+			minDegree: func(s GraphSpec) (int, bool) { return 2, true },
 			keyParams: func(s GraphSpec) []string { return []string{kv("n", s.N)} },
 			validate:  needN,
 			edges:     func(s GraphSpec) int64 { return int64(s.N) },
 			build:     func(s GraphSpec) (core.Topology, error) { return graph.Cycle(s.N), nil },
 		},
 		&familyDef{
-			name: "torus",
+			name:      "torus",
+			minDegree: func(s GraphSpec) (int, bool) { return 4, true },
 			keyParams: func(s GraphSpec) []string {
 				return []string{kv("rows", s.Rows), kv("cols", s.Cols)}
 			},
@@ -330,7 +378,8 @@ func init() {
 			build: func(s GraphSpec) (core.Topology, error) { return graph.Torus2D(s.Rows, s.Cols), nil },
 		},
 		&familyDef{
-			name: "hypercube",
+			name:      "hypercube",
+			minDegree: func(s GraphSpec) (int, bool) { return s.Dim, true },
 			keyParams: func(s GraphSpec) []string {
 				return []string{kv("dim", s.Dim)}
 			},

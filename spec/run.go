@@ -28,6 +28,17 @@ type RunSpec struct {
 	Seed uint64 `json:"seed,omitempty"`
 	// Rule selects the protocol; nil means Best-of-Three.
 	Rule *RuleSpec `json:"rule,omitempty"`
+	// Engine selects the round engine: "" or "auto" (default) takes the
+	// O(1)-per-round mean-field fast path on families that declare
+	// mean-field eligibility (complete-virtual) and the general sharded
+	// engine otherwise; "general" forces the general engine (the opt-out
+	// knob for A/B validation of the fast path); "mean-field" requires the
+	// fast path and is rejected for ineligible families. The two engines
+	// draw from different RNG streams, so they are distributionally — not
+	// byte — equivalent; within one engine (and the canonical one-worker
+	// engine configuration every entry point defaults to), outcomes remain
+	// a deterministic function of the spec.
+	Engine string `json:"engine,omitempty"`
 }
 
 // Normalize applies the documented defaults in place (Trials 0 → 1).
@@ -58,11 +69,33 @@ func (s *RunSpec) ValidateLimits(l Limits) error {
 	if s.MaxRounds < 0 || s.MaxRounds > l.MaxRounds {
 		return fmt.Errorf("max_rounds = %d outside [0, %d]", s.MaxRounds, l.MaxRounds)
 	}
-	if err := s.Rule.Validate(); err != nil {
+	rule, err := s.Rule.Rule()
+	if err != nil {
 		return err
+	}
+	if _, err := dynamics.ParseEngine(s.Engine); err != nil {
+		return err
+	}
+	if s.Engine == "mean-field" && !FamilyMeanField(s.Graph.Family) {
+		return fmt.Errorf("engine \"mean-field\" requires a mean-field-eligible graph family (%s), got %q",
+			strings.Join(MeanFieldFamilies(), ", "), s.Graph.Family)
+	}
+	if rule.WithoutReplacement {
+		// Sampling K distinct neighbours silently degrades to
+		// with-replacement sampling at vertices with degree < K (the
+		// engine's documented fallback). For families whose minimum degree
+		// is known from the spec alone, reject the degenerate combination
+		// up front instead of running a different protocol than requested.
+		if d, known := s.Graph.MinDegreeEstimate(); known && rule.K > d {
+			return fmt.Errorf("rule: without_replacement with k = %d exceeds the %s family's minimum degree %d; the engine would silently fall back to with-replacement sampling",
+				rule.K, s.Graph.Family, d)
+		}
 	}
 	return s.Graph.ValidateLimits(l)
 }
+
+// EngineMode resolves the engine name to the dynamics-level selector.
+func (s RunSpec) EngineMode() (dynamics.Engine, error) { return dynamics.ParseEngine(s.Engine) }
 
 // TrialSeed returns the deterministic seed of trial i: the ChildSeed tree
 // rooted at the run seed. Every entry point derives trial seeds through
@@ -84,6 +117,10 @@ func (s RunSpec) Key() string {
 	if trials == 0 {
 		trials = 1
 	}
+	engine := s.Engine
+	if engine == "" {
+		engine = "auto"
+	}
 	return strings.Join([]string{
 		s.Graph.Key(),
 		kv("delta", s.Delta),
@@ -91,5 +128,6 @@ func (s RunSpec) Key() string {
 		kv("max_rounds", s.MaxRounds),
 		kv("seed", s.Seed),
 		kv("rule", s.Rule.Name()),
+		kv("engine", engine),
 	}, "|")
 }

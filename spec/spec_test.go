@@ -323,3 +323,109 @@ func TestRunSpecKeyCanonical(t *testing.T) {
 		}
 	}
 }
+
+func TestRunSpecEngineValidation(t *testing.T) {
+	base := RunSpec{Graph: GraphSpec{Family: "complete-virtual", N: 64}, Delta: 0.1}
+
+	for _, engine := range []string{"", "auto", "general"} {
+		s := base
+		s.Engine = engine
+		if err := s.Validate(); err != nil {
+			t.Errorf("engine %q rejected: %v", engine, err)
+		}
+	}
+	s := base
+	s.Engine = "mean-field"
+	if err := s.Validate(); err != nil {
+		t.Errorf("mean-field on complete-virtual rejected: %v", err)
+	}
+	s.Engine = "warp"
+	if err := s.Validate(); err == nil {
+		t.Error("unknown engine accepted")
+	}
+	s = RunSpec{Graph: GraphSpec{Family: "random-regular", N: 64, D: 8}, Delta: 0.1, Engine: "mean-field"}
+	if err := s.Validate(); err == nil {
+		t.Error("mean-field on random-regular accepted")
+	}
+}
+
+func TestRunSpecKeyIncludesEngine(t *testing.T) {
+	a := RunSpec{Graph: GraphSpec{Family: "complete-virtual", N: 64}, Delta: 0.1}
+	b := a
+	b.Engine = "auto"
+	if a.Key() != b.Key() {
+		t.Errorf("empty and auto engines key differently:\n%s\n%s", a.Key(), b.Key())
+	}
+	c := a
+	c.Engine = "general"
+	if a.Key() == c.Key() {
+		t.Error("general engine keys identically to auto")
+	}
+}
+
+func TestFamilyMeanField(t *testing.T) {
+	if !FamilyMeanField("complete-virtual") {
+		t.Error("complete-virtual not mean-field")
+	}
+	for _, f := range []string{"complete", "random-regular", "gnp", "cycle", "nope"} {
+		if FamilyMeanField(f) {
+			t.Errorf("family %q unexpectedly mean-field", f)
+		}
+	}
+	if got := MeanFieldFamilies(); len(got) != 1 || got[0] != "complete-virtual" {
+		t.Errorf("MeanFieldFamilies = %v", got)
+	}
+}
+
+func TestMinDegreeEstimate(t *testing.T) {
+	cases := []struct {
+		spec GraphSpec
+		d    int
+		ok   bool
+	}{
+		{GraphSpec{Family: "complete", N: 10}, 9, true},
+		{GraphSpec{Family: "complete-virtual", N: 10}, 9, true},
+		{GraphSpec{Family: "random-regular", N: 10, D: 4}, 4, true},
+		{GraphSpec{Family: "cycle", N: 10}, 2, true},
+		{GraphSpec{Family: "torus", Rows: 4, Cols: 4}, 4, true},
+		{GraphSpec{Family: "hypercube", Dim: 5}, 5, true},
+		{GraphSpec{Family: "gnp", N: 10, P: 0.5}, 0, false},
+		{GraphSpec{Family: "dense", N: 10, Alpha: 0.5}, 0, false},
+		{GraphSpec{Family: "sbm", A: 5, B: 5, PIn: 0.5}, 0, false},
+		{GraphSpec{Family: "nope"}, 0, false},
+	}
+	for _, c := range cases {
+		d, ok := c.spec.MinDegreeEstimate()
+		if d != c.d || ok != c.ok {
+			t.Errorf("%s: MinDegreeEstimate = (%d, %v), want (%d, %v)", c.spec.Family, d, ok, c.d, c.ok)
+		}
+	}
+}
+
+func TestWithoutReplacementDegreeGate(t *testing.T) {
+	reject := []RunSpec{
+		{Graph: GraphSpec{Family: "cycle", N: 50}, Delta: 0.1, Rule: &RuleSpec{K: 3, WithoutReplacement: true}},
+		{Graph: GraphSpec{Family: "random-regular", N: 50, D: 2}, Delta: 0.1, Rule: &RuleSpec{K: 3, WithoutReplacement: true}},
+		{Graph: GraphSpec{Family: "hypercube", Dim: 3}, Delta: 0.1, Rule: &RuleSpec{K: 4, WithoutReplacement: true}},
+		{Graph: GraphSpec{Family: "complete-virtual", N: 4}, Delta: 0.1, Rule: &RuleSpec{K: 5, WithoutReplacement: true}},
+	}
+	for _, s := range reject {
+		if err := s.Validate(); err == nil {
+			t.Errorf("%s: without-replacement K > min degree accepted", s.Graph.Family)
+		}
+	}
+	accept := []RunSpec{
+		// Same shapes with replacement, or K within the degree, stay valid.
+		{Graph: GraphSpec{Family: "cycle", N: 50}, Delta: 0.1, Rule: &RuleSpec{K: 3}},
+		{Graph: GraphSpec{Family: "cycle", N: 50}, Delta: 0.1, Rule: &RuleSpec{K: 2, WithoutReplacement: true}},
+		{Graph: GraphSpec{Family: "random-regular", N: 50, D: 8}, Delta: 0.1, Rule: &RuleSpec{K: 3, WithoutReplacement: true}},
+		// Sampled families have no spec-determined min degree; the engine's
+		// documented per-vertex fallback applies instead.
+		{Graph: GraphSpec{Family: "gnp", N: 50, P: 0.5, Seed: 1}, Delta: 0.1, Rule: &RuleSpec{K: 3, WithoutReplacement: true}},
+	}
+	for _, s := range accept {
+		if err := s.Validate(); err != nil {
+			t.Errorf("%s: valid without-replacement spec rejected: %v", s.Graph.Family, err)
+		}
+	}
+}
