@@ -4,9 +4,11 @@
 #   1. every route registered in internal/serve must have its own
 #      "## METHOD /path" section,
 #   2. the graph-family table must list exactly the families in the spec
-#      registry (one row per family, no extras, none missing), and
+#      registry (one row per family, no extras, none missing),
 #   3. the docs/PERFORMANCE.md scenario table must list exactly the
-#      scenarios cmd/bo3bench registers (bo3bench -list).
+#      scenarios cmd/bo3bench registers (bo3bench -list), and
+#   4. the docs/API.md bo3store subcommand table must list exactly the
+#      subcommands cmd/bo3store registers (bo3store -list).
 # Also gates the spec layer with go vet + gofmt so a drifted or
 # unformatted spec/cli package fails the same check.
 set -eu
@@ -82,7 +84,32 @@ elif [ "$doc_scenarios" != "$reg_scenarios" ]; then
     status=1
 fi
 
-# --- 4. vet + gofmt gate over the spec layer ---------------------------
+# --- 4. bo3store subcommand table vs the bo3store registry -------------
+# Documented subcommands: the first backticked cell of each row of the
+# table headed "| Subcommand | What it does |" in docs/API.md.
+doc_subs=$(awk '
+    /^\| Subcommand \| What it does \|$/ { in_table = 1; next }
+    in_table && /^\|-/ { next }
+    in_table && /^\| `/ {
+        if (match($0, /`[a-z-]+`/)) print substr($0, RSTART + 1, RLENGTH - 2)
+        next
+    }
+    in_table { exit }
+' docs/API.md | sort)
+reg_subs=$(go run ./cmd/bo3store -list | sort)
+if [ -z "$doc_subs" ]; then
+    echo "check-api-docs: no bo3store subcommand table rows found in docs/API.md (pattern drift?)" >&2
+    status=1
+elif [ "$doc_subs" != "$reg_subs" ]; then
+    echo "check-api-docs: docs/API.md bo3store subcommand table disagrees with cmd/bo3store:" >&2
+    echo "--- registry (go run ./cmd/bo3store -list)" >&2
+    echo "$reg_subs" >&2
+    echo "--- docs/API.md table" >&2
+    echo "$doc_subs" >&2
+    status=1
+fi
+
+# --- 5. vet + gofmt gate over the spec layer ---------------------------
 go vet ./spec/... ./internal/cli/... || status=1
 unformatted=$(gofmt -l spec internal/cli)
 if [ -n "$unformatted" ]; then

@@ -150,5 +150,8 @@ func summarize(results []scenarioResult) map[string]float64 {
 			sum["kn_meanfield_speedup_vs_general"] = gen["ns_per_round"] / mf["ns_per_round"]
 		}
 	}
+	if c, ok := byName["serve/cached-jobs"]; ok && c["hit_speedup"] > 0 {
+		sum["serve_cached_hit_speedup"] = c["hit_speedup"]
+	}
 	return sum
 }

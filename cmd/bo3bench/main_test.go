@@ -17,6 +17,7 @@ func TestScenarioNamesStable(t *testing.T) {
 		"trials/kn",
 		"trials/regular",
 		"serve/jobs",
+		"serve/cached-jobs",
 	}
 	if len(scenarios) != len(want) {
 		t.Fatalf("registered %d scenarios, want %d", len(scenarios), len(want))

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"net/http"
 	"net/http/httptest"
+	"os"
 	"time"
 
 	"repro"
@@ -15,6 +16,7 @@ import (
 	"repro/internal/opinion"
 	"repro/internal/rng"
 	"repro/internal/serve"
+	"repro/internal/store"
 	"repro/spec"
 )
 
@@ -80,6 +82,11 @@ var scenarios = []scenario{
 		name:        "serve/jobs",
 		description: "end-to-end job throughput through an in-process bo3serve HTTP server",
 		run:         serveJobs,
+	},
+	{
+		name:        "serve/cached-jobs",
+		description: "result-store hit path: identical jobs resubmitted to a store-backed server (miss vs hit throughput)",
+		run:         serveCachedJobs,
 	},
 }
 
@@ -201,30 +208,96 @@ func serveJobs(s Scale) (map[string]any, map[string]float64, error) {
 
 	jobs := s.pick(48, 8)
 	n, trials := 1<<12, 4
+	secs, err := submitAndDrain(srv.URL, jobs, n, trials, s.Seed)
+	if err != nil {
+		return nil, nil, err
+	}
+	return map[string]any{"jobs": jobs, "family": "complete-virtual", "n": n, "trials": trials, "workers": 4},
+		map[string]float64{
+			"jobs_per_sec":   float64(jobs) / secs,
+			"trials_per_sec": float64(jobs*trials) / secs,
+		}, nil
+}
+
+// serveCachedJobs measures the result-store hit path: the same explicit-
+// seed jobs are submitted twice against a store-backed server. The first
+// pass executes and records (miss); the second is answered from the
+// store without touching the worker pool (hit).
+func serveCachedJobs(s Scale) (map[string]any, map[string]float64, error) {
+	dir, err := os.MkdirTemp("", "bo3bench-store-*")
+	if err != nil {
+		return nil, nil, err
+	}
+	defer os.RemoveAll(dir)
+	st, err := store.Open(dir, store.Options{})
+	if err != nil {
+		return nil, nil, err
+	}
+	defer st.Close()
+	mgr := serve.NewManager(serve.Config{Workers: 4, RootSeed: s.Seed, Store: st})
+	srv := httptest.NewServer(serve.NewServer(mgr))
+	defer srv.Close()
+	defer mgr.Close(context.Background())
+
+	jobs := s.pick(48, 8)
+	n, trials := 1<<12, 4
+	missSecs, err := submitAndDrain(srv.URL, jobs, n, trials, s.Seed)
+	if err != nil {
+		return nil, nil, err
+	}
+	hitSecs, err := submitAndDrain(srv.URL, jobs, n, trials, s.Seed)
+	if err != nil {
+		return nil, nil, err
+	}
+	var stats serve.Stats
+	resp, err := http.Get(srv.URL + "/v1/stats")
+	if err != nil {
+		return nil, nil, err
+	}
+	err = json.NewDecoder(resp.Body).Decode(&stats)
+	resp.Body.Close()
+	if err != nil {
+		return nil, nil, err
+	}
+	if stats.JobsCached != int64(jobs) {
+		return nil, nil, fmt.Errorf("jobs_cached = %d after the hit pass, want %d", stats.JobsCached, jobs)
+	}
+	return map[string]any{"jobs": jobs, "family": "complete-virtual", "n": n, "trials": trials, "workers": 4},
+		map[string]float64{
+			"miss_jobs_per_sec": float64(jobs) / missSecs,
+			"hit_jobs_per_sec":  float64(jobs) / hitSecs,
+			"hit_speedup":       missSecs / hitSecs,
+		}, nil
+}
+
+// submitAndDrain posts `jobs` explicit-seed runs (seed s.Seed+i+1, so a
+// repeat pass re-submits the identical specs) and polls them all to
+// completion, returning the elapsed seconds.
+func submitAndDrain(url string, jobs, n, trials int, seed uint64) (float64, error) {
 	body := func(i int) []byte {
 		b, _ := json.Marshal(spec.RunSpec{
 			Graph:  spec.GraphSpec{Family: "complete-virtual", N: n},
 			Delta:  0.1,
 			Trials: trials,
-			Seed:   s.Seed + uint64(i) + 1,
+			Seed:   seed + uint64(i) + 1,
 		})
 		return b
 	}
 	ids := make([]string, 0, jobs)
 	start := time.Now()
 	for i := 0; i < jobs; i++ {
-		resp, err := http.Post(srv.URL+"/v1/runs", "application/json", bytes.NewReader(body(i)))
+		resp, err := http.Post(url+"/v1/runs", "application/json", bytes.NewReader(body(i)))
 		if err != nil {
-			return nil, nil, err
+			return 0, err
 		}
 		var view serve.JobView
 		err = json.NewDecoder(resp.Body).Decode(&view)
 		resp.Body.Close()
 		if err != nil {
-			return nil, nil, err
+			return 0, err
 		}
 		if resp.StatusCode != http.StatusAccepted {
-			return nil, nil, fmt.Errorf("submit %d: status %d", i, resp.StatusCode)
+			return 0, fmt.Errorf("submit %d: status %d", i, resp.StatusCode)
 		}
 		ids = append(ids, view.ID)
 	}
@@ -232,31 +305,26 @@ func serveJobs(s Scale) (map[string]any, map[string]float64, error) {
 	for _, id := range ids {
 		for {
 			if time.Now().After(deadline) {
-				return nil, nil, fmt.Errorf("job %s did not finish in time", id)
+				return 0, fmt.Errorf("job %s did not finish in time", id)
 			}
-			resp, err := http.Get(srv.URL + "/v1/runs/" + id)
+			resp, err := http.Get(url + "/v1/runs/" + id)
 			if err != nil {
-				return nil, nil, err
+				return 0, err
 			}
 			var view serve.JobView
 			err = json.NewDecoder(resp.Body).Decode(&view)
 			resp.Body.Close()
 			if err != nil {
-				return nil, nil, err
+				return 0, err
 			}
 			if view.State == serve.StateDone {
 				break
 			}
 			if view.State == serve.StateFailed || view.State == serve.StateCancelled {
-				return nil, nil, fmt.Errorf("job %s ended %s: %s", id, view.State, view.Error)
+				return 0, fmt.Errorf("job %s ended %s: %s", id, view.State, view.Error)
 			}
 			time.Sleep(2 * time.Millisecond)
 		}
 	}
-	secs := time.Since(start).Seconds()
-	return map[string]any{"jobs": jobs, "family": "complete-virtual", "n": n, "trials": trials, "workers": 4},
-		map[string]float64{
-			"jobs_per_sec":   float64(jobs) / secs,
-			"trials_per_sec": float64(jobs*trials) / secs,
-		}, nil
+	return time.Since(start).Seconds(), nil
 }

@@ -14,6 +14,15 @@
 // GET /v1/sweeps/{id}/results. SIGINT or SIGTERM starts a graceful
 // shutdown: the listener stops, in-flight jobs get -drain to finish, then
 // the rest are cancelled.
+//
+// With -store-dir set, the server keeps a persistent result store there:
+// completed jobs are recorded under their content key and identical
+// resubmissions are answered from disk without recomputing; sweeps
+// journal their lifecycle, and a server restarted over the same directory
+// resumes any sweep that was interrupted mid-flight, executing only its
+// unfinished cells. The recorded history is queryable over GET
+// /v1/results and auditable offline with cmd/bo3store. -store-max-bytes
+// caps the directory's size (oldest records dropped first).
 package main
 
 import (
@@ -28,6 +37,7 @@ import (
 	"time"
 
 	"repro/internal/serve"
+	"repro/internal/store"
 )
 
 func main() {
@@ -47,6 +57,8 @@ func main() {
 		maxGrid   = flag.Int("max-grid", 0, "largest admissible sweep-grid expansion in cells (0 = default limit)")
 		sweepConc = flag.Int("sweep-concurrency", 0, "in-flight child runs per sweep (0 = workers)")
 		drain     = flag.Duration("drain", 30*time.Second, "graceful-shutdown budget before jobs are cancelled")
+		storeDir  = flag.String("store-dir", "", "persistent result store directory (empty = no store)")
+		storeMax  = flag.Int64("store-max-bytes", 0, "result-store size cap in bytes; oldest records dropped first (0 = unbounded)")
 	)
 	flag.Parse()
 
@@ -60,6 +72,16 @@ func main() {
 	if *maxGrid > 0 {
 		limits.MaxSweepCells = *maxGrid
 	}
+	var resultStore *store.Store
+	if *storeDir != "" {
+		var err error
+		resultStore, err = store.Open(*storeDir, store.Options{MaxBytes: *storeMax})
+		if err != nil {
+			log.Fatal(err)
+		}
+		st := resultStore.Stats()
+		log.Printf("result store %s: %d results, %d sweeps, %d bytes", *storeDir, st.Results, st.Sweeps, st.Bytes)
+	}
 	mgr := serve.NewManager(serve.Config{
 		Workers:          *workers,
 		QueueDepth:       *queue,
@@ -69,7 +91,20 @@ func main() {
 		Retention:        *retention,
 		SweepConcurrency: *sweepConc,
 		Limits:           limits,
+		Store:            resultStore,
 	})
+	if resultStore != nil {
+		// Finish whatever a previous generation left mid-flight before
+		// the listener opens: recorded cells answer from the store, the
+		// rest execute.
+		resumed, err := mgr.ResumeSweeps()
+		if err != nil {
+			log.Printf("sweep resume: %v", err)
+		}
+		if resumed > 0 {
+			log.Printf("resumed %d interrupted sweep(s)", resumed)
+		}
+	}
 	srv := &http.Server{
 		Addr:              *addr,
 		Handler:           serve.NewServer(mgr),
@@ -96,6 +131,13 @@ func main() {
 	}
 	if err := mgr.Close(ctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
 		log.Printf("manager shutdown: %v", err)
+	}
+	if resultStore != nil {
+		// Closed strictly after the manager: the final journal and result
+		// records are written during Close's drain.
+		if err := resultStore.Close(); err != nil {
+			log.Printf("store shutdown: %v", err)
+		}
 	}
 	log.Print("bye")
 }

@@ -1,0 +1,275 @@
+// Command bo3store inspects and audits a bo3serve persistent result
+// store (internal/store) — the store directory a server populates under
+// -store-dir. The inspection subcommands (ls, get, verify) open the
+// directory read-only and are safe to run against a live server; compact
+// rewrites the log and takes the writer lock, so it fails fast unless
+// the server is stopped.
+//
+// Usage:
+//
+//	bo3store -dir DIR ls [-family f] [-n n] [-limit k] [-json]
+//	bo3store -dir DIR get <key>
+//	bo3store -dir DIR verify [<key> ...]
+//	bo3store -dir DIR compact
+//	bo3store -list
+//
+// `ls` pages through the recorded results (newest first) with the same
+// family/n filters as GET /v1/results. `get` prints one full record by
+// content key. `verify` is the audit: it re-executes each record's
+// canonical spec through the shared library Runner — the exact code path
+// a bo3serve worker runs — and diffs the fresh result against the stored
+// body byte-for-byte, exiting non-zero on any mismatch. `compact`
+// rewrites the log keeping only live records. `-list` prints the
+// subcommand names (the CI docs check consumes it).
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/serve"
+	"repro/internal/store"
+	"repro/spec"
+)
+
+// subcommands is the stable registry; docs/API.md lists exactly these
+// (checked in CI via `bo3store -list`).
+var subcommands = []struct{ name, summary string }{
+	{"ls", "list recorded results, newest first, with family/n filters"},
+	{"get", "print one stored record by content key"},
+	{"verify", "re-execute records and diff against the stored bytes"},
+	{"compact", "rewrite the log keeping only live records"},
+}
+
+func main() { os.Exit(run(os.Args[1:], os.Stdout, os.Stderr)) }
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("bo3store", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	dir := fs.String("dir", "", "store directory (the server's -store-dir)")
+	list := fs.Bool("list", false, "print subcommand names, one per line, and exit")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *list {
+		for _, sc := range subcommands {
+			fmt.Fprintln(stdout, sc.name)
+		}
+		return 0
+	}
+	if fs.NArg() == 0 {
+		fmt.Fprintln(stderr, "bo3store: a subcommand is required:")
+		for _, sc := range subcommands {
+			fmt.Fprintf(stderr, "  %-8s %s\n", sc.name, sc.summary)
+		}
+		return 2
+	}
+	if *dir == "" {
+		fmt.Fprintln(stderr, "bo3store: -dir is required")
+		return 2
+	}
+	cmd, rest := fs.Arg(0), fs.Args()[1:]
+	// Inspection subcommands open read-only — no lock, no mutation — so
+	// they are safe against a live server on the same directory. compact
+	// rewrites segments and takes the writer lock, failing fast if a
+	// server holds it.
+	st, err := store.Open(*dir, store.Options{ReadOnly: cmd != "compact"})
+	if err != nil {
+		fmt.Fprintf(stderr, "bo3store: %v\n", err)
+		return 1
+	}
+	defer st.Close()
+	switch cmd {
+	case "ls":
+		return cmdLs(st, rest, stdout, stderr)
+	case "get":
+		return cmdGet(st, rest, stdout, stderr)
+	case "verify":
+		return cmdVerify(st, rest, stdout, stderr)
+	case "compact":
+		return cmdCompact(st, rest, stdout, stderr)
+	default:
+		fmt.Fprintf(stderr, "bo3store: unknown subcommand %q\n", cmd)
+		return 2
+	}
+}
+
+// record pairs a result's index entry with its decoded spec.
+type record struct {
+	info store.ResultInfo
+	spec spec.RunSpec
+}
+
+// records lists the store's results newest first, skipping undecodable
+// specs (reported on stderr, counted in the return).
+func records(st *store.Store, stderr io.Writer) ([]record, int) {
+	infos := st.Results()
+	out := make([]record, 0, len(infos))
+	bad := 0
+	for i := len(infos) - 1; i >= 0; i-- {
+		var rs spec.RunSpec
+		if err := json.Unmarshal(infos[i].Spec, &rs); err != nil {
+			fmt.Fprintf(stderr, "bo3store: record %s: undecodable spec: %v\n", infos[i].Key, err)
+			bad++
+			continue
+		}
+		out = append(out, record{info: infos[i], spec: rs})
+	}
+	return out, bad
+}
+
+func cmdLs(st *store.Store, args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("bo3store ls", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	family := fs.String("family", "", "filter: graph family")
+	n := fs.Int("n", 0, "filter: vertex count")
+	limit := fs.Int("limit", 0, "print at most this many records (0 = all)")
+	asJSON := fs.Bool("json", false, "one JSON object per line instead of the table")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	recs, bad := records(st, stderr)
+	printed := 0
+	for _, r := range recs {
+		if *family != "" && r.spec.Graph.Family != *family {
+			continue
+		}
+		if *n > 0 && r.spec.Graph.N != *n {
+			continue
+		}
+		if *limit > 0 && printed >= *limit {
+			break
+		}
+		printed++
+		if *asJSON {
+			line, _ := json.Marshal(map[string]any{"key": r.info.Key, "seq": r.info.Seq, "spec": r.spec})
+			fmt.Fprintln(stdout, string(line))
+			continue
+		}
+		if printed == 1 {
+			fmt.Fprintf(stdout, "%-64s  %-16s %9s %7s %7s  %s\n", "KEY", "FAMILY", "N", "DELTA", "TRIALS", "SEED")
+		}
+		fmt.Fprintf(stdout, "%-64s  %-16s %9d %7g %7d  %d\n",
+			r.info.Key, r.spec.Graph.Family, r.spec.Graph.N, r.spec.Delta, r.spec.Trials, r.spec.Seed)
+	}
+	if printed == 0 {
+		fmt.Fprintln(stdout, "no matching records")
+	}
+	if bad > 0 {
+		return 1
+	}
+	return 0
+}
+
+func cmdGet(st *store.Store, args []string, stdout, stderr io.Writer) int {
+	if len(args) != 1 {
+		fmt.Fprintln(stderr, "bo3store get: exactly one content key required")
+		return 2
+	}
+	rec, ok, err := st.GetResult(args[0])
+	if err != nil {
+		fmt.Fprintf(stderr, "bo3store: %v\n", err)
+		return 1
+	}
+	if !ok {
+		fmt.Fprintf(stderr, "bo3store: no record with key %s\n", args[0])
+		return 1
+	}
+	out, err := json.MarshalIndent(map[string]json.RawMessage{
+		"key":    json.RawMessage(fmt.Sprintf("%q", rec.Key)),
+		"spec":   rec.Spec,
+		"result": rec.Body,
+	}, "", "  ")
+	if err != nil {
+		fmt.Fprintf(stderr, "bo3store: %v\n", err)
+		return 1
+	}
+	fmt.Fprintln(stdout, string(out))
+	return 0
+}
+
+// cmdVerify re-executes each record's canonical spec and compares the
+// deterministic result projection against the stored body byte-for-byte.
+// Any divergence — a mismatched content key, a failed re-execution, or a
+// single differing byte — fails the audit.
+func cmdVerify(st *store.Store, args []string, stdout, stderr io.Writer) int {
+	var targets []record
+	if len(args) > 0 {
+		for _, key := range args {
+			rec, ok, err := st.GetResult(key)
+			if err != nil || !ok {
+				fmt.Fprintf(stderr, "bo3store: no record with key %s (err %v)\n", key, err)
+				return 1
+			}
+			var rs spec.RunSpec
+			if err := json.Unmarshal(rec.Spec, &rs); err != nil {
+				fmt.Fprintf(stderr, "bo3store: record %s: undecodable spec: %v\n", key, err)
+				return 1
+			}
+			targets = append(targets, record{info: store.ResultInfo{Key: key, Spec: rec.Spec}, spec: rs})
+		}
+	} else {
+		var bad int
+		targets, bad = records(st, stderr)
+		if bad > 0 {
+			return 1
+		}
+	}
+	failed := 0
+	for _, r := range targets {
+		if err := verifyOne(st, r); err != nil {
+			fmt.Fprintf(stdout, "FAIL %s: %v\n", r.info.Key, err)
+			failed++
+			continue
+		}
+		fmt.Fprintf(stdout, "ok   %s %s n=%d trials=%d\n", r.info.Key, r.spec.Graph.Family, r.spec.Graph.N, r.spec.Trials)
+	}
+	fmt.Fprintf(stdout, "verified %d records, %d failed\n", len(targets), failed)
+	if failed > 0 {
+		return 1
+	}
+	return 0
+}
+
+func verifyOne(st *store.Store, r record) error {
+	if got := r.spec.ContentKey(); got != r.info.Key {
+		return fmt.Errorf("stored under key %s but the spec's content key is %s", r.info.Key, got)
+	}
+	rec, ok, err := st.GetResult(r.info.Key)
+	if err != nil || !ok {
+		return fmt.Errorf("read back: ok=%v err=%v", ok, err)
+	}
+	res, err := serve.Execute(context.Background(), r.spec)
+	if err != nil {
+		return fmt.Errorf("re-execute: %w", err)
+	}
+	fresh, err := json.Marshal(res)
+	if err != nil {
+		return err
+	}
+	if !bytes.Equal(fresh, rec.Body) {
+		return fmt.Errorf("re-executed result differs from the stored bytes:\nstored %s\nfresh  %s", rec.Body, fresh)
+	}
+	return nil
+}
+
+func cmdCompact(st *store.Store, args []string, stdout, stderr io.Writer) int {
+	if len(args) != 0 {
+		fmt.Fprintln(stderr, "bo3store compact: no arguments")
+		return 2
+	}
+	before := st.Stats()
+	if err := st.Compact(); err != nil {
+		fmt.Fprintf(stderr, "bo3store: %v\n", err)
+		return 1
+	}
+	after := st.Stats()
+	fmt.Fprintf(stdout, "compacted: %d -> %d bytes (%d segments -> %d), %d results, %d sweeps\n",
+		before.Bytes, after.Bytes, before.Segments, after.Segments, after.Results, after.Sweeps)
+	return 0
+}

@@ -1,0 +1,187 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"repro/internal/serve"
+	"repro/internal/store"
+)
+
+// populate runs a small workload through a store-backed manager, exactly
+// how a server populates a -store-dir.
+func populate(t *testing.T, dir string) {
+	t.Helper()
+	st, err := store.Open(dir, store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	m := serve.NewManager(serve.Config{Workers: 2, Store: st})
+	defer m.Close(context.Background())
+	reqs := []serve.RunRequest{
+		{Graph: serve.GraphSpec{Family: "complete-virtual", N: 200}, Delta: 0.2, Trials: 3, Seed: 7},
+		{Graph: serve.GraphSpec{Family: "cycle", N: 64}, Delta: 0.1, Trials: 2, MaxRounds: 32, Seed: 8},
+	}
+	for _, req := range reqs {
+		v, err := m.Submit(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		deadlineWait(t, m, v.ID)
+	}
+}
+
+func deadlineWait(t *testing.T, m *serve.Manager, id string) {
+	t.Helper()
+	for {
+		v, ok := m.Get(id)
+		if !ok {
+			t.Fatalf("job %s disappeared", id)
+		}
+		switch v.State {
+		case serve.StateDone:
+			return
+		case serve.StateFailed, serve.StateCancelled:
+			t.Fatalf("job %s: %s (%s)", id, v.State, v.Error)
+		}
+	}
+}
+
+func runCLI(t *testing.T, args ...string) (stdout, stderr string, code int) {
+	t.Helper()
+	var out, errBuf bytes.Buffer
+	code = run(args, &out, &errBuf)
+	return out.String(), errBuf.String(), code
+}
+
+func TestListFlagPrintsSubcommands(t *testing.T) {
+	out, _, code := runCLI(t, "-list")
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	want := []string{"ls", "get", "verify", "compact"}
+	got := strings.Fields(out)
+	if len(got) != len(want) {
+		t.Fatalf("-list = %q, want %v", out, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("-list[%d] = %q, want %q", i, got[i], want[i])
+		}
+	}
+}
+
+func TestLsGetVerifyCompact(t *testing.T) {
+	dir := t.TempDir()
+	populate(t, dir)
+
+	out, stderr, code := runCLI(t, "-dir", dir, "ls")
+	if code != 0 {
+		t.Fatalf("ls: exit %d, stderr %s", code, stderr)
+	}
+	if !strings.Contains(out, "complete-virtual") || !strings.Contains(out, "cycle") {
+		t.Fatalf("ls output missing records:\n%s", out)
+	}
+
+	out, _, code = runCLI(t, "-dir", dir, "ls", "-family", "cycle", "-json")
+	if code != 0 || strings.Contains(out, "complete-virtual") {
+		t.Fatalf("filtered ls: exit %d\n%s", code, out)
+	}
+	var meta struct {
+		Key  string `json:"key"`
+		Spec struct {
+			Seed uint64 `json:"seed"`
+		} `json:"spec"`
+	}
+	if err := json.Unmarshal([]byte(strings.SplitN(out, "\n", 2)[0]), &meta); err != nil {
+		t.Fatalf("ls -json line: %v\n%s", err, out)
+	}
+	if meta.Spec.Seed != 8 {
+		t.Errorf("cycle record seed = %d, want 8", meta.Spec.Seed)
+	}
+
+	out, stderr, code = runCLI(t, "-dir", dir, "get", meta.Key)
+	if code != 0 || !strings.Contains(out, `"result"`) || !strings.Contains(out, meta.Key) {
+		t.Fatalf("get: exit %d, stderr %s\n%s", code, stderr, out)
+	}
+	if _, _, code = runCLI(t, "-dir", dir, "get", "nope"); code == 0 {
+		t.Error("get with an unknown key succeeded")
+	}
+
+	// The audit: every record re-executes to its stored bytes.
+	out, stderr, code = runCLI(t, "-dir", dir, "verify")
+	if code != 0 {
+		t.Fatalf("verify: exit %d, stderr %s\n%s", code, stderr, out)
+	}
+	if !strings.Contains(out, "verified 2 records, 0 failed") {
+		t.Fatalf("verify summary:\n%s", out)
+	}
+	// Single-key form.
+	if out, _, code = runCLI(t, "-dir", dir, "verify", meta.Key); code != 0 || !strings.Contains(out, "verified 1 records, 0 failed") {
+		t.Fatalf("verify <key>: exit %d\n%s", code, out)
+	}
+
+	if out, stderr, code = runCLI(t, "-dir", dir, "compact"); code != 0 {
+		t.Fatalf("compact: exit %d, stderr %s\n%s", code, stderr, out)
+	}
+	// Records survive compaction and still verify.
+	if out, _, code = runCLI(t, "-dir", dir, "verify"); code != 0 || !strings.Contains(out, "0 failed") {
+		t.Fatalf("verify after compact: exit %d\n%s", code, out)
+	}
+}
+
+// TestVerifyCatchesTampering: a record whose body was altered on disk
+// must fail the audit — this is the property that makes stored results
+// trustworthy.
+func TestVerifyCatchesTampering(t *testing.T) {
+	dir := t.TempDir()
+	populate(t, dir)
+
+	// Tamper through the store API surface: rewrite a record under the
+	// same key in a fresh directory... not possible by design (first
+	// write wins), so instead corrupt the decoded-and-reexecuted path by
+	// storing a body produced under a different seed.
+	st, err := store.Open(dir, store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	infos := st.Results()
+	if len(infos) == 0 {
+		t.Fatal("no records")
+	}
+	// Forge a record: valid checksum, plausible spec, wrong body.
+	var forged serve.RunRequest
+	if err := json.Unmarshal(infos[0].Spec, &forged); err != nil {
+		t.Fatal(err)
+	}
+	forged.Seed = 9999 // a spec that was never executed
+	forgedJSON, _ := json.Marshal(forged)
+	if _, err := st.PutResult(forged.ContentKey(), forgedJSON, []byte(`{"trials":1,"red_wins":1}`)); err != nil {
+		t.Fatal(err)
+	}
+	st.Close()
+
+	out, _, code := runCLI(t, "-dir", dir, "verify")
+	if code == 0 {
+		t.Fatalf("verify accepted a forged record:\n%s", out)
+	}
+	if !strings.Contains(out, "FAIL") || !strings.Contains(out, "1 failed") {
+		t.Fatalf("verify output:\n%s", out)
+	}
+}
+
+func TestUsageErrors(t *testing.T) {
+	if _, _, code := runCLI(t); code != 2 {
+		t.Errorf("no args: exit %d, want 2", code)
+	}
+	if _, _, code := runCLI(t, "ls"); code != 2 {
+		t.Errorf("missing -dir: exit %d, want 2", code)
+	}
+	if _, _, code := runCLI(t, "-dir", t.TempDir(), "frobnicate"); code != 2 {
+		t.Errorf("unknown subcommand: exit %d, want 2", code)
+	}
+}

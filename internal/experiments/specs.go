@@ -60,6 +60,20 @@ func Grids(cfg Config) map[string]spec.Grid {
 			Deltas: []float64{0.05},
 			Trials: trials,
 		},
+		// E19: per-sample communication noise threshold — the noises axis
+		// brackets the regime where misreported samples stall consensus
+		// (heavily noised cells run to the theory-derived round cap; that
+		// is the measurement, not a failure).
+		"E19": {
+			Graphs: []spec.GraphSpec{
+				{Family: "complete-virtual"},
+				{Family: "random-regular", D: 32, Seed: cfg.Seed},
+			},
+			NS:     ns[len(ns)-1:],
+			Deltas: []float64{0.1},
+			Noises: []float64{0, 0.02, 0.05, 0.1, 0.2, 0.3},
+			Trials: trials,
+		},
 		// E20: the simulated side of the exact-chain validation.
 		"E20": {
 			Graphs: []spec.GraphSpec{{Family: "complete-virtual"}},

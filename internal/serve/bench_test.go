@@ -1,0 +1,53 @@
+package serve
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/store"
+)
+
+// BenchmarkSubmitStoreHit measures the memoised submit path: a job whose
+// content key is already recorded is answered with one index lookup and
+// one segment read, never touching the worker pool. This is the hot path
+// a store-backed server takes for every repeated spec; the CI bench smoke
+// (-benchtime=1x) keeps it compiling and running, and cmd/bo3bench's
+// serve/cached-jobs scenario measures the same path end-to-end over HTTP.
+func BenchmarkSubmitStoreHit(b *testing.B) {
+	st, err := store.Open(b.TempDir(), store.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer st.Close()
+	m := NewManager(Config{Workers: 2, Retention: 64, Store: st})
+	defer m.Close(context.Background())
+
+	req := RunRequest{Graph: GraphSpec{Family: "complete-virtual", N: 256}, Delta: 0.2, Trials: 4, Seed: 17}
+	v, err := m.Submit(req)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for {
+		cur, ok := m.Get(v.ID)
+		if !ok {
+			b.Fatal("warmup job disappeared")
+		}
+		if cur.State == StateDone {
+			break
+		}
+		if cur.State == StateFailed || cur.State == StateCancelled {
+			b.Fatalf("warmup job %s: %s", v.ID, cur.Error)
+		}
+	}
+
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		hit, err := m.Submit(req)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if hit.State != StateDone || hit.Result == nil || !hit.Result.Cached {
+			b.Fatalf("iteration %d missed the store: %+v", i, hit.State)
+		}
+	}
+}

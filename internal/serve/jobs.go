@@ -2,15 +2,16 @@ package serve
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"runtime"
 	"sync"
 	"time"
 
-	"repro"
 	"repro/internal/rng"
 	"repro/internal/sim"
+	"repro/internal/store"
 	"repro/spec"
 )
 
@@ -77,6 +78,13 @@ type Config struct {
 	SweepConcurrency int
 	// Limits defaults to DefaultLimits when zero.
 	Limits Limits
+	// Store is the persistent result store (nil = disabled). With a store
+	// attached, a submission whose content key is already recorded is
+	// answered from disk without touching the worker pool, every executed
+	// job is persisted on completion, and sweeps journal their lifecycle
+	// so ResumeSweeps can finish them after a crash. The manager does not
+	// own the store: the caller closes it after Close.
+	Store *store.Store
 }
 
 // Sentinel errors mapped to HTTP status codes by the handlers.
@@ -89,9 +97,17 @@ var (
 
 // job is the internal mutable record behind a JobView.
 type job struct {
-	id       string
-	seq      uint64
-	req      RunRequest
+	id  string
+	seq uint64
+	req RunRequest
+	// effSeed is the seed the job actually runs with: the request's, or
+	// one derived from the root seed at admission for requests that left
+	// it zero. Fixed at enqueue so the job's content key is known before
+	// it executes.
+	effSeed uint64
+	// key is the content address (spec.RunSpec.ContentKey of the request
+	// with effSeed applied); "" when the manager has no store.
+	key      string
 	sweep    string // owning sweep ID, "" for standalone runs
 	state    string
 	err      error
@@ -129,7 +145,8 @@ type Manager struct {
 	// Counters; guarded by mu.
 	completed, failed, cancelled, rejected           int64
 	trialsRun, roundsRun                             int64
-	jobsMeanField, jobsGeneral                       int64
+	jobsMeanField, jobsGeneral, jobsCached           int64
+	storeErrors                                      int64
 	queued, running                                  int
 	sweepsCompleted, sweepsCancelled, sweepsRejected int64
 	sweepCellsFinished                               int64
@@ -184,8 +201,11 @@ func NewManager(cfg Config) *Manager {
 func (m *Manager) Cache() *GraphCache { return m.cache }
 
 // Submit validates the request, assigns an ID, and enqueues the job. The
-// returned view is in state "queued". A full queue fails fast with
-// ErrQueueFull rather than blocking the client.
+// returned view is in state "queued" — unless the persistent result store
+// already holds the request's content key, in which case the job is born
+// "done" with the recorded result and never touches the worker pool. A
+// full queue fails fast with ErrQueueFull rather than blocking the
+// client.
 func (m *Manager) Submit(req RunRequest) (JobView, error) {
 	if err := validateRun(&req, m.cfg.Limits); err != nil {
 		m.mu.Lock()
@@ -193,8 +213,9 @@ func (m *Manager) Submit(req RunRequest) (JobView, error) {
 		m.mu.Unlock()
 		return JobView{}, err
 	}
+	cached := m.lookupStored(req)
 	m.mu.Lock()
-	j, err := m.enqueueLocked(req, "")
+	j, err := m.enqueueLocked(req, "", cached)
 	if err != nil {
 		m.rejected++
 		m.mu.Unlock()
@@ -205,21 +226,79 @@ func (m *Manager) Submit(req RunRequest) (JobView, error) {
 	return v, nil
 }
 
-// enqueueLocked creates the job record and places it on the bounded queue;
-// callers hold m.mu and have already validated the request. sweepID tags
-// child runs of a sweep ("" for standalone submissions).
-func (m *Manager) enqueueLocked(req RunRequest, sweepID string) (*job, error) {
+// contentKey renders the request's content address with the effective
+// seed applied, matching the canonical spec the store records.
+func contentKey(req RunRequest, effSeed uint64) string {
+	req.Seed = effSeed
+	return req.ContentKey()
+}
+
+// lookupStored consults the result store for a recorded result of this
+// exact request. Requests that omit the seed always miss — their
+// effective seed is minted fresh at admission — so only explicit-seed
+// requests pay the disk read. Called without m.mu held: the read must not
+// stall snapshot readers.
+func (m *Manager) lookupStored(req RunRequest) *RunResult {
+	if m.cfg.Store == nil || req.Seed == 0 {
+		return nil
+	}
+	rec, ok, err := m.cfg.Store.GetResult(contentKey(req, req.Seed))
+	if !ok || err != nil {
+		return nil
+	}
+	var r RunResult
+	if json.Unmarshal(rec.Body, &r) != nil {
+		return nil
+	}
+	r.Cached = true
+	return &r
+}
+
+// enqueueLocked creates the job record and places it on the bounded queue
+// — or, when cached carries a stored result, registers it directly in
+// state done. Callers hold m.mu and have already validated the request;
+// sweepID tags child runs of a sweep ("" for standalone submissions).
+func (m *Manager) enqueueLocked(req RunRequest, sweepID string, cached *RunResult) (*job, error) {
 	if m.closed {
 		return nil, ErrClosed
+	}
+	effSeed := req.Seed
+	if effSeed == 0 {
+		effSeed = rng.ChildSeed(m.cfg.RootSeed, m.seq)
 	}
 	j := &job{
 		id:      fmt.Sprintf("run-%06d", m.seq),
 		seq:     m.seq,
 		req:     req,
+		effSeed: effSeed,
 		sweep:   sweepID,
 		state:   StateQueued,
 		created: time.Now(),
 		done:    make(chan struct{}),
+	}
+	if m.cfg.Store != nil {
+		j.key = contentKey(req, effSeed)
+	}
+	if cached != nil {
+		// Store hit: the job is born done. It still gets a gapless ID and
+		// a listing entry — it is a real job from the client's point of
+		// view — but skips the queue entirely, so a hit costs one disk
+		// read regardless of pool pressure. Prune before registering:
+		// born finished, the job is immediately evictable, and a
+		// retention table full of protected sweep children would
+		// otherwise evict it in this very call — answering 202 with an ID
+		// that instantly 404s.
+		m.pruneLocked()
+		j.state = StateDone
+		j.result = cached
+		j.started, j.finished = j.created, j.created
+		close(j.done)
+		m.seq++
+		m.jobs[j.id] = j
+		m.order = append(m.order, j.id)
+		m.completed++
+		m.jobsCached++
+		return j, nil
 	}
 	select {
 	case m.queue <- j:
@@ -332,7 +411,7 @@ func (m *Manager) Stats() Stats {
 			active++
 		}
 	}
-	return Stats{
+	st := Stats{
 		Submitted:          int64(m.seq),
 		Completed:          m.completed,
 		Failed:             m.failed,
@@ -344,6 +423,8 @@ func (m *Manager) Stats() Stats {
 		RoundsRun:          m.roundsRun,
 		JobsMeanField:      m.jobsMeanField,
 		JobsGeneral:        m.jobsGeneral,
+		JobsCached:         m.jobsCached,
+		StoreErrors:        m.storeErrors,
 		SweepsSubmitted:    int64(m.sweepSeq),
 		SweepsCompleted:    m.sweepsCompleted,
 		SweepsCancelled:    m.sweepsCancelled,
@@ -354,6 +435,11 @@ func (m *Manager) Stats() Stats {
 		UptimeSeconds:      time.Since(m.startTime).Seconds(),
 		Workers:            m.cfg.Workers,
 	}
+	if m.cfg.Store != nil {
+		ss := m.cfg.Store.Stats()
+		st.ResultStore = &ss
+	}
+	return st
 }
 
 // Close shuts the manager down: no new submissions are accepted, queued
@@ -429,6 +515,12 @@ func (m *Manager) worker() {
 
 		result, err := m.run(ctx, j)
 		cancel()
+		if err == nil {
+			// Record before the terminal transition: once a client can see
+			// the job done, its result is already replayable from the
+			// store (and a crash between the two recomputes, never loses).
+			m.persistResult(j, result)
+		}
 
 		m.mu.Lock()
 		j.finished = time.Now()
@@ -462,100 +554,54 @@ func (m *Manager) worker() {
 	}
 }
 
-// run executes one job: fetch the graph from the pool, hand the spec to
-// the shared repro.Runner (which derives per-trial seeds from the job seed
-// via the ChildSeed tree), and aggregate. Because the Runner is the same
-// code path the library and the CLIs execute, a job's per-trial outcomes
-// are byte-identical to running its spec anywhere else.
+// run executes one job: fetch the graph from the pool and hand the spec
+// (with the effective seed fixed at admission) to the shared execution
+// path. Because that path is the same repro.Runner the library and the
+// CLIs execute, a job's per-trial outcomes are byte-identical to running
+// its spec anywhere else.
 func (m *Manager) run(ctx context.Context, j *job) (*RunResult, error) {
-	req := j.req
-	g, cacheHit, err := m.cache.Get(req.Graph)
+	g, cacheHit, err := m.cache.Get(j.req.Graph)
 	if err != nil {
 		return nil, err
 	}
-	jobSeed := req.Seed
-	if jobSeed == 0 {
-		jobSeed = rng.ChildSeed(m.cfg.RootSeed, j.seq)
-	}
-	runSpec := req
-	runSpec.Seed = jobSeed
-	// The Runner's canonical engine configuration (one engine worker per
-	// trial) is deliberately left in place: it is what makes a job's
-	// outcomes byte-identical to the same spec run through the library or
-	// bo3sim, at the cost of in-engine parallelism for single-trial jobs
-	// (trial-level parallelism is unaffected).
-	runner, err := repro.NewRunner(runSpec,
-		repro.WithTopology(g),
-		repro.WithWorkers(m.cfg.TrialParallelism))
+	runSpec := j.req
+	runSpec.Seed = j.effSeed
+	res, err := executeSpec(ctx, runSpec, g, m.cfg.TrialParallelism)
 	if err != nil {
 		return nil, err
 	}
-	runSpec = runner.Spec()
-
-	// Consume the trial stream rather than the aggregate report: each
-	// trial's trajectory is dropped as soon as its summary is recorded, so
-	// a max-size job holds O(TrialParallelism) trajectories in memory, not
-	// all of them at once.
-	start := time.Now()
-	stream, err := runner.Stream(ctx)
-	if err != nil {
-		return nil, err
-	}
-	reports := make([]TrialReport, runSpec.Trials)
-	var firstErr error
-	var predicted int
-	var pre string
-	var preOK bool
-	for tr := range stream {
-		if tr.Err != nil {
-			if firstErr == nil {
-				firstErr = tr.Err
-			}
-			continue
-		}
-		reports[tr.Trial] = TrialReport{RedWon: tr.Report.RedWon, Consensus: tr.Report.Consensus, Rounds: tr.Report.Rounds}
-		// Instance-level diagnostics are identical across trials; keep one.
-		predicted = tr.Report.PredictedRounds
-		pre = tr.Report.Precondition.String()
-		preOK = tr.Report.Precondition.Satisfied()
-	}
-	if firstErr == nil {
-		firstErr = ctx.Err()
-	}
-	if firstErr != nil {
-		return nil, firstErr
-	}
-	rule, err := runSpec.DynamicsRule()
-	if err != nil {
-		return nil, err
-	}
-	engine, err := runner.EngineName()
-	if err != nil {
-		return nil, err
-	}
-	elapsed := time.Since(start)
-	res := &RunResult{
-		Trials:          runSpec.Trials,
-		PredictedRounds: predicted,
-		Precondition:    pre,
-		PreconditionOK:  preOK,
-		Seed:            jobSeed,
-		GraphName:       g.Name(),
-		Rule:            rule.Name(),
-		Engine:          engine,
-		CacheHit:        cacheHit,
-		ElapsedMS:       elapsed.Milliseconds(),
-		Reports:         reports,
-	}
-	tl := tallyReports(reports)
-	res.RedWins = tl.Wins
-	res.Consensus = tl.Consensus
-	res.MeanRounds = tl.MeanRounds()
-	res.MaxRounds = tl.MaxRounds
-	if secs := elapsed.Seconds(); secs > 0 {
-		res.RoundsPerSec = float64(tl.RoundSum) / secs
-	}
+	res.CacheHit = cacheHit
 	return res, nil
+}
+
+// persistResult records a completed job's canonical (spec, result) pair
+// under its content key. Store failures are counted, never propagated:
+// the result is correct whether or not it was recorded.
+func (m *Manager) persistResult(j *job, res *RunResult) {
+	if m.cfg.Store == nil {
+		return
+	}
+	specJSON, err := json.Marshal(canonicalSpec(j.req, j.effSeed))
+	if err == nil {
+		var bodyJSON []byte
+		if bodyJSON, err = json.Marshal(CanonicalResult(*res)); err == nil {
+			_, err = m.cfg.Store.PutResult(j.key, specJSON, bodyJSON)
+		}
+	}
+	if err != nil {
+		m.mu.Lock()
+		m.storeErrors++
+		m.mu.Unlock()
+	}
+}
+
+// canonicalSpec is the spec the store records: the request with its
+// documented defaults applied and the effective seed filled in, so the
+// stored JSON is exactly a request any entry point replays bit-for-bit.
+func canonicalSpec(req RunRequest, effSeed uint64) RunRequest {
+	req.Seed = effSeed
+	req.Normalize()
+	return req
 }
 
 // tallyReports folds per-trial reports into a sim.Tally; sweeps rebuild the

@@ -1,0 +1,132 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+)
+
+// This file is the wire surface over the persistent result store: listing
+// and point lookups of recorded results by content key. The store itself
+// is internal/store; the manager only decodes specs for filtering and
+// never mutates records.
+
+// ErrNoStore is returned by the result-query methods when the server runs
+// without a persistent store (no -store-dir).
+var ErrNoStore = errors.New("serve: no result store configured")
+
+// ResultMeta is one listing entry of GET /v1/results: the content key and
+// the canonical spec. The result body stays on disk until a point lookup.
+type ResultMeta struct {
+	// Key is the content address — spec.RunSpec.ContentKey() of Spec.
+	Key string `json:"key"`
+	// Seq is the store's append sequence (listings are newest first, i.e.
+	// descending Seq).
+	Seq uint64 `json:"seq"`
+	// Spec is the canonical recorded spec: defaults applied, effective
+	// seed filled in. POSTing it to /v1/runs reproduces the result.
+	Spec RunRequest `json:"spec"`
+}
+
+// ResultList is the GET /v1/results payload.
+type ResultList struct {
+	// Total counts every stored record matching the filters; Offset and
+	// Count describe the returned window.
+	Total   int          `json:"total"`
+	Offset  int          `json:"offset"`
+	Count   int          `json:"count"`
+	Results []ResultMeta `json:"results"`
+}
+
+// ResultView is the GET /v1/results/{key} payload: the full stored
+// record. The result is the deterministic projection (see
+// CanonicalResult), so re-executing Spec anywhere reproduces Result
+// byte-for-byte.
+type ResultView struct {
+	Key    string     `json:"key"`
+	Spec   RunRequest `json:"spec"`
+	Result RunResult  `json:"result"`
+}
+
+// ResultFilter narrows a listing. Zero values match everything.
+type ResultFilter struct {
+	// Family matches the graph family exactly.
+	Family string
+	// N matches the graph's vertex count (> 0 to apply).
+	N int
+}
+
+func (f ResultFilter) matches(spec RunRequest) bool {
+	if f.Family != "" && spec.Graph.Family != f.Family {
+		return false
+	}
+	if f.N > 0 && spec.Graph.N != f.N {
+		return false
+	}
+	return true
+}
+
+// ListResults pages through the stored results, newest first. limit <= 0
+// defaults to 100 and is capped at 1000; offset skips matches. Records
+// whose spec no longer decodes (a foreign or corrupt store directory) are
+// skipped rather than failing the listing.
+func (m *Manager) ListResults(filter ResultFilter, offset, limit int) (ResultList, error) {
+	if m.cfg.Store == nil {
+		return ResultList{}, ErrNoStore
+	}
+	if limit <= 0 {
+		limit = 100
+	}
+	if limit > 1000 {
+		limit = 1000
+	}
+	if offset < 0 {
+		offset = 0
+	}
+	infos := m.cfg.Store.Results() // append order: oldest first
+	out := ResultList{Offset: offset, Results: []ResultMeta{}}
+	unfiltered := filter == ResultFilter{}
+	for i := len(infos) - 1; i >= 0; i-- {
+		// With no filter set, every record matches and only the returned
+		// window needs its spec decoded — a constant-size page stays
+		// O(page), not O(store), per request. Filtered listings must
+		// decode each candidate to match against it.
+		if unfiltered && (out.Total < offset || len(out.Results) >= limit) {
+			out.Total++
+			continue
+		}
+		var spec RunRequest
+		if err := json.Unmarshal(infos[i].Spec, &spec); err != nil {
+			continue
+		}
+		if !filter.matches(spec) {
+			continue
+		}
+		if out.Total >= offset && len(out.Results) < limit {
+			out.Results = append(out.Results, ResultMeta{Key: infos[i].Key, Seq: infos[i].Seq, Spec: spec})
+		}
+		out.Total++
+	}
+	out.Count = len(out.Results)
+	return out, nil
+}
+
+// GetResult fetches one stored record by content key. ok = false for an
+// unknown (or pruned) key.
+func (m *Manager) GetResult(key string) (ResultView, bool, error) {
+	if m.cfg.Store == nil {
+		return ResultView{}, false, ErrNoStore
+	}
+	rec, ok, err := m.cfg.Store.GetResult(key)
+	if err != nil || !ok {
+		return ResultView{}, false, err
+	}
+	v := ResultView{Key: rec.Key}
+	if err := json.Unmarshal(rec.Spec, &v.Spec); err != nil {
+		return ResultView{}, false, fmt.Errorf("serve: stored spec for %s: %w", key, err)
+	}
+	if err := json.Unmarshal(rec.Body, &v.Result); err != nil {
+		return ResultView{}, false, fmt.Errorf("serve: stored result for %s: %w", key, err)
+	}
+	return v, true, nil
+}

@@ -7,7 +7,7 @@
 // one topology skip the generator path.
 //
 // Parameter grids are first-class: a sweep request expands a grid
-// (topologies × n × δ × k × tie × trials) into child runs scheduled on the
+// (topologies × n × δ × k × tie × noise × trials) into child runs scheduled on the
 // same pool under one sweep ID, with aggregate progress and an NDJSON
 // stream of per-cell results.
 //
@@ -22,7 +22,9 @@
 //	GET    /v1/sweeps/{id}          poll one sweep (per-cell status + aggregate)
 //	GET    /v1/sweeps/{id}/results  stream completed cells as NDJSON
 //	DELETE /v1/sweeps/{id}          cancel a sweep and its children
-//	GET    /v1/stats                job, sweep, trial, and graph-pool counters
+//	GET    /v1/results              list stored results (family/n filters, pagination)
+//	GET    /v1/results/{key}        fetch one stored result by content key
+//	GET    /v1/stats                job, sweep, trial, graph-pool, and store counters
 //	GET    /healthz                 liveness
 //
 // Determinism: a job with seed s runs trial i from rng.ChildSeed(s, i),
@@ -30,12 +32,22 @@
 // requests that omit the seed get one derived from the server's root seed,
 // recorded in the result. Replaying a request with the recorded seed
 // reproduces the result bit-for-bit.
+//
+// That determinism contract is what the persistent result store
+// (internal/store, enabled by bo3serve -store-dir) exploits: completed
+// jobs are recorded under their spec's content key, a resubmitted
+// identical spec is answered from disk without executing (jobs_cached in
+// /v1/stats), sweeps journal their lifecycle so Manager.ResumeSweeps
+// finishes interrupted grids after a restart, and GET /v1/results exposes
+// the recorded history for offline audit (cmd/bo3store).
 package serve
 
 import (
 	"encoding/json"
 	"errors"
+	"fmt"
 	"net/http"
+	"strconv"
 )
 
 // Server is the http.Handler for the bo3serve API.
@@ -56,6 +68,8 @@ func NewServer(mgr *Manager) *Server {
 	s.mux.HandleFunc("GET /v1/sweeps/{id}", s.handleSweepGet)
 	s.mux.HandleFunc("GET /v1/sweeps/{id}/results", s.handleSweepResults)
 	s.mux.HandleFunc("DELETE /v1/sweeps/{id}", s.handleSweepCancel)
+	s.mux.HandleFunc("GET /v1/results", s.handleResultList)
+	s.mux.HandleFunc("GET /v1/results/{key}", s.handleResultGet)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
 	return s
@@ -206,6 +220,47 @@ func (s *Server) handleSweepResults(w http.ResponseWriter, r *http.Request) {
 		case <-r.Context().Done():
 			return
 		}
+	}
+}
+
+// handleResultList pages through the persistent result store, newest
+// first, with optional exact-match filters. A storeless server answers
+// with an empty listing rather than an error: the endpoint's shape does
+// not depend on deployment flags.
+func (s *Server) handleResultList(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	var filter ResultFilter
+	filter.Family = q.Get("family")
+	var offset, limit int
+	for name, dst := range map[string]*int{"n": &filter.N, "offset": &offset, "limit": &limit} {
+		if raw := q.Get(name); raw != "" {
+			v, err := strconv.Atoi(raw)
+			if err != nil || v < 0 {
+				writeError(w, http.StatusBadRequest, fmt.Errorf("serve: query parameter %s=%q is not a non-negative integer", name, raw))
+				return
+			}
+			*dst = v
+		}
+	}
+	list, err := s.mgr.ListResults(filter, offset, limit)
+	if errors.Is(err, ErrNoStore) {
+		list = ResultList{Results: []ResultMeta{}}
+	} else if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, list)
+}
+
+func (s *Server) handleResultGet(w http.ResponseWriter, r *http.Request) {
+	view, ok, err := s.mgr.GetResult(r.PathValue("key"))
+	switch {
+	case errors.Is(err, ErrNoStore) || (err == nil && !ok):
+		writeError(w, http.StatusNotFound, errors.New("serve: no such stored result"))
+	case err != nil:
+		writeError(w, http.StatusInternalServerError, err)
+	default:
+		writeJSON(w, http.StatusOK, view)
 	}
 }
 

@@ -2,6 +2,7 @@ package serve
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"sync"
@@ -139,8 +140,12 @@ type sweep struct {
 
 	ctx       context.Context
 	cancel    context.CancelFunc
-	cancelled bool            // cancel requested or scheduling aborted (shutdown)
-	agg       *SweepAggregate // memoised at the terminal transition
+	cancelled bool // cancel requested or scheduling aborted (shutdown)
+	// userCancelled distinguishes a client DELETE (a terminal decision,
+	// journaled) from a shutdown interruption (which leaves the journal
+	// record "running" so a restarted server resumes the sweep).
+	userCancelled bool
+	agg           *SweepAggregate // memoised at the terminal transition
 
 	// completedOrder lists cell indices in terminal order; results
 	// streaming replays it. changed is closed and replaced on every
@@ -163,39 +168,13 @@ func (m *Manager) SubmitSweep(req SweepRequest) (SweepView, error) {
 }
 
 func (m *Manager) submitSweep(req SweepRequest) (SweepView, error) {
-	req.Grid.Normalize()
-	if err := req.Grid.Validate(); err != nil {
-		return SweepView{}, err
-	}
-	count, err := req.Grid.CellCount()
+	reqs, err := m.expandSweep(&req)
 	if err != nil {
 		return SweepView{}, err
 	}
-	limit := m.cfg.Limits.MaxSweepCells
-	if req.MaxCells > 0 && req.MaxCells < limit {
-		limit = req.MaxCells
-	}
-	if count > limit {
-		return SweepView{}, fmt.Errorf("sweep: grid expands to %d cells, exceeding the cap of %d", count, limit)
-	}
-	if req.Concurrency <= 0 || req.Concurrency > m.cfg.SweepConcurrency {
-		req.Concurrency = m.cfg.SweepConcurrency
-	}
-
-	// Expand and validate outside the lock: the grid is capped, but a few
-	// thousand validations still should not stall every snapshot reader.
-	// Cell seeds are assigned under the lock below, where the sweep index
-	// that may feed the sweep seed is reserved.
-	reqs := req.Grid.Expand(req.Seed, req.MaxRounds)
-	for i := range reqs {
-		if err := validateRun(&reqs[i], m.cfg.Limits); err != nil {
-			return SweepView{}, fmt.Errorf("sweep: cell %d: %w", i, err)
-		}
-	}
-
 	m.mu.Lock()
-	defer m.mu.Unlock()
 	if m.closed {
+		m.mu.Unlock()
 		return SweepView{}, ErrClosed
 	}
 	if req.Seed == 0 {
@@ -204,9 +183,58 @@ func (m *Manager) submitSweep(req SweepRequest) (SweepView, error) {
 			reqs[i].Seed = rng.ChildSeed(req.Seed, uint64(i))
 		}
 	}
+	id := fmt.Sprintf("sweep-%06d", m.sweepSeq)
+	m.sweepSeq++
+	s := m.registerSweepLocked(id, req, reqs)
+	entry := m.journalEntryLocked(s)
+	view := m.sweepViewLocked(s, true)
+	m.mu.Unlock()
+	m.startSweep(s, entry)
+	return view, nil
+}
+
+// expandSweep normalizes and caps the request, then expands and validates
+// every cell. Run outside the lock: the grid is capped, but a few
+// thousand validations still should not stall every snapshot reader.
+// Cell seeds for seedless requests are assigned under the lock, where the
+// sweep index that feeds the sweep seed is reserved.
+func (m *Manager) expandSweep(req *SweepRequest) ([]RunRequest, error) {
+	req.Grid.Normalize()
+	if err := req.Grid.Validate(); err != nil {
+		return nil, err
+	}
+	count, err := req.Grid.CellCount()
+	if err != nil {
+		return nil, err
+	}
+	limit := m.cfg.Limits.MaxSweepCells
+	if req.MaxCells > 0 && req.MaxCells < limit {
+		limit = req.MaxCells
+	}
+	if count > limit {
+		return nil, fmt.Errorf("sweep: grid expands to %d cells, exceeding the cap of %d", count, limit)
+	}
+	if req.Concurrency <= 0 || req.Concurrency > m.cfg.SweepConcurrency {
+		req.Concurrency = m.cfg.SweepConcurrency
+	}
+	reqs := req.Grid.Expand(req.Seed, req.MaxRounds)
+	for i := range reqs {
+		if err := validateRun(&reqs[i], m.cfg.Limits); err != nil {
+			return nil, fmt.Errorf("sweep: cell %d: %w", i, err)
+		}
+	}
+	return reqs, nil
+}
+
+// registerSweepLocked creates the sweep record under the given ID and
+// reserves its scheduler slot; callers hold m.mu, have reserved the ID,
+// and must call startSweep after releasing the lock. The WaitGroup add
+// happens here, under the same lock as the closed check, so Close can
+// never begin waiting between registration and scheduler start.
+func (m *Manager) registerSweepLocked(id string, req SweepRequest, reqs []RunRequest) *sweep {
 	ctx, cancel := context.WithCancel(m.baseCtx)
 	s := &sweep{
-		id:          fmt.Sprintf("sweep-%06d", m.sweepSeq),
+		id:          id,
 		req:         req,
 		cells:       make([]sweepCell, len(reqs)),
 		jobs:        make([]*job, len(reqs)),
@@ -220,13 +248,172 @@ func (m *Manager) submitSweep(req SweepRequest) (SweepView, error) {
 	for i := range reqs {
 		s.cells[i] = sweepCell{req: reqs[i], state: StateCellPending}
 	}
-	m.sweepSeq++
 	m.sweeps[s.id] = s
 	m.sweepOrder = append(m.sweepOrder, s.id)
 	m.pruneSweepsLocked()
 	m.sweepWG.Add(1)
+	return s
+}
+
+// startSweep writes the sweep's "running" journal record and launches
+// the scheduler; called without m.mu held. The record hits disk before
+// any cell can be scheduled, so the journal never shows a result for a
+// sweep it has not recorded.
+func (m *Manager) startSweep(s *sweep, entry []byte) {
+	m.writeJournal(s.id, entry)
 	go m.runSweep(s)
-	return m.sweepViewLocked(s, true), nil
+}
+
+// sweepJournal is the store's journal payload for one sweep: enough to
+// re-expand and finish the sweep after a restart. The request always
+// carries the effective seed, so a resumed expansion reproduces every
+// cell (and its content key) exactly.
+type sweepJournal struct {
+	ID      string       `json:"id"`
+	State   string       `json:"state"`
+	Request SweepRequest `json:"request"`
+	// Error records why a resume was refused, on the tombstone record a
+	// refusal leaves behind.
+	Error string `json:"error,omitempty"`
+}
+
+// journalEntryLocked marshals the sweep's current lifecycle record;
+// callers hold m.mu and hand the bytes to writeJournal after releasing
+// it — store I/O stays off the manager lock, like persistResult's.
+// Returns nil when there is nothing to write.
+func (m *Manager) journalEntryLocked(s *sweep) []byte {
+	if m.cfg.Store == nil {
+		return nil
+	}
+	body, err := json.Marshal(sweepJournal{ID: s.id, State: s.state, Request: s.req})
+	if err != nil {
+		m.storeErrors++
+		return nil
+	}
+	return body
+}
+
+// writeJournal appends a record built by journalEntryLocked; called
+// without m.mu held. Best-effort like result persistence: a failed
+// journal write costs crash-resumability, not correctness.
+func (m *Manager) writeJournal(id string, body []byte) {
+	if body == nil {
+		return
+	}
+	if err := m.cfg.Store.PutSweep(id, body); err != nil {
+		m.mu.Lock()
+		m.storeErrors++
+		m.mu.Unlock()
+	}
+}
+
+// ResumeSweeps replays the store's sweep journal: every sweep whose
+// latest record is still "running" — submitted before a crash or an
+// unclean shutdown and never finalised — is re-registered under its
+// original ID and re-executed. Cells whose results were persisted before
+// the crash are answered from the store without executing, so a resumed
+// sweep runs only the missing cells and converges to the same
+// byte-identical aggregate as an uninterrupted run with that seed and
+// grid. Terminal journal records only advance the ID sequence, keeping
+// new sweep IDs collision-free across restarts. Call once, after
+// NewManager and before serving traffic; returns how many sweeps were
+// resumed.
+func (m *Manager) ResumeSweeps() (int, error) {
+	if m.cfg.Store == nil {
+		return 0, nil
+	}
+	infos, err := m.cfg.Store.Sweeps()
+	if err != nil {
+		return 0, err
+	}
+	resumed := 0
+	var errs []error
+	for _, info := range infos {
+		m.reserveSweepID(info.ID)
+		var entry sweepJournal
+		if err := json.Unmarshal(info.Body, &entry); err != nil {
+			errs = append(errs, fmt.Errorf("sweep %s: corrupt journal record: %w", info.ID, err))
+			m.tombstoneSweep(info.ID, SweepRequest{}, err)
+			continue
+		}
+		if entry.State != StateRunning {
+			continue
+		}
+		if err := m.resumeSweep(info.ID, entry.Request); err != nil {
+			errs = append(errs, fmt.Errorf("sweep %s: %w", info.ID, err))
+			// A refusal is terminal: without a tombstone, every future
+			// restart would re-expand and re-fail the same record
+			// forever (a server restarted with tighter limits, say).
+			// Shutdown and double-resume are transient, not refusals.
+			if !errors.Is(err, ErrClosed) && !errors.Is(err, errSweepRegistered) {
+				m.tombstoneSweep(info.ID, entry.Request, err)
+			}
+			continue
+		}
+		resumed++
+	}
+	return resumed, errors.Join(errs...)
+}
+
+// errSweepRegistered reports a resume of a sweep that is already live
+// (ResumeSweeps called twice).
+var errSweepRegistered = errors.New("already registered")
+
+// tombstoneSweep journals a refused resume as cancelled, recording why,
+// so the journal converges instead of replaying the failure on every
+// start. Best-effort like every store write.
+func (m *Manager) tombstoneSweep(id string, req SweepRequest, cause error) {
+	body, err := json.Marshal(sweepJournal{ID: id, State: StateCancelled, Request: req, Error: cause.Error()})
+	if err == nil {
+		err = m.cfg.Store.PutSweep(id, body)
+	}
+	if err != nil {
+		m.mu.Lock()
+		m.storeErrors++
+		m.mu.Unlock()
+	}
+}
+
+// reserveSweepID advances the sweep sequence past a journaled ID so new
+// sweeps never reuse stored history's names.
+func (m *Manager) reserveSweepID(id string) {
+	var n uint64
+	if _, err := fmt.Sscanf(id, "sweep-%d", &n); err != nil {
+		return
+	}
+	m.mu.Lock()
+	if n >= m.sweepSeq {
+		m.sweepSeq = n + 1
+	}
+	m.mu.Unlock()
+}
+
+// resumeSweep re-registers one journaled sweep under its original ID.
+// The request is re-validated against the current limits: a server
+// restarted with a tighter cap refuses the resume rather than running an
+// inadmissible grid.
+func (m *Manager) resumeSweep(id string, req SweepRequest) error {
+	if req.Seed == 0 {
+		return fmt.Errorf("journal record has no effective seed")
+	}
+	reqs, err := m.expandSweep(&req)
+	if err != nil {
+		return err
+	}
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return ErrClosed
+	}
+	if _, dup := m.sweeps[id]; dup {
+		m.mu.Unlock()
+		return errSweepRegistered
+	}
+	s := m.registerSweepLocked(id, req, reqs)
+	entry := m.journalEntryLocked(s)
+	m.mu.Unlock()
+	m.startSweep(s, entry)
+	return nil
 }
 
 // pruneSweepsLocked evicts the oldest finished sweeps beyond the retention
@@ -286,9 +473,14 @@ func (m *Manager) runSweep(s *sweep) {
 }
 
 // scheduleCell enqueues one cell's child run, waiting out transient queue
-// pressure. A non-transient failure records the cell as failed (or
-// cancelled for shutdown) and is returned.
+// pressure. Cells whose content key is already in the result store come
+// back as born-done jobs without touching the queue — on a resumed sweep
+// that is every cell that finished before the crash. A non-transient
+// failure records the cell as failed (or cancelled for shutdown) and is
+// returned.
 func (m *Manager) scheduleCell(s *sweep, i int) (*job, error) {
+	// The store read happens before the lock, like Submit's.
+	cached := m.lookupStored(s.cells[i].req)
 	for {
 		m.mu.Lock()
 		// Re-check cancellation under the lock: CancelSweep cancels the
@@ -299,7 +491,7 @@ func (m *Manager) scheduleCell(s *sweep, i int) (*job, error) {
 			m.mu.Unlock()
 			return nil, context.Canceled
 		}
-		j, err := m.enqueueLocked(s.cells[i].req, s.id)
+		j, err := m.enqueueLocked(s.cells[i].req, s.id, cached)
 		if err == nil {
 			s.cells[i].jobID = j.id
 			s.cells[i].state = StateQueued
@@ -368,7 +560,6 @@ func (m *Manager) finalizeCell(s *sweep, i int, j *job) {
 // watcher have exited. Cells never handed to the pool become cancelled.
 func (m *Manager) finalizeSweep(s *sweep) {
 	m.mu.Lock()
-	defer m.mu.Unlock()
 	for i := range s.cells {
 		if s.cells[i].state == StateCellPending {
 			m.markCellLocked(s, i, StateCancelled, "")
@@ -383,6 +574,13 @@ func (m *Manager) finalizeSweep(s *sweep) {
 	}
 	s.finished = time.Now()
 	s.cancel()
+	// Journal the terminal state — except when shutdown interrupted a
+	// sweep nobody cancelled: its record stays "running" so the next
+	// server generation resumes it from the store.
+	var entry []byte
+	if s.state == StateDone || s.userCancelled {
+		entry = m.journalEntryLocked(s)
+	}
 	// The aggregate is immutable from here on; memoise it so snapshot
 	// reads of finished sweeps stop paying the O(cells) fold under m.mu.
 	agg := m.foldAggregateLocked(s)
@@ -393,6 +591,11 @@ func (m *Manager) finalizeSweep(s *sweep) {
 	s.jobs = nil
 	close(s.changed)
 	s.changed = make(chan struct{})
+	m.mu.Unlock()
+	// The write happens before runSweep returns (and so before Close's
+	// sweepWG wait can complete), off the manager lock like every other
+	// store access.
+	m.writeJournal(s.id, entry)
 }
 
 // GetSweep returns a full snapshot of the sweep, cells included.
@@ -445,6 +648,7 @@ func (m *Manager) CancelSweep(id string) (SweepView, bool) {
 	}
 	if s.state == StateRunning && !s.cancelled {
 		s.cancelled = true
+		s.userCancelled = true
 		s.cancel()
 		for _, j := range s.jobs {
 			if j != nil {

@@ -3,6 +3,7 @@ package serve
 import (
 	"time"
 
+	"repro/internal/store"
 	"repro/spec"
 )
 
@@ -76,6 +77,11 @@ type RunResult struct {
 	Engine string `json:"engine"`
 	// CacheHit reports whether the graph came from the pool.
 	CacheHit bool `json:"cache_hit"`
+	// Cached reports that the result was served from the persistent
+	// result store instead of being executed: the job never touched the
+	// worker pool, and the timing fields below are zero (the store records
+	// the deterministic projection of a result — see CanonicalResult).
+	Cached bool `json:"cached,omitempty"`
 	// ElapsedMS is the job's execution wall time in milliseconds.
 	ElapsedMS int64 `json:"elapsed_ms"`
 	// QueueMS is how long the job waited between submission and the start
@@ -129,10 +135,13 @@ type Stats struct {
 	TrialsRun int64 `json:"trials_run"`
 	// RoundsRun is the total number of protocol rounds executed.
 	RoundsRun int64 `json:"rounds_run"`
-	// JobsMeanField and JobsGeneral split completed jobs by the round
-	// engine that executed them.
+	// JobsMeanField and JobsGeneral split executed jobs by the round
+	// engine that ran them; JobsCached counts jobs answered from the
+	// persistent result store without executing (counted in Completed,
+	// absent from the engine split and from TrialsRun/RoundsRun).
 	JobsMeanField int64 `json:"jobs_mean_field"`
 	JobsGeneral   int64 `json:"jobs_general"`
+	JobsCached    int64 `json:"jobs_cached"`
 	// Sweep counters. SweepCellsFinished counts child runs that reached a
 	// terminal state (done, failed, or cancelled).
 	SweepsSubmitted    int64 `json:"sweeps_submitted"`
@@ -143,6 +152,12 @@ type Stats struct {
 	SweepCellsFinished int64 `json:"sweep_cells_finished"`
 	// Cache is the graph-pool snapshot.
 	Cache CacheStats `json:"graph_cache"`
+	// ResultStore is the persistent result store's snapshot; absent when
+	// the server runs without one (no -store-dir). StoreErrors counts
+	// failed store writes (the affected jobs still completed normally;
+	// they just were not recorded).
+	ResultStore *store.Stats `json:"result_store,omitempty"`
+	StoreErrors int64        `json:"store_errors,omitempty"`
 	// UptimeSeconds counts from manager start.
 	UptimeSeconds float64 `json:"uptime_seconds"`
 	// Workers is the job-pool width.

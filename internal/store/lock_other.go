@@ -1,0 +1,19 @@
+//go:build !unix
+
+package store
+
+import (
+	"fmt"
+	"os"
+)
+
+// acquireLock on platforms without flock: the LOCK file is still
+// created as a marker, but writer exclusion is not enforced — run one
+// writer per store directory.
+func acquireLock(path string) (*os.File, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	return f, nil
+}

@@ -1,0 +1,27 @@
+//go:build unix
+
+package store
+
+import (
+	"fmt"
+	"os"
+	"syscall"
+)
+
+// acquireLock takes a non-blocking exclusive flock on the store's LOCK
+// file, excluding concurrent writers (a second server on the directory,
+// or a compact against a live one) without blocking read-only opens,
+// which take no lock at all. Advisory flocks die with the process, so a
+// SIGKILLed server never leaves a stale lock behind — crash recovery
+// stays lock-free.
+func acquireLock(path string) (*os.File, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	if err := syscall.Flock(int(f.Fd()), syscall.LOCK_EX|syscall.LOCK_NB); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("store: %s is in use by another process (flock: %w)", path, err)
+	}
+	return f, nil
+}

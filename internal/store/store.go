@@ -1,0 +1,702 @@
+// Package store is the persistent result store behind bo3serve: a
+// crash-safe, append-only record log with an in-memory index, keyed by
+// content. It turns the determinism contract of the spec layer — a run's
+// outcome is a pure function of its canonical (spec, seed) key — into a
+// correctness-preserving cache: a result recorded once never needs to be
+// recomputed, and every record is auditable offline by re-executing its
+// spec and diffing bytes (cmd/bo3store verify).
+//
+// # On-disk format
+//
+// A store directory holds numbered segments:
+//
+//	seg-000001.jsonl
+//	seg-000002.jsonl        <- active (append) segment
+//
+// Each segment is a sequence of newline-terminated JSON records:
+//
+//	{"seq":12,"kind":"result","key":"4f2a…","spec":{…},"body":{…},"sum":2833443907}
+//
+// `sum` is a CRC-32C over (kind, key, spec, body), so a torn or corrupted
+// line is detected even when it happens to remain valid JSON. Appends go
+// to the active segment until it exceeds the segment size, then a new
+// segment is started; with a total-bytes cap set, the oldest whole
+// segments are dropped once the cap is exceeded.
+//
+// # Recovery
+//
+// Open replays every segment in order. A line that fails to parse or
+// checksum is skipped (counted in Stats.Corrupt); a truncated tail —
+// the signature of a crash mid-append — additionally truncates the active
+// segment back to its last complete record so subsequent appends start on
+// a clean boundary. Every complete record therefore survives any
+// kill-at-any-instant crash, which is what lets a restarted server resume
+// a half-finished sweep from the journal and serve every already-computed
+// cell from the index.
+//
+// # Concurrency across processes
+//
+// Writers take a non-blocking exclusive flock on the directory's LOCK
+// file, so two writers — a second server, or a compact against a live
+// one — fail fast instead of corrupting each other. Read-only opens
+// (Options.ReadOnly: used by bo3store's ls/get/verify) take no lock and
+// never mutate the directory, which makes them safe against a live
+// writer: records are immutable once written, and an in-flight append is
+// just an unindexed tail.
+//
+// # Record kinds
+//
+// Two kinds share the log. KindResult records are immutable and
+// content-addressed: the key is spec.RunSpec.ContentKey() and the first
+// record for a key wins (duplicates are ignored — by determinism they
+// carry identical bodies). KindSweep records journal sweep lifecycles
+// under the sweep ID; the latest record per ID is the sweep's current
+// state, and Compact rewrites the log keeping only live records.
+package store
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+)
+
+// Record kinds.
+const (
+	// KindResult is a content-addressed run result: Key is the canonical
+	// content key of the spec, Spec the canonical spec JSON, Body the
+	// deterministic result projection.
+	KindResult = "result"
+	// KindSweep is a sweep-journal entry: Key is the sweep ID, Body the
+	// serve layer's journal payload. Later records supersede earlier ones.
+	KindSweep = "sweep"
+)
+
+// Record is one log entry as it appears on disk.
+type Record struct {
+	// Seq is the store-wide append sequence, monotone across segments.
+	Seq  uint64 `json:"seq"`
+	Kind string `json:"kind"`
+	Key  string `json:"key"`
+	// Spec is the canonical spec JSON (results only).
+	Spec json.RawMessage `json:"spec,omitempty"`
+	// Body is the payload.
+	Body json.RawMessage `json:"body"`
+	// Sum is the CRC-32C over (kind, key, spec, body).
+	Sum uint32 `json:"sum"`
+}
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// checksum covers every content field of a record, so a line that was
+// torn at a JSON-valid boundary or bit-flipped at rest still fails to
+// verify.
+func checksum(kind, key string, spec, body []byte) uint32 {
+	h := crc32.New(crcTable)
+	h.Write([]byte(kind))
+	h.Write([]byte{0})
+	h.Write([]byte(key))
+	h.Write([]byte{0})
+	h.Write(spec)
+	h.Write([]byte{0})
+	h.Write(body)
+	return h.Sum32()
+}
+
+func (r Record) valid() bool {
+	return (r.Kind == KindResult || r.Kind == KindSweep) &&
+		r.Key != "" &&
+		r.Sum == checksum(r.Kind, r.Key, r.Spec, r.Body)
+}
+
+// Options tune a store.
+type Options struct {
+	// MaxSegmentBytes rolls the active segment once it exceeds this size
+	// (0 = 8 MiB). Rolling bounds both the recovery scan unit and the
+	// granularity of MaxBytes pruning.
+	MaxSegmentBytes int64
+	// MaxBytes caps the store's total on-disk size; once exceeded, the
+	// oldest whole segments (and the index entries into them) are dropped.
+	// 0 = unbounded. The active segment is never dropped.
+	MaxBytes int64
+	// ReadOnly opens the store for inspection: segments are opened
+	// read-only, torn tails are skipped but never truncated, no segment
+	// or directory is created, and the mutating methods fail with
+	// ErrReadOnly. Read-only opens take no lock and are safe against a
+	// concurrently appending writer: records are immutable once written,
+	// and a partially written tail is simply not indexed.
+	ReadOnly bool
+}
+
+// ErrReadOnly rejects mutations on a read-only store.
+var ErrReadOnly = errors.New("store: opened read-only")
+
+const defaultSegmentBytes = 8 << 20
+
+// Stats is a counter snapshot.
+type Stats struct {
+	// Results is the number of distinct result records indexed.
+	Results int `json:"results"`
+	// Sweeps is the number of distinct sweep IDs journaled.
+	Sweeps int `json:"sweeps"`
+	// Segments and Bytes describe the on-disk footprint.
+	Segments int   `json:"segments"`
+	Bytes    int64 `json:"bytes"`
+	// Hits and Misses count GetResult lookups.
+	Hits   int64 `json:"hits"`
+	Misses int64 `json:"misses"`
+	// Appends counts records written in this process.
+	Appends int64 `json:"appends"`
+	// Corrupt counts records dropped during recovery (torn tails,
+	// checksum failures); Evicted counts records dropped by MaxBytes
+	// segment pruning.
+	Corrupt int64 `json:"corrupt"`
+	Evicted int64 `json:"evicted"`
+}
+
+// segment is one on-disk log file.
+type segment struct {
+	id   uint64
+	path string
+	f    *os.File
+	size int64
+}
+
+// loc is an index pointer to one record line.
+type loc struct {
+	seg *segment
+	off int64
+	n   int64
+}
+
+type resultEntry struct {
+	loc
+	seq  uint64
+	spec json.RawMessage // held in memory for filtered listings
+}
+
+type sweepEntry struct {
+	loc
+	seq uint64
+}
+
+// Store is the handle. All methods are safe for concurrent use within
+// one process; across processes, writers take an exclusive advisory lock
+// on the directory (a second writer — another server, or a compact
+// against a live one — fails to open), while read-only opens coexist
+// with a writer freely.
+type Store struct {
+	dir  string
+	opts Options
+	lock *os.File // writer-exclusion flock; nil when read-only
+
+	mu         sync.RWMutex
+	segs       []*segment
+	nextSeg    uint64 // next segment id; never reused, even across Compact
+	seq        uint64
+	results    map[string]*resultEntry
+	resultKeys []string // append order
+	sweeps     map[string]*sweepEntry
+	sweepKeys  []string // first-seen order
+	bytes      int64
+
+	hits, misses, appends, corrupt, evicted int64
+}
+
+// Open opens (or creates) the store at dir, replaying every segment into
+// the in-memory index and recovering past torn writes.
+func Open(dir string, opts Options) (*Store, error) {
+	if opts.MaxSegmentBytes <= 0 {
+		opts.MaxSegmentBytes = defaultSegmentBytes
+	}
+	s := &Store{
+		dir:     dir,
+		opts:    opts,
+		results: make(map[string]*resultEntry),
+		sweeps:  make(map[string]*sweepEntry),
+	}
+	if opts.ReadOnly {
+		if _, err := os.Stat(dir); err != nil {
+			return nil, fmt.Errorf("store: %w", err)
+		}
+	} else {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return nil, fmt.Errorf("store: %w", err)
+		}
+		lock, err := acquireLock(filepath.Join(dir, "LOCK"))
+		if err != nil {
+			return nil, err
+		}
+		s.lock = lock
+	}
+	paths, err := filepath.Glob(filepath.Join(dir, "seg-*.jsonl"))
+	if err != nil {
+		s.releaseLock()
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	sort.Strings(paths) // zero-padded ids sort numerically
+	for i, path := range paths {
+		seg, err := s.openSegment(path, i == len(paths)-1)
+		if err != nil {
+			s.closeSegmentsLocked()
+			s.releaseLock()
+			return nil, err
+		}
+		s.segs = append(s.segs, seg)
+		s.bytes += seg.size
+		if seg.id >= s.nextSeg {
+			s.nextSeg = seg.id + 1
+		}
+	}
+	if len(s.segs) == 0 && !opts.ReadOnly {
+		if err := s.rollLocked(); err != nil {
+			s.releaseLock()
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+// releaseLock drops the writer lock, if held.
+func (s *Store) releaseLock() {
+	if s.lock != nil {
+		s.lock.Close()
+		s.lock = nil
+	}
+}
+
+// openSegment reads one segment file, indexing every valid record.
+// Corrupt lines are skipped; when active, the file is truncated back to
+// the end of its last valid record so appends resume on a clean boundary.
+func (s *Store) openSegment(path string, active bool) (*segment, error) {
+	var id uint64
+	if _, err := fmt.Sscanf(filepath.Base(path), "seg-%d.jsonl", &id); err != nil {
+		return nil, fmt.Errorf("store: segment name %q: %w", filepath.Base(path), err)
+	}
+	mode := os.O_RDWR
+	if s.opts.ReadOnly {
+		mode = os.O_RDONLY
+	}
+	f, err := os.OpenFile(path, mode, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	seg := &segment{id: id, path: path, f: f}
+	r := bufio.NewReaderSize(f, 1<<16)
+	var off, good int64
+	for {
+		line, err := r.ReadBytes('\n')
+		if err != nil && err != io.EOF {
+			f.Close()
+			return nil, fmt.Errorf("store: read %s: %w", path, err)
+		}
+		n := int64(len(line))
+		torn := err == io.EOF && n > 0 // no trailing newline: mid-append crash
+		if n > 0 {
+			var rec Record
+			if !torn && json.Unmarshal(line, &rec) == nil && rec.valid() {
+				s.index(rec, loc{seg: seg, off: off, n: n})
+				good = off + n
+			} else {
+				s.corrupt++
+			}
+			off += n
+		}
+		if err == io.EOF {
+			break
+		}
+	}
+	seg.size = off
+	if active && good < off && !s.opts.ReadOnly {
+		// Drop the torn tail so the next append starts a fresh line. A
+		// read-only open leaves the file untouched — the torn tail is
+		// simply not indexed, and may well be a concurrent writer's
+		// append in flight.
+		if err := f.Truncate(good); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("store: truncate %s: %w", path, err)
+		}
+		seg.size = good
+	}
+	return seg, nil
+}
+
+// index applies one replayed or appended record to the in-memory maps.
+func (s *Store) index(rec Record, l loc) {
+	if rec.Seq >= s.seq {
+		s.seq = rec.Seq + 1
+	}
+	switch rec.Kind {
+	case KindResult:
+		if _, dup := s.results[rec.Key]; dup {
+			return // first write wins; duplicates are byte-identical by determinism
+		}
+		s.results[rec.Key] = &resultEntry{loc: l, seq: rec.Seq, spec: append(json.RawMessage(nil), rec.Spec...)}
+		s.resultKeys = append(s.resultKeys, rec.Key)
+	case KindSweep:
+		e, ok := s.sweeps[rec.Key]
+		if !ok {
+			e = &sweepEntry{}
+			s.sweeps[rec.Key] = e
+			s.sweepKeys = append(s.sweepKeys, rec.Key)
+		}
+		e.loc, e.seq = l, rec.Seq
+	}
+}
+
+// rollLocked starts a new active segment; callers hold s.mu.
+func (s *Store) rollLocked() error {
+	if s.nextSeg == 0 {
+		s.nextSeg = 1
+	}
+	id := s.nextSeg
+	s.nextSeg = id + 1
+	path := filepath.Join(s.dir, fmt.Sprintf("seg-%06d.jsonl", id))
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_EXCL, 0o644)
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	s.segs = append(s.segs, &segment{id: id, path: path, f: f})
+	return nil
+}
+
+// appendLocked assigns the next sequence number, writes the record, and
+// prunes; callers hold s.mu. Returns the record's location.
+func (s *Store) appendLocked(rec *Record) (loc, error) {
+	rec.Seq = s.seq
+	s.seq++
+	l, err := s.writeLocked(rec)
+	if err != nil {
+		return loc{}, err
+	}
+	s.pruneLocked()
+	return l, nil
+}
+
+// writeLocked writes one record to the active segment as-is (its Seq is
+// the caller's — Compact replays history under original numbers), rolling
+// beforehand when the segment is full; callers hold s.mu.
+func (s *Store) writeLocked(rec *Record) (loc, error) {
+	rec.Sum = checksum(rec.Kind, rec.Key, rec.Spec, rec.Body)
+	line, err := json.Marshal(rec)
+	if err != nil {
+		return loc{}, fmt.Errorf("store: %w", err)
+	}
+	line = append(line, '\n')
+	active := s.segs[len(s.segs)-1]
+	if active.size > 0 && active.size+int64(len(line)) > s.opts.MaxSegmentBytes {
+		if err := s.rollLocked(); err != nil {
+			return loc{}, err
+		}
+		active = s.segs[len(s.segs)-1]
+	}
+	if _, err := active.f.WriteAt(line, active.size); err != nil {
+		return loc{}, fmt.Errorf("store: append: %w", err)
+	}
+	l := loc{seg: active, off: active.size, n: int64(len(line))}
+	active.size += int64(len(line))
+	s.bytes += int64(len(line))
+	s.appends++
+	return l, nil
+}
+
+// pruneLocked drops the oldest whole segments while the store exceeds
+// MaxBytes; callers hold s.mu. Result entries into dropped segments
+// vanish with them — a pruned result is a future cache miss, nothing
+// more. Sweep-journal records are different: they are the crash-resume
+// state and the sweep-ID high-water mark, so the latest record per sweep
+// is rewritten into the active segment (sequence preserved) before its
+// segment is dropped, and survives any amount of pruning.
+func (s *Store) pruneLocked() {
+	if s.opts.MaxBytes <= 0 {
+		return
+	}
+	for s.bytes > s.opts.MaxBytes && len(s.segs) > 1 {
+		victim := s.segs[0]
+		s.rescueSweepsLocked(victim)
+		s.segs = s.segs[1:]
+		s.bytes -= victim.size
+		s.dropEntriesIn(victim)
+		victim.f.Close()
+		os.Remove(victim.path)
+	}
+}
+
+// rescueSweepsLocked rewrites the live sweep-journal records located in
+// the segment about to be pruned into the active segment; callers hold
+// s.mu. The victim is never the active segment (pruneLocked's len > 1
+// guard), so the rewrite always moves records forward.
+func (s *Store) rescueSweepsLocked(victim *segment) {
+	for _, id := range s.sweepKeys {
+		e := s.sweeps[id]
+		if e.seg != victim {
+			continue
+		}
+		rec, err := s.readLocked(e.loc)
+		if err != nil {
+			continue // unreadable: drop with the segment
+		}
+		if l, err := s.writeLocked(&rec); err == nil {
+			e.loc = l
+		}
+	}
+}
+
+// dropEntriesIn removes every index entry located in seg.
+func (s *Store) dropEntriesIn(seg *segment) {
+	keep := s.resultKeys[:0]
+	for _, k := range s.resultKeys {
+		if s.results[k].seg == seg {
+			delete(s.results, k)
+			s.evicted++
+			continue
+		}
+		keep = append(keep, k)
+	}
+	s.resultKeys = keep
+	keepSweeps := s.sweepKeys[:0]
+	for _, k := range s.sweepKeys {
+		if s.sweeps[k].seg == seg {
+			delete(s.sweeps, k)
+			s.evicted++
+			continue
+		}
+		keepSweeps = append(keepSweeps, k)
+	}
+	s.sweepKeys = keepSweeps
+}
+
+// readLocked fetches one record line; callers hold s.mu (read or write).
+func (s *Store) readLocked(l loc) (Record, error) {
+	buf := make([]byte, l.n)
+	if _, err := l.seg.f.ReadAt(buf, l.off); err != nil {
+		return Record{}, fmt.Errorf("store: read %s@%d: %w", filepath.Base(l.seg.path), l.off, err)
+	}
+	var rec Record
+	if err := json.Unmarshal(bytes.TrimSuffix(buf, []byte{'\n'}), &rec); err != nil {
+		return Record{}, fmt.Errorf("store: decode %s@%d: %w", filepath.Base(l.seg.path), l.off, err)
+	}
+	if !rec.valid() {
+		return Record{}, fmt.Errorf("store: record %s@%d fails checksum", filepath.Base(l.seg.path), l.off)
+	}
+	return rec, nil
+}
+
+// PutResult records a result under its content key. The first record for
+// a key wins: a duplicate put is a no-op (reported false) — by the
+// determinism contract a re-executed spec produces the identical body.
+func (s *Store) PutResult(key string, spec, body []byte) (written bool, err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.opts.ReadOnly {
+		return false, ErrReadOnly
+	}
+	if _, dup := s.results[key]; dup {
+		return false, nil
+	}
+	rec := Record{Kind: KindResult, Key: key, Spec: spec, Body: body}
+	l, err := s.appendLocked(&rec)
+	if err != nil {
+		return false, err
+	}
+	// Pruning inside appendLocked can only drop older segments, never the
+	// active one just written.
+	s.index(rec, l)
+	return true, nil
+}
+
+// GetResult looks a result up by content key, reading the body from disk.
+func (s *Store) GetResult(key string) (Record, bool, error) {
+	s.mu.RLock()
+	e, ok := s.results[key]
+	if !ok {
+		s.mu.RUnlock()
+		s.mu.Lock()
+		s.misses++
+		s.mu.Unlock()
+		return Record{}, false, nil
+	}
+	rec, err := s.readLocked(e.loc)
+	s.mu.RUnlock()
+	if err != nil {
+		return Record{}, false, err
+	}
+	s.mu.Lock()
+	s.hits++
+	s.mu.Unlock()
+	return rec, true, nil
+}
+
+// ResultInfo is one index entry of a listing: the content key, the append
+// sequence, and the canonical spec (the body stays on disk; fetch it with
+// GetResult).
+type ResultInfo struct {
+	Key  string
+	Seq  uint64
+	Spec json.RawMessage
+}
+
+// Results snapshots the result index in append order (oldest first).
+func (s *Store) Results() []ResultInfo {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]ResultInfo, 0, len(s.resultKeys))
+	for _, k := range s.resultKeys {
+		e := s.results[k]
+		out = append(out, ResultInfo{Key: k, Seq: e.seq, Spec: e.spec})
+	}
+	return out
+}
+
+// PutSweep appends one sweep-journal record under the sweep ID. Unlike
+// results, every put is recorded: later records supersede earlier ones
+// and Compact drops the superseded history.
+func (s *Store) PutSweep(id string, body []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.opts.ReadOnly {
+		return ErrReadOnly
+	}
+	rec := Record{Kind: KindSweep, Key: id, Body: body}
+	l, err := s.appendLocked(&rec)
+	if err != nil {
+		return err
+	}
+	s.index(rec, l)
+	return nil
+}
+
+// SweepInfo is the latest journal record for one sweep ID.
+type SweepInfo struct {
+	ID   string
+	Seq  uint64
+	Body json.RawMessage
+}
+
+// Sweeps returns the latest journal record per sweep ID, in first-seen
+// order, reading bodies from disk.
+func (s *Store) Sweeps() ([]SweepInfo, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]SweepInfo, 0, len(s.sweepKeys))
+	for _, id := range s.sweepKeys {
+		e := s.sweeps[id]
+		rec, err := s.readLocked(e.loc)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, SweepInfo{ID: id, Seq: e.seq, Body: rec.Body})
+	}
+	return out, nil
+}
+
+// Compact rewrites the log keeping only live records — every indexed
+// result and the latest journal record per sweep — and deletes the old
+// segments. Record sequence numbers are preserved, so compaction never
+// reorders history.
+func (s *Store) Compact() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.opts.ReadOnly {
+		return ErrReadOnly
+	}
+
+	// Gather live records (reads go through the old segments).
+	type liveRec struct {
+		rec Record
+		res *resultEntry
+		sw  *sweepEntry
+	}
+	live := make([]liveRec, 0, len(s.resultKeys)+len(s.sweepKeys))
+	for _, k := range s.resultKeys {
+		e := s.results[k]
+		rec, err := s.readLocked(e.loc)
+		if err != nil {
+			return err
+		}
+		live = append(live, liveRec{rec: rec, res: e})
+	}
+	for _, id := range s.sweepKeys {
+		e := s.sweeps[id]
+		rec, err := s.readLocked(e.loc)
+		if err != nil {
+			return err
+		}
+		live = append(live, liveRec{rec: rec, sw: e})
+	}
+	sort.SliceStable(live, func(i, j int) bool { return live[i].rec.Seq < live[j].rec.Seq })
+
+	old := s.segs
+	oldBytes := s.bytes
+	s.segs = nil
+	s.bytes = 0
+	if err := s.rollLocked(); err != nil {
+		s.segs, s.bytes = old, oldBytes
+		return err
+	}
+	for _, lr := range live {
+		rec := lr.rec
+		l, err := s.writeLocked(&rec)
+		if err != nil {
+			return err
+		}
+		if lr.res != nil {
+			lr.res.loc = l
+		} else {
+			lr.sw.loc = l
+		}
+	}
+	for _, seg := range old {
+		seg.f.Close()
+		os.Remove(seg.path)
+	}
+	return nil
+}
+
+// Stats returns a counter snapshot.
+func (s *Store) Stats() Stats {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return Stats{
+		Results:  len(s.results),
+		Sweeps:   len(s.sweeps),
+		Segments: len(s.segs),
+		Bytes:    s.bytes,
+		Hits:     s.hits,
+		Misses:   s.misses,
+		Appends:  s.appends,
+		Corrupt:  s.corrupt,
+		Evicted:  s.evicted,
+	}
+}
+
+// Dir returns the store directory.
+func (s *Store) Dir() string { return s.dir }
+
+// Close closes every segment file and releases the writer lock. The
+// store is unusable afterwards.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	err := s.closeSegmentsLocked()
+	s.releaseLock()
+	return err
+}
+
+func (s *Store) closeSegmentsLocked() error {
+	var first error
+	for _, seg := range s.segs {
+		if err := seg.f.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	s.segs = nil
+	return first
+}

@@ -1,0 +1,420 @@
+package store
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+)
+
+func mustOpen(t *testing.T, dir string, opts Options) *Store {
+	t.Helper()
+	s, err := Open(dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
+func specJSON(i int) []byte { return []byte(fmt.Sprintf(`{"graph":{"family":"cycle","n":%d}}`, 100+i)) }
+func bodyJSON(i int) []byte { return []byte(fmt.Sprintf(`{"trials":%d,"red_wins":%d}`, i+1, i)) }
+func key(i int) string      { return fmt.Sprintf("key-%04d", i) }
+func putN(t *testing.T, s *Store, n int) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		if ok, err := s.PutResult(key(i), specJSON(i), bodyJSON(i)); err != nil || !ok {
+			t.Fatalf("put %d: ok=%v err=%v", i, ok, err)
+		}
+	}
+}
+
+func TestPutGetRoundTripAndReopen(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, Options{})
+	putN(t, s, 5)
+	if err := s.PutSweep("sweep-000000", []byte(`{"state":"running"}`)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.PutSweep("sweep-000000", []byte(`{"state":"done"}`)); err != nil {
+		t.Fatal(err)
+	}
+
+	check := func(s *Store, phase string) {
+		t.Helper()
+		for i := 0; i < 5; i++ {
+			rec, ok, err := s.GetResult(key(i))
+			if err != nil || !ok {
+				t.Fatalf("%s: get %d: ok=%v err=%v", phase, i, ok, err)
+			}
+			if string(rec.Body) != string(bodyJSON(i)) || string(rec.Spec) != string(specJSON(i)) {
+				t.Fatalf("%s: record %d = %+v", phase, i, rec)
+			}
+		}
+		if _, ok, _ := s.GetResult("absent"); ok {
+			t.Fatalf("%s: found a record that was never stored", phase)
+		}
+		sweeps, err := s.Sweeps()
+		if err != nil || len(sweeps) != 1 {
+			t.Fatalf("%s: sweeps = %v, err %v", phase, sweeps, err)
+		}
+		var body struct{ State string }
+		if json.Unmarshal(sweeps[0].Body, &body); body.State != "done" {
+			t.Errorf("%s: latest journal record = %s, want done", phase, sweeps[0].Body)
+		}
+		infos := s.Results()
+		if len(infos) != 5 || infos[0].Key != key(0) || infos[4].Key != key(4) {
+			t.Errorf("%s: listing = %v", phase, infos)
+		}
+	}
+	check(s, "fresh")
+	st := s.Stats()
+	if st.Results != 5 || st.Sweeps != 1 || st.Appends != 7 || st.Corrupt != 0 {
+		t.Errorf("stats = %+v", st)
+	}
+	s.Close()
+
+	r := mustOpen(t, dir, Options{})
+	check(r, "reopened")
+	if st := r.Stats(); st.Results != 5 || st.Sweeps != 1 || st.Corrupt != 0 {
+		t.Errorf("reopened stats = %+v", st)
+	}
+}
+
+func TestDuplicatePutIsNoOp(t *testing.T) {
+	s := mustOpen(t, t.TempDir(), Options{})
+	putN(t, s, 1)
+	before := s.Stats().Bytes
+	ok, err := s.PutResult(key(0), specJSON(0), bodyJSON(0))
+	if err != nil || ok {
+		t.Fatalf("duplicate put: ok=%v err=%v", ok, err)
+	}
+	if s.Stats().Bytes != before {
+		t.Error("duplicate put grew the log")
+	}
+}
+
+// TestRecoverTruncatedTail kills the store mid-append: the active segment
+// ends in a partial record. Reopen must recover every complete record,
+// truncate the torn tail, and keep serving appends.
+func TestRecoverTruncatedTail(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, Options{})
+	putN(t, s, 8)
+	s.Close()
+
+	seg := filepath.Join(dir, "seg-000001.jsonl")
+	raw, err := os.ReadFile(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cut into the middle of the last record.
+	if err := os.WriteFile(seg, raw[:len(raw)-17], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	r := mustOpen(t, dir, Options{})
+	st := r.Stats()
+	if st.Results != 7 || st.Corrupt != 1 {
+		t.Fatalf("recovered stats = %+v, want 7 results, 1 corrupt", st)
+	}
+	for i := 0; i < 7; i++ {
+		if _, ok, err := r.GetResult(key(i)); !ok || err != nil {
+			t.Fatalf("record %d lost in recovery: ok=%v err=%v", i, ok, err)
+		}
+	}
+	// The truncated record is simply a miss; re-recording it works.
+	if ok, err := r.PutResult(key(7), specJSON(7), bodyJSON(7)); err != nil || !ok {
+		t.Fatalf("re-put after recovery: ok=%v err=%v", ok, err)
+	}
+	r.Close()
+
+	// A third generation sees a clean log: 8 records, no corruption.
+	g3 := mustOpen(t, dir, Options{})
+	if st := g3.Stats(); st.Results != 8 || st.Corrupt != 0 {
+		t.Fatalf("third-generation stats = %+v, want 8 clean results", st)
+	}
+}
+
+// TestRecoverTornMiddleRecord corrupts a record in the middle of a
+// segment (a torn page, not a truncated tail): every other record must
+// survive, including those after the damage.
+func TestRecoverTornMiddleRecord(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, Options{})
+	putN(t, s, 6)
+	s.Close()
+
+	seg := filepath.Join(dir, "seg-000001.jsonl")
+	raw, err := os.ReadFile(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := 0
+	for i, b := range raw {
+		if b != '\n' {
+			continue
+		}
+		lines++
+		if lines == 3 { // zero out the heart of record 2, keeping line structure
+			for j := i - 40; j < i-10; j++ {
+				raw[j] = 'x'
+			}
+			break
+		}
+	}
+	if err := os.WriteFile(seg, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	r := mustOpen(t, dir, Options{})
+	st := r.Stats()
+	if st.Results != 5 || st.Corrupt != 1 {
+		t.Fatalf("recovered stats = %+v, want 5 results, 1 corrupt", st)
+	}
+	for _, i := range []int{0, 1, 3, 4, 5} {
+		if _, ok, err := r.GetResult(key(i)); !ok || err != nil {
+			t.Fatalf("record %d lost: ok=%v err=%v", i, ok, err)
+		}
+	}
+	if _, ok, _ := r.GetResult(key(2)); ok {
+		t.Error("corrupted record served as valid")
+	}
+}
+
+func TestSegmentRollAndMaxBytesPruning(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, Options{MaxSegmentBytes: 256, MaxBytes: 1024})
+	putN(t, s, 40)
+	st := s.Stats()
+	if st.Segments < 2 {
+		t.Fatalf("no segment roll at 256-byte segments: %+v", st)
+	}
+	if st.Bytes > 1024+256 { // one in-flight segment of slack at most
+		t.Errorf("store exceeds max-bytes: %+v", st)
+	}
+	if st.Evicted == 0 || st.Results == 40 {
+		t.Errorf("pruning evicted nothing: %+v", st)
+	}
+	// Newest records survive; listing and index agree.
+	if _, ok, err := s.GetResult(key(39)); !ok || err != nil {
+		t.Fatalf("newest record pruned: ok=%v err=%v", ok, err)
+	}
+	if got := len(s.Results()); got != st.Results {
+		t.Errorf("listing has %d entries, index says %d", got, st.Results)
+	}
+	s.Close()
+	r := mustOpen(t, dir, Options{MaxSegmentBytes: 256, MaxBytes: 1024})
+	if got := r.Stats().Results; got != st.Results {
+		t.Errorf("reopen after pruning: %d results, want %d", got, st.Results)
+	}
+}
+
+func TestCompactDropsSupersededJournalRecords(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, Options{})
+	putN(t, s, 3)
+	for i := 0; i < 50; i++ {
+		if err := s.PutSweep("sweep-000000", []byte(fmt.Sprintf(`{"rev":%d}`, i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before := s.Stats().Bytes
+	if err := s.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	st := s.Stats()
+	if st.Bytes >= before {
+		t.Errorf("compact did not shrink the log: %d -> %d", before, st.Bytes)
+	}
+	if st.Results != 3 || st.Sweeps != 1 {
+		t.Errorf("compact lost records: %+v", st)
+	}
+	// Everything still readable, sequence order intact, and a reopen
+	// replays the compacted log identically.
+	for i := 0; i < 3; i++ {
+		rec, ok, err := s.GetResult(key(i))
+		if !ok || err != nil || string(rec.Body) != string(bodyJSON(i)) {
+			t.Fatalf("post-compact get %d: ok=%v err=%v rec=%+v", i, ok, err, rec)
+		}
+	}
+	sweeps, err := s.Sweeps()
+	if err != nil || len(sweeps) != 1 || string(sweeps[0].Body) != `{"rev":49}` {
+		t.Fatalf("post-compact sweeps = %v, err %v", sweeps, err)
+	}
+	s.Close()
+	r := mustOpen(t, dir, Options{})
+	if st := r.Stats(); st.Results != 3 || st.Sweeps != 1 || st.Corrupt != 0 {
+		t.Errorf("reopen after compact: %+v", st)
+	}
+	if _, ok, err := r.GetResult(key(1)); !ok || err != nil {
+		t.Errorf("record lost across compact+reopen: ok=%v err=%v", ok, err)
+	}
+}
+
+// TestPruningRescuesSweepJournal: MaxBytes pruning may drop results (a
+// future cache miss) but never a live sweep-journal record — it is the
+// crash-resume state and must outlive any amount of result churn.
+func TestPruningRescuesSweepJournal(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, Options{MaxSegmentBytes: 256, MaxBytes: 1024})
+	// The journal record lands in the very first segment...
+	if err := s.PutSweep("sweep-000007", []byte(`{"state":"running"}`)); err != nil {
+		t.Fatal(err)
+	}
+	// ...then result traffic rolls and prunes far past it.
+	putN(t, s, 60)
+	st := s.Stats()
+	if st.Evicted == 0 {
+		t.Fatalf("no pruning happened: %+v", st)
+	}
+	checkJournal := func(s *Store, phase string) {
+		t.Helper()
+		sweeps, err := s.Sweeps()
+		if err != nil || len(sweeps) != 1 || sweeps[0].ID != "sweep-000007" {
+			t.Fatalf("%s: journal record lost to pruning: %v, err %v", phase, sweeps, err)
+		}
+		if string(sweeps[0].Body) != `{"state":"running"}` {
+			t.Fatalf("%s: journal body = %s", phase, sweeps[0].Body)
+		}
+	}
+	checkJournal(s, "pruned")
+	s.Close()
+	r := mustOpen(t, dir, Options{MaxSegmentBytes: 256, MaxBytes: 1024})
+	checkJournal(r, "reopened")
+}
+
+// TestReadOnlyOpen: inspection opens see every record, reject mutation,
+// and never repair a torn tail — a subsequent writer open still finds
+// and fixes it.
+func TestReadOnlyOpen(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, Options{})
+	putN(t, s, 4)
+	s.Close()
+
+	// Tear the tail, as a crash (or a concurrent writer mid-append) would.
+	seg := filepath.Join(dir, "seg-000001.jsonl")
+	raw, err := os.ReadFile(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(seg, raw[:len(raw)-9], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	ro := mustOpen(t, dir, Options{ReadOnly: true})
+	if st := ro.Stats(); st.Results != 3 || st.Corrupt != 1 {
+		t.Fatalf("read-only stats = %+v, want 3 results", st)
+	}
+	if _, ok, err := ro.GetResult(key(1)); !ok || err != nil {
+		t.Fatalf("read-only get: ok=%v err=%v", ok, err)
+	}
+	if _, err := ro.PutResult("x", specJSON(0), bodyJSON(0)); err != ErrReadOnly {
+		t.Errorf("PutResult on read-only store: %v, want ErrReadOnly", err)
+	}
+	if err := ro.PutSweep("sweep-000000", []byte(`{}`)); err != ErrReadOnly {
+		t.Errorf("PutSweep on read-only store: %v, want ErrReadOnly", err)
+	}
+	if err := ro.Compact(); err != ErrReadOnly {
+		t.Errorf("Compact on read-only store: %v, want ErrReadOnly", err)
+	}
+	// The torn tail was left on disk: the file is untouched.
+	if now, _ := os.ReadFile(seg); len(now) != len(raw)-9 {
+		t.Error("read-only open mutated the segment file")
+	}
+	ro.Close()
+
+	// A writer open still performs the recovery truncation.
+	w := mustOpen(t, dir, Options{})
+	if now, _ := os.ReadFile(seg); len(now) >= len(raw)-9 {
+		t.Error("writer open did not truncate the torn tail")
+	}
+	if st := w.Stats(); st.Results != 3 {
+		t.Errorf("writer stats after recovery = %+v", st)
+	}
+
+	// Read-only coexists with a live writer: no lock conflict, and a
+	// record appended by the writer is visible to a *fresh* read-only
+	// open (the index is built at open time).
+	if ok, err := w.PutResult(key(9), specJSON(9), bodyJSON(9)); err != nil || !ok {
+		t.Fatalf("put alongside reader: ok=%v err=%v", ok, err)
+	}
+	ro2 := mustOpen(t, dir, Options{ReadOnly: true})
+	if _, ok, err := ro2.GetResult(key(9)); !ok || err != nil {
+		t.Errorf("fresh read-only open misses the writer's record: ok=%v err=%v", ok, err)
+	}
+}
+
+// TestWriterLockExcludesSecondWriter: two writers on one directory would
+// corrupt each other; the second open must fail while the first is live
+// and succeed after it closes.
+func TestWriterLockExcludesSecondWriter(t *testing.T) {
+	dir := t.TempDir()
+	a, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir, Options{}); err == nil {
+		t.Fatal("second writer opened a locked store")
+	}
+	a.Close()
+	b, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatalf("open after close: %v", err)
+	}
+	b.Close()
+}
+
+// TestConcurrentReadWrite exercises the store under the race detector:
+// writers, readers, listers, and a compactor all interleaving.
+func TestConcurrentReadWrite(t *testing.T) {
+	s := mustOpen(t, t.TempDir(), Options{MaxSegmentBytes: 4096})
+	var wg sync.WaitGroup
+	const writers, records = 4, 25
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < records; i++ {
+				k := fmt.Sprintf("w%d-%d", w, i)
+				if _, err := s.PutResult(k, specJSON(i), bodyJSON(i)); err != nil {
+					t.Error(err)
+					return
+				}
+				if _, _, err := s.GetResult(k); err != nil {
+					t.Error(err)
+					return
+				}
+				if err := s.PutSweep(fmt.Sprintf("sweep-%06d", w), bodyJSON(i)); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 20; i++ {
+			s.Results()
+			s.Stats()
+			if _, err := s.Sweeps(); err != nil {
+				t.Error(err)
+				return
+			}
+			if i%10 == 9 {
+				if err := s.Compact(); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}
+	}()
+	wg.Wait()
+	if st := s.Stats(); st.Results != writers*records || st.Sweeps != writers {
+		t.Errorf("final stats = %+v, want %d results, %d sweeps", st, writers*records, writers)
+	}
+}

@@ -26,6 +26,11 @@ type Grid struct {
 	Ks []int `json:"ks,omitempty"`
 	// Ties is the tie-rule axis, "keep" or "random" (default ["keep"]).
 	Ties []string `json:"ties,omitempty"`
+	// Noises is the per-sample misreporting-probability axis, each in
+	// [0, 0.5]. Empty keeps the noiseless protocol (like NS, the default
+	// lives in expansion, not Normalize, so wire echoes of noiseless
+	// grids are unchanged).
+	Noises []float64 `json:"noises,omitempty"`
 	// Trials is the trials-per-cell axis (default [1]).
 	Trials []int `json:"trials,omitempty"`
 }
@@ -71,7 +76,7 @@ func (g Grid) Validate() error {
 // grid reports "too many cells" instead of wrapping into a small positive
 // count that slips past a cap.
 func (g Grid) CellCount() (int, error) {
-	return safeProduct(len(g.Graphs), max(len(g.NS), 1), len(g.Deltas), len(g.Ks), len(g.Ties), len(g.Trials))
+	return safeProduct(len(g.Graphs), max(len(g.NS), 1), len(g.Deltas), len(g.Ks), len(g.Ties), max(len(g.Noises), 1), len(g.Trials))
 }
 
 // safeProduct multiplies axis lengths, treating empty axes as single-value
@@ -99,6 +104,10 @@ func (g Grid) Expand(sweepSeed uint64, maxRounds int) []RunSpec {
 	if len(ns) == 0 {
 		ns = []int{0} // keep each template's own N
 	}
+	noises := g.Noises
+	if len(noises) == 0 {
+		noises = []float64{0} // noiseless protocol
+	}
 	cells := make([]RunSpec, 0)
 	for _, tmpl := range g.Graphs {
 		for _, n := range ns {
@@ -109,15 +118,17 @@ func (g Grid) Expand(sweepSeed uint64, maxRounds int) []RunSpec {
 			for _, delta := range g.Deltas {
 				for _, k := range g.Ks {
 					for _, tie := range g.Ties {
-						for _, trials := range g.Trials {
-							cells = append(cells, RunSpec{
-								Graph:     gs,
-								Delta:     delta,
-								Trials:    trials,
-								MaxRounds: maxRounds,
-								Seed:      rng.ChildSeed(sweepSeed, uint64(len(cells))),
-								Rule:      &RuleSpec{K: k, Tie: tie},
-							})
+						for _, noise := range noises {
+							for _, trials := range g.Trials {
+								cells = append(cells, RunSpec{
+									Graph:     gs,
+									Delta:     delta,
+									Trials:    trials,
+									MaxRounds: maxRounds,
+									Seed:      rng.ChildSeed(sweepSeed, uint64(len(cells))),
+									Rule:      &RuleSpec{K: k, Tie: tie, Noise: noise},
+								})
+							}
 						}
 					}
 				}

@@ -1,6 +1,8 @@
 package spec
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
 	"fmt"
 	"strings"
 
@@ -121,7 +123,7 @@ func (s RunSpec) Key() string {
 	if engine == "" {
 		engine = "auto"
 	}
-	return strings.Join([]string{
+	parts := []string{
 		s.Graph.Key(),
 		kv("delta", s.Delta),
 		kv("trials", trials),
@@ -129,5 +131,23 @@ func (s RunSpec) Key() string {
 		kv("seed", s.Seed),
 		kv("rule", s.Rule.Name()),
 		kv("engine", engine),
-	}, "|")
+	}
+	if s.Rule != nil && s.Rule.Noise > 0 {
+		// The rule name renders noise at %.3g precision, which would fold
+		// distinct noise levels into one key; append the full-precision
+		// value (conditionally, so pre-existing keys are unchanged).
+		parts = append(parts, kv("noise", s.Rule.Noise))
+	}
+	return strings.Join(parts, "|")
+}
+
+// ContentKey returns the content address of the run: the hex SHA-256 of
+// the canonical Key. Because trial outcomes are a pure function of the
+// canonical spec (seed, trials, engine, and round cap included), two runs
+// with equal content keys execute identical trials — which is what lets
+// bo3serve's result store replay a recorded result instead of recomputing
+// it, and lets bo3store verify audit any record offline.
+func (s RunSpec) ContentKey() string {
+	sum := sha256.Sum256([]byte(s.Key()))
+	return hex.EncodeToString(sum[:])
 }

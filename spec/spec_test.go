@@ -232,6 +232,42 @@ func TestTrialSeedTree(t *testing.T) {
 	}
 }
 
+// TestContentKey pins the content address: a stable function of the
+// canonical key, sensitive to every execution-relevant field and
+// insensitive to spelling differences the canonical key already folds.
+func TestContentKey(t *testing.T) {
+	base := RunSpec{Graph: GraphSpec{Family: "complete-virtual", N: 100}, Delta: 0.1, Trials: 4, Seed: 9}
+	if len(base.ContentKey()) != 64 {
+		t.Fatalf("content key %q is not a hex sha256", base.ContentKey())
+	}
+	if base.ContentKey() != base.ContentKey() {
+		t.Error("content key not deterministic")
+	}
+	// Canonical-key equivalences: defaults spelled out or omitted.
+	spelled := base
+	spelled.Engine = "auto"
+	spelled.Rule = &RuleSpec{} // nil rule = Best-of-Three = zero RuleSpec
+	if spelled.ContentKey() != base.ContentKey() {
+		t.Error("spelled-out defaults change the content key")
+	}
+	// Every execution-relevant field splits the key.
+	for name, mutate := range map[string]func(*RunSpec){
+		"seed":       func(s *RunSpec) { s.Seed = 10 },
+		"trials":     func(s *RunSpec) { s.Trials = 5 },
+		"delta":      func(s *RunSpec) { s.Delta = 0.2 },
+		"max_rounds": func(s *RunSpec) { s.MaxRounds = 7 },
+		"engine":     func(s *RunSpec) { s.Engine = "general" },
+		"n":          func(s *RunSpec) { s.Graph.N = 101 },
+		"rule":       func(s *RunSpec) { s.Rule = &RuleSpec{K: 5} },
+	} {
+		mutated := base
+		mutate(&mutated)
+		if mutated.ContentKey() == base.ContentKey() {
+			t.Errorf("changing %s kept the content key", name)
+		}
+	}
+}
+
 // TestGridCellCountOverflow pins the overflow-safe cell counting: axis
 // sizes whose product wraps int must be reported as an error, never as a
 // small count.
@@ -284,6 +320,40 @@ func TestGridExpandDeterministic(t *testing.T) {
 		if err := cell.Validate(); err != nil {
 			t.Errorf("cell %d invalid: %v", i, err)
 		}
+	}
+	// The noises axis multiplies the cell count and lands on the rule.
+	ng := Grid{
+		Graphs: []GraphSpec{{Family: "complete-virtual"}},
+		NS:     []int{16},
+		Deltas: []float64{0.1},
+		Noises: []float64{0, 0.05, 0.2},
+	}
+	ng.Normalize()
+	if err := ng.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if n, err := ng.CellCount(); err != nil || n != 3 {
+		t.Fatalf("noise grid cell count = %d, %v; want 3", n, err)
+	}
+	ncells := ng.Expand(7, 0)
+	for i, want := range []float64{0, 0.05, 0.2} {
+		if ncells[i].Rule == nil || ncells[i].Rule.Noise != want {
+			t.Errorf("noise cell %d rule = %+v, want noise %v", i, ncells[i].Rule, want)
+		}
+		if err := ncells[i].Validate(); err != nil {
+			t.Errorf("noise cell %d invalid: %v", i, err)
+		}
+	}
+	// Distinct noise levels give distinct content keys even where the
+	// %.3g-rendered rule name collides.
+	x, y := ncells[1], ncells[2]
+	y.Seed = x.Seed
+	if x.ContentKey() == y.ContentKey() {
+		t.Error("different noise levels share a content key")
+	}
+	y.Rule.Noise = 0.0500000001 // folds to "0.05" under %.3g
+	if x.ContentKey() == y.ContentKey() {
+		t.Error("near-equal noise levels fold into one content key")
 	}
 	// NS over a fixed-size family is rejected.
 	bad := Grid{Graphs: []GraphSpec{{Family: "sbm", A: 8, B: 8, PIn: 0.5}}, NS: []int{16}, Deltas: []float64{0.1}}
