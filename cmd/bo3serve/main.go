@@ -23,6 +23,16 @@
 // unfinished cells. The recorded history is queryable over GET
 // /v1/results and auditable offline with cmd/bo3store. -store-max-bytes
 // caps the directory's size (oldest records dropped first).
+//
+// With -worker-id set (which requires -store-dir), the store is opened in
+// shared mode and the server joins a fleet: any number of bo3serve
+// processes with distinct worker IDs may point at the same directory.
+// Sweep cells are partitioned through the store's claim/lease protocol —
+// no two workers execute the same cell, results are first-write-wins, and
+// a worker that dies mid-cell blocks that cell for at most -lease-ttl
+// before a peer takes its lease over. Sweep IDs are namespaced per worker
+// so fleets never collide in the shared journal. Shared mode is
+// incompatible with -store-max-bytes (pruning needs exclusive ownership).
 package main
 
 import (
@@ -59,8 +69,13 @@ func main() {
 		drain     = flag.Duration("drain", 30*time.Second, "graceful-shutdown budget before jobs are cancelled")
 		storeDir  = flag.String("store-dir", "", "persistent result store directory (empty = no store)")
 		storeMax  = flag.Int64("store-max-bytes", 0, "result-store size cap in bytes; oldest records dropped first (0 = unbounded)")
+		workerID  = flag.String("worker-id", "", "fleet identity; opens -store-dir shared so several servers coordinate over it (empty = exclusive, single server)")
+		leaseTTL  = flag.Duration("lease-ttl", 0, "cell-claim lease duration in fleet mode (0 = 1m)")
 	)
 	flag.Parse()
+	if *workerID != "" && *storeDir == "" {
+		log.Fatal("-worker-id requires -store-dir: fleet coordination lives in the shared store")
+	}
 
 	limits := serve.DefaultLimits()
 	if *maxN > 0 {
@@ -75,12 +90,15 @@ func main() {
 	var resultStore *store.Store
 	if *storeDir != "" {
 		var err error
-		resultStore, err = store.Open(*storeDir, store.Options{MaxBytes: *storeMax})
+		resultStore, err = store.Open(*storeDir, store.Options{MaxBytes: *storeMax, Shared: *workerID != ""})
 		if err != nil {
 			log.Fatal(err)
 		}
 		st := resultStore.Stats()
 		log.Printf("result store %s: %d results, %d sweeps, %d bytes", *storeDir, st.Results, st.Sweeps, st.Bytes)
+		if *workerID != "" {
+			log.Printf("fleet mode: worker %q, shared store, lease TTL %v", *workerID, max(*leaseTTL, time.Minute))
+		}
 	}
 	mgr := serve.NewManager(serve.Config{
 		Workers:          *workers,
@@ -92,6 +110,8 @@ func main() {
 		SweepConcurrency: *sweepConc,
 		Limits:           limits,
 		Store:            resultStore,
+		WorkerID:         *workerID,
+		LeaseTTL:         *leaseTTL,
 	})
 	if resultStore != nil {
 		// Finish whatever a previous generation left mid-flight before

@@ -10,6 +10,7 @@
 //	bo3store -dir DIR ls [-family f] [-n n] [-limit k] [-json]
 //	bo3store -dir DIR get <key>
 //	bo3store -dir DIR verify [<key> ...]
+//	bo3store -dir DIR claims [-json]
 //	bo3store -dir DIR compact
 //	bo3store -list
 //
@@ -18,9 +19,12 @@
 // content key. `verify` is the audit: it re-executes each record's
 // canonical spec through the shared library Runner — the exact code path
 // a bo3serve worker runs — and diffs the fresh result against the stored
-// body byte-for-byte, exiting non-zero on any mismatch. `compact`
-// rewrites the log keeping only live records. `-list` prints the
-// subcommand names (the CI docs check consumes it).
+// body byte-for-byte, exiting non-zero on any mismatch. `claims` lists
+// the live cell leases of a fleet of workers sharing the directory —
+// which worker holds which content key, under what fence, and whether
+// the lease has expired. `compact` rewrites the log keeping only live
+// records. `-list` prints the subcommand names (the CI docs check
+// consumes it).
 package main
 
 import (
@@ -43,6 +47,7 @@ var subcommands = []struct{ name, summary string }{
 	{"ls", "list recorded results, newest first, with family/n filters"},
 	{"get", "print one stored record by content key"},
 	{"verify", "re-execute records and diff against the stored bytes"},
+	{"claims", "list live fleet cell leases: key, worker, fence, deadline"},
 	{"compact", "rewrite the log keeping only live records"},
 }
 
@@ -91,6 +96,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return cmdGet(st, rest, stdout, stderr)
 	case "verify":
 		return cmdVerify(st, rest, stdout, stderr)
+	case "claims":
+		return cmdClaims(st, rest, stdout, stderr)
 	case "compact":
 		return cmdCompact(st, rest, stdout, stderr)
 	default:
@@ -256,6 +263,44 @@ func verifyOne(st *store.Store, r record) error {
 		return fmt.Errorf("re-executed result differs from the stored bytes:\nstored %s\nfresh  %s", rec.Body, fresh)
 	}
 	return nil
+}
+
+// cmdClaims lists the live cell leases — the fleet's in-flight work. A
+// claim names the content key one worker is executing; an expired claim
+// marks a worker that died mid-cell (a peer will take the lease over the
+// next time it schedules that cell).
+func cmdClaims(st *store.Store, args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("bo3store claims", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	asJSON := fs.Bool("json", false, "one JSON object per line instead of the table")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	claims := st.Claims()
+	if len(claims) == 0 {
+		fmt.Fprintln(stdout, "no live claims")
+		return 0
+	}
+	for i, c := range claims {
+		if *asJSON {
+			line, _ := json.Marshal(map[string]any{
+				"key": c.Key, "worker": c.Worker, "fence": c.Fence,
+				"deadline": c.Deadline, "expired": c.Expired,
+			})
+			fmt.Fprintln(stdout, string(line))
+			continue
+		}
+		if i == 0 {
+			fmt.Fprintf(stdout, "%-64s  %-12s %7s  %-29s %s\n", "KEY", "WORKER", "FENCE", "DEADLINE", "STATE")
+		}
+		state := "held"
+		if c.Expired {
+			state = "expired"
+		}
+		fmt.Fprintf(stdout, "%-64s  %-12s %7d  %-29s %s\n",
+			c.Key, c.Worker, c.Fence, c.Deadline.Format("2006-01-02T15:04:05.000Z07:00"), state)
+	}
+	return 0
 }
 
 func cmdCompact(st *store.Store, args []string, stdout, stderr io.Writer) int {

@@ -63,7 +63,7 @@ func TestListFlagPrintsSubcommands(t *testing.T) {
 	if code != 0 {
 		t.Fatalf("exit %d", code)
 	}
-	want := []string{"ls", "get", "verify", "compact"}
+	want := []string{"ls", "get", "verify", "claims", "compact"}
 	got := strings.Fields(out)
 	if len(got) != len(want) {
 		t.Fatalf("-list = %q, want %v", out, want)
@@ -123,6 +123,12 @@ func TestLsGetVerifyCompact(t *testing.T) {
 	// Single-key form.
 	if out, _, code = runCLI(t, "-dir", dir, "verify", meta.Key); code != 0 || !strings.Contains(out, "verified 1 records, 0 failed") {
 		t.Fatalf("verify <key>: exit %d\n%s", code, out)
+	}
+
+	// No fleet is running against this directory, so the lease table is
+	// empty — but the subcommand itself must work read-only.
+	if out, stderr, code = runCLI(t, "-dir", dir, "claims"); code != 0 || !strings.Contains(out, "no live claims") {
+		t.Fatalf("claims: exit %d, stderr %s\n%s", code, stderr, out)
 	}
 
 	if out, stderr, code = runCLI(t, "-dir", dir, "compact"); code != 0 {

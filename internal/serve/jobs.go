@@ -85,6 +85,22 @@ type Config struct {
 	// so ResumeSweeps can finish them after a crash. The manager does not
 	// own the store: the caller closes it after Close.
 	Store *store.Store
+	// WorkerID names this process in a fleet of servers sharing one store
+	// directory (store must be opened with store.Options.Shared). With an
+	// ID set, sweep cells are partitioned through the store's claim/lease
+	// protocol — no two workers execute the same cell concurrently — and
+	// sweep IDs are namespaced "sweep-<id>-NNNNNN" so fleets never collide
+	// in the shared journal. Empty disables claims (the single-process
+	// default).
+	WorkerID string
+	// LeaseTTL is how long a cell claim lives without renewal (0 = 1
+	// minute). A worker that dies mid-cell blocks that cell for at most
+	// one TTL before a peer takes the lease over.
+	LeaseTTL time.Duration
+	// LeasePoll is how often a scheduler blocked on another worker's
+	// lease re-checks for its result or expiry (0 = LeaseTTL/20, clamped
+	// to [5ms, 500ms]).
+	LeasePoll time.Duration
 }
 
 // Sentinel errors mapped to HTTP status codes by the handlers.
@@ -107,16 +123,21 @@ type job struct {
 	effSeed uint64
 	// key is the content address (spec.RunSpec.ContentKey of the request
 	// with effSeed applied); "" when the manager has no store.
-	key      string
-	sweep    string // owning sweep ID, "" for standalone runs
-	state    string
-	err      error
-	result   *RunResult
-	created  time.Time
-	started  time.Time
-	finished time.Time
-	cancel   context.CancelFunc // set while running
-	done     chan struct{}      // closed exactly once, at the terminal transition
+	key string
+	// claimed marks a sweep cell executing under a store lease; the
+	// worker renews the lease while running and releases it (fenced by
+	// claimFence) if execution fails without a result.
+	claimed    bool
+	claimFence uint64
+	sweep      string // owning sweep ID, "" for standalone runs
+	state      string
+	err        error
+	result     *RunResult
+	created    time.Time
+	started    time.Time
+	finished   time.Time
+	cancel     context.CancelFunc // set while running
+	done       chan struct{}      // closed exactly once, at the terminal transition
 }
 
 // Manager owns the job table, the bounded worker pool, and the graph pool.
@@ -141,6 +162,11 @@ type Manager struct {
 	sweeps     map[string]*sweep
 	sweepOrder []string
 	sweepSeq   uint64
+	// doneSweepKeys maps completed sweeps' grid content keys to their
+	// IDs — the dedupe memory behind repeated POST /v1/sweeps. Populated
+	// at each terminal transition and, across restarts, from the journal's
+	// high-water-mark record.
+	doneSweepKeys map[string]string
 
 	// Counters; guarded by mu.
 	completed, failed, cancelled, rejected           int64
@@ -150,6 +176,7 @@ type Manager struct {
 	queued, running                                  int
 	sweepsCompleted, sweepsCancelled, sweepsRejected int64
 	sweepCellsFinished                               int64
+	cellsCached, sweepsDeduped                       int64
 	startTime                                        time.Time
 }
 
@@ -179,16 +206,23 @@ func NewManager(cfg Config) *Manager {
 	if cfg.SweepConcurrency <= 0 {
 		cfg.SweepConcurrency = cfg.Workers
 	}
+	if cfg.LeaseTTL <= 0 {
+		cfg.LeaseTTL = time.Minute
+	}
+	if cfg.LeasePoll <= 0 {
+		cfg.LeasePoll = min(max(cfg.LeaseTTL/20, 5*time.Millisecond), 500*time.Millisecond)
+	}
 	ctx, cancel := context.WithCancel(context.Background())
 	m := &Manager{
-		cfg:        cfg,
-		cache:      NewGraphCache(cfg.CacheCapacity),
-		baseCtx:    ctx,
-		cancelBase: cancel,
-		queue:      make(chan *job, cfg.QueueDepth),
-		jobs:       make(map[string]*job),
-		sweeps:     make(map[string]*sweep),
-		startTime:  time.Now(),
+		cfg:           cfg,
+		cache:         NewGraphCache(cfg.CacheCapacity),
+		baseCtx:       ctx,
+		cancelBase:    cancel,
+		queue:         make(chan *job, cfg.QueueDepth),
+		jobs:          make(map[string]*job),
+		sweeps:        make(map[string]*sweep),
+		doneSweepKeys: make(map[string]string),
+		startTime:     time.Now(),
 	}
 	for i := 0; i < cfg.Workers; i++ {
 		m.wg.Add(1)
@@ -431,6 +465,9 @@ func (m *Manager) Stats() Stats {
 		SweepsRejected:     m.sweepsRejected,
 		SweepsActive:       active,
 		SweepCellsFinished: m.sweepCellsFinished,
+		CellsCached:        m.cellsCached,
+		SweepsDeduped:      m.sweepsDeduped,
+		WorkerID:           m.cfg.WorkerID,
 		Cache:              m.cache.Stats(),
 		UptimeSeconds:      time.Since(m.startTime).Seconds(),
 		Workers:            m.cfg.Workers,
@@ -513,13 +550,34 @@ func (m *Manager) worker() {
 		m.running++
 		m.mu.Unlock()
 
+		var stopRenew chan struct{}
+		if j.claimed {
+			stopRenew = make(chan struct{})
+			go m.renewLease(j, stopRenew)
+		}
 		result, err := m.run(ctx, j)
 		cancel()
-		if err == nil {
+		if stopRenew != nil {
+			close(stopRenew)
+		}
+		switch {
+		case err == nil:
 			// Record before the terminal transition: once a client can see
 			// the job done, its result is already replayable from the
 			// store (and a crash between the two recomputes, never loses).
+			// The result record also supersedes any claim on the key, so
+			// the completion path never writes a release.
 			m.persistResult(j, result)
+		case j.claimed && !errors.Is(err, context.Canceled):
+			// Failed execution under a lease: give the key up so a peer may
+			// retry. Cancellation deliberately does NOT release — shutdown
+			// is indistinguishable from a crash fleet-wide, and the expiry
+			// path covers both.
+			if rerr := m.cfg.Store.Release(j.key, m.cfg.WorkerID, j.claimFence); rerr != nil && !errors.Is(rerr, store.ErrLeaseLost) {
+				m.mu.Lock()
+				m.storeErrors++
+				m.mu.Unlock()
+			}
 		}
 
 		m.mu.Lock()
@@ -552,6 +610,33 @@ func (m *Manager) worker() {
 		close(j.done) // wakes the sweep watcher, if any
 		m.mu.Unlock()
 	}
+}
+
+// renewLease extends the job's cell lease every LeaseTTL/3 until stop
+// closes. A failed renewal means the lease expired under scheduling
+// pressure and a peer took it over: execution continues — the duplicated
+// work is wasted, not wrong, because results are first-write-wins — but
+// renewing stops.
+func (m *Manager) renewLease(j *job, stop <-chan struct{}) {
+	t := time.NewTicker(max(m.cfg.LeaseTTL/3, time.Millisecond))
+	defer t.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-t.C:
+			if err := m.cfg.Store.Renew(j.key, m.cfg.WorkerID, j.claimFence, m.cfg.LeaseTTL); err != nil {
+				return
+			}
+		}
+	}
+}
+
+// claimsEnabled reports whether sweep cells go through the store's
+// claim/lease protocol: a store is attached and this process has a fleet
+// identity.
+func (m *Manager) claimsEnabled() bool {
+	return m.cfg.Store != nil && m.cfg.WorkerID != ""
 }
 
 // run executes one job: fetch the graph from the pool and hand the spec

@@ -269,6 +269,28 @@ func TestSweepResumesAfterKill(t *testing.T) {
 	if n, err := m4.ResumeSweeps(); err != nil || n != 0 {
 		t.Errorf("third generation resumed %d sweeps (err %v), want 0", n, err)
 	}
+	// The done record has been collapsed into the high-water-mark record,
+	// so the journal scan stays O(active sweeps) across generations.
+	infos, err := st4.Sweeps()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(infos) != 1 || infos[0].ID != "hwm" {
+		ids := make([]string, len(infos))
+		for i, info := range infos {
+			ids[i] = info.ID
+		}
+		t.Errorf("journal after collapse holds %v, want only the hwm record", ids)
+	}
+	// The collapsed ID stays reserved through the high-water mark.
+	v, err := m4.SubmitSweep(sweepReqForResume())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.ID == id {
+		t.Errorf("new sweep reused collapsed ID %s", id)
+	}
+	waitSweepDone(t, m4, v.ID)
 }
 
 func waitSweepDone(t *testing.T, m *Manager, id string) SweepView {
@@ -354,8 +376,15 @@ func TestRefusedResumeIsTombstoned(t *testing.T) {
 	if n != 0 || err == nil {
 		t.Fatalf("resumed %d, err %v; want a refusal", n, err)
 	}
-	if _, ok := m2.GetSweep(view.ID); ok {
-		t.Error("refused sweep is registered anyway")
+	// The refusal stays queryable: a cancelled, cell-less sweep whose view
+	// pins the reason instead of a 404 that swallows recorded history.
+	refused, ok := m2.GetSweep(view.ID)
+	if !ok {
+		t.Fatal("refused sweep not registered")
+	}
+	if refused.State != StateCancelled || refused.ResumeRefused == "" || len(refused.Cells) != 0 {
+		t.Errorf("refused sweep view = state %s, resume_refused %q, %d cells; want cancelled with a reason and no cells",
+			refused.State, refused.ResumeRefused, len(refused.Cells))
 	}
 	m2.Close(context.Background())
 	st2.Close()
@@ -497,6 +526,25 @@ func TestResultsEndpoints(t *testing.T) {
 	}
 	if getJSON("/v1/results?n=64", &list); list.Total != 1 {
 		t.Errorf("n filter: total = %d, want 1", list.Total)
+	}
+
+	// Pagination edges: an offset past the end still reports the full
+	// total with an empty window; limit=0 means "default", not "nothing";
+	// offsets count matches, not records, when a filter is active.
+	if getJSON("/v1/results?offset=10", &list); list.Total != 4 || list.Count != 0 || len(list.Results) != 0 {
+		t.Errorf("offset past end: %+v, want total 4, count 0", list)
+	}
+	if getJSON("/v1/results?limit=0", &list); list.Total != 4 || list.Count != 4 {
+		t.Errorf("limit=0: %+v, want the default window (all 4)", list)
+	}
+	if getJSON("/v1/results?family=complete-virtual&offset=3", &list); list.Total != 3 || list.Count != 0 {
+		t.Errorf("filter+offset past end: %+v, want total 3, count 0", list)
+	}
+	if getJSON("/v1/results?family=complete-virtual&offset=2&limit=0", &list); list.Total != 3 || list.Count != 1 {
+		t.Errorf("filter+offset+default limit: %+v, want total 3, count 1", list)
+	}
+	if getJSON("/v1/results?offset=3&limit=5", &list); list.Total != 4 || list.Count != 1 {
+		t.Errorf("window over the tail: %+v, want total 4, count 1", list)
 	}
 
 	// Point lookup round-trips the stored spec and result; posting the

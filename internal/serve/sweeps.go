@@ -5,12 +5,14 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"strings"
 	"sync"
 	"time"
 
 	"repro/internal/rng"
 	"repro/internal/sim"
 	"repro/internal/stats"
+	"repro/internal/store"
 )
 
 // SweepRequest is the body of POST /v1/sweeps: expand Grid (a spec.Grid;
@@ -97,8 +99,28 @@ type SweepView struct {
 	Request   SweepRequest    `json:"request"`
 	Aggregate SweepAggregate  `json:"aggregate"`
 	Cells     []SweepCellView `json:"cells,omitempty"`
-	Created   time.Time       `json:"created"`
-	Finished  *time.Time      `json:"finished,omitempty"`
+	// CellsCached counts cells answered from the persistent result store
+	// without executing — a resumed sweep's pre-crash cells, a repeated
+	// grid's entire expansion, or cells a fleet peer computed first. It
+	// lives outside Aggregate deliberately: the aggregate is a
+	// deterministic function of the cell outcomes, identical however the
+	// cells were obtained, while CellsCached describes scheduling.
+	CellsCached int `json:"cells_cached"`
+	// ContentKey is the sweep-level content address (the grid's canonical
+	// key hashed with the effective seed and round cap); two sweeps with
+	// equal keys compute identical aggregates. Present once the sweep has
+	// an effective seed, i.e. always on responses.
+	ContentKey string `json:"content_key,omitempty"`
+	// Deduped marks a submission whose content key was already completed
+	// by this server (or, fleet-wide, recorded in the shared journal):
+	// the sweep ran entirely from the result store.
+	Deduped bool `json:"deduped,omitempty"`
+	// ResumeRefused records why a journaled sweep could not be resumed
+	// after a restart (a server restarted with tighter limits, say); such
+	// sweeps surface as cancelled with zero cells.
+	ResumeRefused string     `json:"resume_refused,omitempty"`
+	Created       time.Time  `json:"created"`
+	Finished      *time.Time `json:"finished,omitempty"`
 }
 
 // SweepEvent is one NDJSON line of GET /v1/sweeps/{id}/results: cell
@@ -137,6 +159,15 @@ type sweep struct {
 	created     time.Time
 	finished    time.Time
 	concurrency int
+
+	// cellsCached counts cells answered from the result store; contentKey
+	// is the sweep-level content address; deduped marks a submission whose
+	// key was already completed; resumeRefused records why a journaled
+	// sweep could not be re-registered (see SweepView).
+	cellsCached   int
+	contentKey    string
+	deduped       bool
+	resumeRefused string
 
 	ctx       context.Context
 	cancel    context.CancelFunc
@@ -183,9 +214,15 @@ func (m *Manager) submitSweep(req SweepRequest) (SweepView, error) {
 			reqs[i].Seed = rng.ChildSeed(req.Seed, uint64(i))
 		}
 	}
-	id := fmt.Sprintf("sweep-%06d", m.sweepSeq)
-	m.sweepSeq++
+	id := m.mintSweepIDLocked()
 	s := m.registerSweepLocked(id, req, reqs)
+	if _, done := m.doneSweepKeys[s.contentKey]; done {
+		// The grid (with this seed and round cap) already completed:
+		// every cell is in the result store, so the sweep runs entirely
+		// from the journal — no claims, no queue, cells_cached == cells.
+		s.deduped = true
+		m.sweepsDeduped++
+	}
 	entry := m.journalEntryLocked(s)
 	view := m.sweepViewLocked(s, true)
 	m.mu.Unlock()
@@ -241,6 +278,7 @@ func (m *Manager) registerSweepLocked(id string, req SweepRequest, reqs []RunReq
 		state:       StateRunning,
 		created:     time.Now(),
 		concurrency: req.Concurrency,
+		contentKey:  req.Grid.ContentKey(req.Seed, req.MaxRounds),
 		ctx:         ctx,
 		cancel:      cancel,
 		changed:     make(chan struct{}),
@@ -272,9 +310,26 @@ type sweepJournal struct {
 	ID      string       `json:"id"`
 	State   string       `json:"state"`
 	Request SweepRequest `json:"request"`
+	// ContentKey is the sweep-level content address; terminal "done"
+	// records feed it into the dedupe memory (doneSweepKeys) before the
+	// journal collapse forgets the record itself.
+	ContentKey string `json:"content_key,omitempty"`
 	// Error records why a resume was refused, on the tombstone record a
 	// refusal leaves behind.
 	Error string `json:"error,omitempty"`
+}
+
+// mintSweepIDLocked returns the next sweep ID and advances the sequence;
+// callers hold m.mu. With a fleet identity configured the ID carries the
+// worker's namespace, so N workers minting against one shared journal
+// never collide.
+func (m *Manager) mintSweepIDLocked() string {
+	id := fmt.Sprintf("sweep-%06d", m.sweepSeq)
+	if m.cfg.WorkerID != "" {
+		id = fmt.Sprintf("sweep-%s-%06d", m.cfg.WorkerID, m.sweepSeq)
+	}
+	m.sweepSeq++
+	return id
 }
 
 // journalEntryLocked marshals the sweep's current lifecycle record;
@@ -285,7 +340,7 @@ func (m *Manager) journalEntryLocked(s *sweep) []byte {
 	if m.cfg.Store == nil {
 		return nil
 	}
-	body, err := json.Marshal(sweepJournal{ID: s.id, State: s.state, Request: s.req})
+	body, err := json.Marshal(sweepJournal{ID: s.id, State: s.state, Request: s.req, ContentKey: s.contentKey})
 	if err != nil {
 		m.storeErrors++
 		return nil
@@ -307,6 +362,30 @@ func (m *Manager) writeJournal(id string, body []byte) {
 	}
 }
 
+// sweepHWM is the journal's high-water-mark record: the collapsed residue
+// of every terminal sweep record this worker has retired. NextSeq keeps
+// new sweep IDs collision-free with forgotten history; DoneKeys carries
+// the completed grids' content keys (the dedupe memory) across restarts.
+// The record lives under the worker-namespaced key "hwm" / "hwm-<id>",
+// one per fleet member.
+type sweepHWM struct {
+	NextSeq  uint64            `json:"next_seq"`
+	DoneKeys map[string]string `json:"done_keys,omitempty"` // grid content key -> sweep ID
+}
+
+// hwmCap bounds the dedupe memory persisted in the high-water-mark
+// record; beyond it, arbitrary oldest entries are forgotten (a forgotten
+// key just re-runs as an all-cached sweep — cells_cached == cells).
+const hwmCap = 1024
+
+// hwmKey is this worker's high-water-mark record ID.
+func (m *Manager) hwmKey() string {
+	if m.cfg.WorkerID != "" {
+		return "hwm-" + m.cfg.WorkerID
+	}
+	return "hwm"
+}
+
 // ResumeSweeps replays the store's sweep journal: every sweep whose
 // latest record is still "running" — submitted before a crash or an
 // unclean shutdown and never finalised — is re-registered under its
@@ -314,10 +393,15 @@ func (m *Manager) writeJournal(id string, body []byte) {
 // the crash are answered from the store without executing, so a resumed
 // sweep runs only the missing cells and converges to the same
 // byte-identical aggregate as an uninterrupted run with that seed and
-// grid. Terminal journal records only advance the ID sequence, keeping
-// new sweep IDs collision-free across restarts. Call once, after
-// NewManager and before serving traffic; returns how many sweeps were
-// resumed.
+// grid. Terminal journal records are collapsed into the high-water-mark
+// record — their ID advances the sequence and their content key joins
+// the dedupe memory, then the record itself is tombstoned — so restart
+// scans stay O(active sweeps), not O(sweeps ever run). A record that
+// refuses to resume (a server restarted with tighter limits, say) is
+// registered as a cancelled sweep whose view carries the reason in
+// resume_refused, and tombstoned in the journal so the failure does not
+// replay on every start. Call once, after NewManager and before serving
+// traffic; returns how many sweeps were resumed.
 func (m *Manager) ResumeSweeps() (int, error) {
 	if m.cfg.Store == nil {
 		return 0, nil
@@ -328,31 +412,129 @@ func (m *Manager) ResumeSweeps() (int, error) {
 	}
 	resumed := 0
 	var errs []error
+	var collapse []string // terminal records to fold into the high-water mark
 	for _, info := range infos {
-		m.reserveSweepID(info.ID)
+		if strings.HasPrefix(info.ID, "hwm") {
+			// Merge every fleet member's dedupe memory; only our own
+			// record advances our sequence.
+			m.loadHWM(info.Body, info.ID == m.hwmKey())
+			continue
+		}
+		owned := m.reserveSweepID(info.ID)
 		var entry sweepJournal
 		if err := json.Unmarshal(info.Body, &entry); err != nil {
 			errs = append(errs, fmt.Errorf("sweep %s: corrupt journal record: %w", info.ID, err))
-			m.tombstoneSweep(info.ID, SweepRequest{}, err)
+			collapse = append(collapse, info.ID)
 			continue
 		}
 		if entry.State != StateRunning {
+			if entry.State == StateDone && entry.ContentKey != "" {
+				m.mu.Lock()
+				m.doneSweepKeys[entry.ContentKey] = info.ID
+				m.mu.Unlock()
+			}
+			if owned {
+				collapse = append(collapse, info.ID)
+			}
 			continue
 		}
 		if err := m.resumeSweep(info.ID, entry.Request); err != nil {
 			errs = append(errs, fmt.Errorf("sweep %s: %w", info.ID, err))
 			// A refusal is terminal: without a tombstone, every future
 			// restart would re-expand and re-fail the same record
-			// forever (a server restarted with tighter limits, say).
-			// Shutdown and double-resume are transient, not refusals.
+			// forever. Shutdown and double-resume are transient, not
+			// refusals. The refused sweep stays queryable in memory as
+			// cancelled, with the reason on the wire.
 			if !errors.Is(err, ErrClosed) && !errors.Is(err, errSweepRegistered) {
+				m.registerRefusedSweep(info.ID, entry.Request, err)
 				m.tombstoneSweep(info.ID, entry.Request, err)
 			}
 			continue
 		}
 		resumed++
 	}
+	// The high-water mark hits disk before the terminal records are
+	// deleted: a crash between the two leaves both, and the next restart
+	// re-collapses idempotently.
+	m.writeHWM()
+	for _, id := range collapse {
+		if err := m.cfg.Store.DeleteSweep(id); err != nil {
+			m.mu.Lock()
+			m.storeErrors++
+			m.mu.Unlock()
+		}
+	}
 	return resumed, errors.Join(errs...)
+}
+
+// loadHWM merges one high-water-mark record into the manager; seq
+// reports whether the record is this worker's own (only then does
+// NextSeq advance the sequence).
+func (m *Manager) loadHWM(body json.RawMessage, seq bool) {
+	var hwm sweepHWM
+	if json.Unmarshal(body, &hwm) != nil {
+		m.mu.Lock()
+		m.storeErrors++
+		m.mu.Unlock()
+		return
+	}
+	m.mu.Lock()
+	if seq && hwm.NextSeq > m.sweepSeq {
+		m.sweepSeq = hwm.NextSeq
+	}
+	for ck, id := range hwm.DoneKeys {
+		m.doneSweepKeys[ck] = id
+	}
+	m.mu.Unlock()
+}
+
+// writeHWM persists this worker's high-water-mark record. Best-effort
+// like every store write.
+func (m *Manager) writeHWM() {
+	m.mu.Lock()
+	hwm := sweepHWM{NextSeq: m.sweepSeq, DoneKeys: make(map[string]string, len(m.doneSweepKeys))}
+	for ck, id := range m.doneSweepKeys {
+		if len(hwm.DoneKeys) >= hwmCap {
+			break
+		}
+		hwm.DoneKeys[ck] = id
+	}
+	m.mu.Unlock()
+	body, err := json.Marshal(hwm)
+	if err == nil {
+		err = m.cfg.Store.PutSweep(m.hwmKey(), body)
+	}
+	if err != nil {
+		m.mu.Lock()
+		m.storeErrors++
+		m.mu.Unlock()
+	}
+}
+
+// registerRefusedSweep surfaces a journaled sweep that could not be
+// resumed as a cancelled, cell-less sweep whose view records the reason
+// — GET /v1/sweeps/{id} answers with resume_refused instead of a 404
+// that silently swallows recorded history.
+func (m *Manager) registerRefusedSweep(id string, req SweepRequest, cause error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, dup := m.sweeps[id]; dup {
+		return
+	}
+	now := time.Now()
+	s := &sweep{
+		id:            id,
+		req:           req,
+		state:         StateCancelled,
+		created:       now,
+		finished:      now,
+		resumeRefused: cause.Error(),
+		agg:           &SweepAggregate{},
+		changed:       make(chan struct{}),
+	}
+	m.sweeps[id] = s
+	m.sweepOrder = append(m.sweepOrder, id)
+	m.pruneSweepsLocked()
 }
 
 // errSweepRegistered reports a resume of a sweep that is already live
@@ -375,17 +557,25 @@ func (m *Manager) tombstoneSweep(id string, req SweepRequest, cause error) {
 }
 
 // reserveSweepID advances the sweep sequence past a journaled ID so new
-// sweeps never reuse stored history's names.
-func (m *Manager) reserveSweepID(id string) {
+// sweeps never reuse stored history's names. Only IDs in this worker's
+// namespace are parsed (a fleet peer's "sweep-other-000003" neither
+// advances our sequence nor is ours to collapse); the return value
+// reports ownership.
+func (m *Manager) reserveSweepID(id string) (owned bool) {
+	pattern := "sweep-%d"
+	if m.cfg.WorkerID != "" {
+		pattern = "sweep-" + m.cfg.WorkerID + "-%d"
+	}
 	var n uint64
-	if _, err := fmt.Sscanf(id, "sweep-%d", &n); err != nil {
-		return
+	if _, err := fmt.Sscanf(id, pattern, &n); err != nil {
+		return false
 	}
 	m.mu.Lock()
 	if n >= m.sweepSeq {
 		m.sweepSeq = n + 1
 	}
 	m.mu.Unlock()
+	return true
 }
 
 // resumeSweep re-registers one journaled sweep under its original ID.
@@ -475,12 +665,19 @@ func (m *Manager) runSweep(s *sweep) {
 // scheduleCell enqueues one cell's child run, waiting out transient queue
 // pressure. Cells whose content key is already in the result store come
 // back as born-done jobs without touching the queue — on a resumed sweep
-// that is every cell that finished before the crash. A non-transient
-// failure records the cell as failed (or cancelled for shutdown) and is
-// returned.
+// that is every cell that finished before the crash; on a deduped
+// re-submission, the whole grid. In fleet mode a store miss goes through
+// the claim protocol first, so no two workers execute one cell
+// concurrently. A non-transient failure records the cell as failed (or
+// cancelled for shutdown) and is returned.
 func (m *Manager) scheduleCell(s *sweep, i int) (*job, error) {
 	// The store read happens before the lock, like Submit's.
 	cached := m.lookupStored(s.cells[i].req)
+	var fence uint64
+	claimed := false
+	if cached == nil && m.claimsEnabled() {
+		claimed, fence, cached = m.claimCell(s, i)
+	}
 	for {
 		m.mu.Lock()
 		// Re-check cancellation under the lock: CancelSweep cancels the
@@ -493,6 +690,14 @@ func (m *Manager) scheduleCell(s *sweep, i int) (*job, error) {
 		}
 		j, err := m.enqueueLocked(s.cells[i].req, s.id, cached)
 		if err == nil {
+			// The claim fields are set in the same critical section as the
+			// enqueue: the worker that pops this job first takes m.mu, so
+			// it always observes them.
+			j.claimed, j.claimFence = claimed, fence
+			if cached != nil {
+				s.cellsCached++
+				m.cellsCached++
+			}
 			s.cells[i].jobID = j.id
 			s.cells[i].state = StateQueued
 			s.jobs[i] = j
@@ -515,6 +720,43 @@ func (m *Manager) scheduleCell(s *sweep, i int) (*job, error) {
 			m.markCellLocked(s, i, StateCancelled, "")
 			m.mu.Unlock()
 			return nil, s.ctx.Err()
+		}
+	}
+}
+
+// claimCell runs the fleet claim protocol for one cell: lease the cell's
+// content key, or — when a peer holds it — poll until the peer's result
+// lands (serve it cached) or its lease expires (take it over). Returns
+// either a live claim (claimed, fence) or a cached result, or neither:
+// cancellation and store errors fall back to unclaimed execution, which
+// is always safe because results are first-write-wins. Called without
+// m.mu held — every path does store I/O.
+func (m *Manager) claimCell(s *sweep, i int) (claimed bool, fence uint64, cached *RunResult) {
+	req := s.cells[i].req
+	key := contentKey(req, req.Seed) // sweep cells always carry explicit seeds
+	for {
+		f, err := m.cfg.Store.Claim(key, m.cfg.WorkerID, m.cfg.LeaseTTL)
+		switch {
+		case err == nil:
+			return true, f, nil
+		case errors.Is(err, store.ErrResultExists):
+			// A peer finished the cell between our lookup and the claim.
+			return false, 0, m.lookupStored(req)
+		case errors.Is(err, store.ErrClaimHeld):
+			select {
+			case <-time.After(m.cfg.LeasePoll):
+			case <-s.ctx.Done():
+				return false, 0, nil
+			}
+			if c := m.lookupStored(req); c != nil {
+				return false, 0, c
+			}
+		default:
+			// Store trouble never fails the sweep; execute unclaimed.
+			m.mu.Lock()
+			m.storeErrors++
+			m.mu.Unlock()
+			return false, 0, nil
 		}
 	}
 }
@@ -571,6 +813,12 @@ func (m *Manager) finalizeSweep(s *sweep) {
 	} else {
 		s.state = StateDone
 		m.sweepsCompleted++
+		if s.contentKey != "" {
+			// Remember the completed grid: a repeated POST of this content
+			// key is answered entirely from the store, and the journal's
+			// high-water-mark record carries the memory across restarts.
+			m.doneSweepKeys[s.contentKey] = s.id
+		}
 	}
 	s.finished = time.Now()
 	s.cancel()
@@ -702,11 +950,15 @@ func (m *Manager) cellViewLocked(s *sweep, i int) SweepCellView {
 // sweepViewLocked snapshots a sweep; callers hold m.mu.
 func (m *Manager) sweepViewLocked(s *sweep, includeCells bool) SweepView {
 	v := SweepView{
-		ID:        s.id,
-		State:     s.state,
-		Request:   s.req,
-		Aggregate: m.aggregateLocked(s),
-		Created:   s.created,
+		ID:            s.id,
+		State:         s.state,
+		Request:       s.req,
+		Aggregate:     m.aggregateLocked(s),
+		CellsCached:   s.cellsCached,
+		ContentKey:    s.contentKey,
+		Deduped:       s.deduped,
+		ResumeRefused: s.resumeRefused,
+		Created:       s.created,
 	}
 	if !s.finished.IsZero() {
 		t := s.finished

@@ -150,6 +150,15 @@ type Stats struct {
 	SweepsRejected     int64 `json:"sweeps_rejected"`
 	SweepsActive       int   `json:"sweeps_active"`
 	SweepCellsFinished int64 `json:"sweep_cells_finished"`
+	// CellsCached counts sweep cells answered from the persistent result
+	// store without executing (a resumed sweep's pre-crash cells, a
+	// repeated grid's entire expansion, or cells a fleet peer computed
+	// first); SweepsDeduped counts sweep submissions whose grid content
+	// key was already completed (every cell of such a sweep is cached).
+	CellsCached   int64 `json:"cells_cached"`
+	SweepsDeduped int64 `json:"sweeps_deduped"`
+	// WorkerID is this process's fleet identity; empty outside fleet mode.
+	WorkerID string `json:"worker_id,omitempty"`
 	// Cache is the graph-pool snapshot.
 	Cache CacheStats `json:"graph_cache"`
 	// ResultStore is the persistent result store's snapshot; absent when

@@ -1,0 +1,210 @@
+package store
+
+import (
+	"errors"
+	"sort"
+	"time"
+
+	"encoding/json"
+)
+
+// Claim protocol
+//
+// A claim is a lease on a content key: it grants one worker the right to
+// execute the key's spec until a deadline. The protocol exists so N
+// bo3serve processes sharing one store directory partition a sweep's
+// cells among themselves without duplicate execution — the claim is the
+// scheduling signal; first-write-wins result records remain the
+// correctness backstop if a lease is ever lost.
+//
+// The lifecycle is append-only, like everything else in the log:
+//
+//	{"kind":"claim","key":K,"body":{"worker":"a","state":"held","deadline_ms":T,"fence":F}}
+//	... worker a executes the spec ...
+//	{"kind":"result","key":K,...}                      <- supersedes the claim
+//
+// or, if the worker gives the key up without a result (execution failed):
+//
+//	{"kind":"claim","key":K,"body":{"worker":"a","state":"released","fence":F}}
+//
+// The fence F is the sequence number of the record that granted the
+// lease. Sequence numbers are globally monotone across the fleet (every
+// append happens under the directory flock after a refresh), so a fence
+// uniquely identifies one grant: Renew and Release demand the caller's
+// fence match the index, which makes a worker that lost its lease to
+// takeover fail loudly (ErrLeaseLost) instead of silently extending the
+// new holder's lease. The fence is stable across renewals — renewals
+// extend the deadline under the original grant.
+//
+// Takeover: a held claim whose deadline has passed is up for grabs; the
+// next Claim on the key replaces it with a fresh grant (new fence). A
+// crashed worker therefore blocks its keys for at most one lease TTL.
+// Deliberate shutdown mid-execution does NOT release claims — shutdown
+// is indistinguishable from a crash to the rest of the fleet, and the
+// expiry path covers both.
+
+// Claim states as stored in a claim record's body.
+const (
+	claimHeld     = "held"
+	claimReleased = "released"
+)
+
+// claimBody is the payload of a KindClaim record.
+type claimBody struct {
+	Worker string `json:"worker"`
+	State  string `json:"state"`
+	// Deadline is the lease expiry in Unix milliseconds (held only).
+	Deadline int64 `json:"deadline_ms,omitempty"`
+	// Fence is the sequence number of the grant record; stable across
+	// renewals, fresh on takeover.
+	Fence uint64 `json:"fence"`
+}
+
+// ErrResultExists is returned by Claim when the key already has a
+// recorded result: there is nothing left to execute.
+var ErrResultExists = errors.New("store: result already recorded for key")
+
+// ErrClaimHeld is returned by Claim when another worker holds an
+// unexpired lease on the key.
+var ErrClaimHeld = errors.New("store: key is leased to another worker")
+
+// ErrLeaseLost is returned by Renew and Release when the caller's lease
+// is gone: expired and taken over, superseded by a result, or never
+// granted. The caller must stop assuming exclusivity; any result it
+// still writes is safe (first write wins) but may be discarded.
+var ErrLeaseLost = errors.New("store: lease lost")
+
+// ClaimInfo is one held claim, as listed by Claims.
+type ClaimInfo struct {
+	Key      string    `json:"key"`
+	Worker   string    `json:"worker"`
+	Fence    uint64    `json:"fence"`
+	Deadline time.Time `json:"deadline"`
+	// Expired marks a lease past its deadline at listing time — still
+	// indexed, up for takeover by the next Claim.
+	Expired bool `json:"expired,omitempty"`
+}
+
+// Claim leases the content key to worker for ttl. On success it returns
+// the fencing token to pass to Renew and Release. Claiming a key this
+// worker already holds renews it (same fence). Failure modes:
+// ErrResultExists when the key's result is already recorded (skip the
+// work, read the result), ErrClaimHeld when another worker's lease has
+// not expired (retry after its deadline). An expired lease is taken over
+// with a fresh fence.
+func (s *Store) Claim(key, worker string, ttl time.Duration) (fence uint64, err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.opts.ReadOnly {
+		return 0, ErrReadOnly
+	}
+	if err := s.beginMutationLocked(); err != nil {
+		return 0, err
+	}
+	defer s.endMutationLocked()
+	if _, done := s.results[key]; done {
+		return 0, ErrResultExists
+	}
+	now := time.Now()
+	if e, held := s.claims[key]; held {
+		if e.worker != worker && now.UnixMilli() <= e.deadline {
+			return 0, ErrClaimHeld
+		}
+		if e.worker == worker {
+			// Re-claim by the holder: extend under the original fence.
+			return e.fence, s.putClaimLocked(key, worker, claimHeld, now.Add(ttl).UnixMilli(), e.fence)
+		}
+		// Expired: fall through to a fresh grant (takeover).
+	}
+	fence = s.seq // the grant record's sequence number
+	return fence, s.putClaimLocked(key, worker, claimHeld, now.Add(ttl).UnixMilli(), fence)
+}
+
+// Renew extends worker's lease on key by ttl from now. The fence must be
+// the one Claim returned; ErrLeaseLost if the lease is gone or was taken
+// over.
+func (s *Store) Renew(key, worker string, fence uint64, ttl time.Duration) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.opts.ReadOnly {
+		return ErrReadOnly
+	}
+	if err := s.beginMutationLocked(); err != nil {
+		return err
+	}
+	defer s.endMutationLocked()
+	e, held := s.claims[key]
+	if !held || e.worker != worker || e.fence != fence {
+		return ErrLeaseLost
+	}
+	return s.putClaimLocked(key, worker, claimHeld, time.Now().Add(ttl).UnixMilli(), fence)
+}
+
+// Release gives the lease up without a result (execution failed or was
+// abandoned). Releasing a key whose result is recorded is a no-op — the
+// result already superseded the claim, which is the normal completion
+// path. ErrLeaseLost if the lease was taken over.
+func (s *Store) Release(key, worker string, fence uint64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.opts.ReadOnly {
+		return ErrReadOnly
+	}
+	if err := s.beginMutationLocked(); err != nil {
+		return err
+	}
+	defer s.endMutationLocked()
+	e, held := s.claims[key]
+	if !held {
+		if _, done := s.results[key]; done {
+			return nil
+		}
+		return ErrLeaseLost
+	}
+	if e.worker != worker || e.fence != fence {
+		return ErrLeaseLost
+	}
+	return s.putClaimLocked(key, worker, claimReleased, 0, fence)
+}
+
+// putClaimLocked appends and indexes one claim record; callers hold s.mu
+// inside a mutation critical section.
+func (s *Store) putClaimLocked(key, worker, state string, deadline int64, fence uint64) error {
+	body, err := json.Marshal(claimBody{Worker: worker, State: state, Deadline: deadline, Fence: fence})
+	if err != nil {
+		return err
+	}
+	rec := Record{Kind: KindClaim, Key: key, Body: body}
+	l, err := s.appendLocked(&rec)
+	if err != nil {
+		return err
+	}
+	s.index(rec, l)
+	return nil
+}
+
+// Claims lists the held claims in key order. In shared mode the index is
+// refreshed from the log tail first, so the listing reflects the whole
+// fleet (bo3store claims uses a read-only handle and sees the same).
+func (s *Store) Claims() []ClaimInfo {
+	if s.opts.Shared {
+		s.mu.Lock()
+		_ = s.refreshLocked(false)
+		s.mu.Unlock()
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	now := time.Now().UnixMilli()
+	out := make([]ClaimInfo, 0, len(s.claims))
+	for k, e := range s.claims {
+		out = append(out, ClaimInfo{
+			Key:      k,
+			Worker:   e.worker,
+			Fence:    e.fence,
+			Deadline: time.UnixMilli(e.deadline),
+			Expired:  e.deadline < now,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out
+}

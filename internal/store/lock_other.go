@@ -17,3 +17,14 @@ func acquireLock(path string) (*os.File, error) {
 	}
 	return f, nil
 }
+
+// openLockFile creates the LOCK marker; shared-mode coordination is not
+// enforced without flock.
+func openLockFile(path string) (*os.File, error) { return acquireLock(path) }
+
+// flockEx without flock support is a no-op: shared mode degrades to
+// best-effort on these platforms (run one writer per directory).
+func flockEx(f *os.File) error { return nil }
+
+// flockUn matches flockEx.
+func flockUn(f *os.File) error { return nil }

@@ -25,3 +25,32 @@ func acquireLock(path string) (*os.File, error) {
 	}
 	return f, nil
 }
+
+// openLockFile opens (creating if needed) the LOCK file without taking
+// the lock — shared-mode stores lock per critical section instead of for
+// the process lifetime.
+func openLockFile(path string) (*os.File, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	return f, nil
+}
+
+// flockEx blocks until this handle holds the exclusive directory lock.
+// flock is per open file description, so two shared handles in one
+// process exclude each other exactly like two processes do.
+func flockEx(f *os.File) error {
+	if err := syscall.Flock(int(f.Fd()), syscall.LOCK_EX); err != nil {
+		return fmt.Errorf("store: flock: %w", err)
+	}
+	return nil
+}
+
+// flockUn drops the exclusive directory lock.
+func flockUn(f *os.File) error {
+	if err := syscall.Flock(int(f.Fd()), syscall.LOCK_UN); err != nil {
+		return fmt.Errorf("store: funlock: %w", err)
+	}
+	return nil
+}

@@ -1,8 +1,11 @@
 package spec
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
 	"fmt"
 	"math"
+	"strings"
 
 	"repro/internal/rng"
 )
@@ -93,6 +96,51 @@ func safeProduct(axes ...int) (int, error) {
 		count *= axis
 	}
 	return count, nil
+}
+
+// Key returns a canonical identity string for the grid: two grids that
+// expand to the identical cells (given equal seed and round cap) render
+// identically. Single-value axis defaults are resolved first, so a
+// normalized grid and its shorthand share a key; the graph axis renders
+// each template's own canonical key.
+func (g Grid) Key() string {
+	ks, ties, trials := g.Ks, g.Ties, g.Trials
+	if len(ks) == 0 {
+		ks = []int{3}
+	}
+	if len(ties) == 0 {
+		ties = []string{"keep"}
+	}
+	if len(trials) == 0 {
+		trials = []int{1}
+	}
+	graphs := make([]string, len(g.Graphs))
+	for i, gs := range g.Graphs {
+		graphs[i] = gs.Key()
+	}
+	parts := []string{
+		kv("graphs", "["+strings.Join(graphs, ";")+"]"),
+		kv("ns", g.NS),
+		kv("deltas", g.Deltas),
+		kv("ks", ks),
+		kv("ties", ties),
+		kv("noises", g.Noises),
+		kv("trials", trials),
+	}
+	return strings.Join(parts, "|")
+}
+
+// ContentKey returns the content address of the whole sweep: the hex
+// SHA-256 over the grid's canonical key plus the sweep seed and round
+// cap. Cell outcomes are a pure function of these inputs (Expand derives
+// every cell spec and seed from them), so two sweeps with equal content
+// keys compute identical aggregates — which is what lets bo3serve answer
+// a repeated POST /v1/sweeps of a completed grid entirely from its
+// journal.
+func (g Grid) ContentKey(sweepSeed uint64, maxRounds int) string {
+	id := g.Key() + "|" + kv("seed", sweepSeed) + "|" + kv("max_rounds", maxRounds)
+	sum := sha256.Sum256([]byte(id))
+	return hex.EncodeToString(sum[:])
 }
 
 // Expand enumerates the grid into per-cell run specs, topology axes

@@ -368,6 +368,53 @@ func TestGridExpandDeterministic(t *testing.T) {
 	}
 }
 
+// TestGridContentKey: equivalent grids (defaults spelled out or omitted)
+// share a sweep content key; every execution-relevant input splits it.
+func TestGridContentKey(t *testing.T) {
+	base := Grid{
+		Graphs: []GraphSpec{{Family: "complete-virtual"}},
+		NS:     []int{16, 32},
+		Deltas: []float64{0.1, 0.2},
+		Trials: []int{2},
+	}
+	ck := base.ContentKey(7, 100)
+	if len(ck) != 64 {
+		t.Fatalf("grid content key %q is not a hex sha256", ck)
+	}
+	if base.ContentKey(7, 100) != ck {
+		t.Error("grid content key not deterministic")
+	}
+	// Normalization is identity-preserving: the shorthand grid and its
+	// normalized form describe the same cells.
+	spelled := base
+	spelled.Normalize()
+	if spelled.ContentKey(7, 100) != ck {
+		t.Error("normalized grid changed the content key")
+	}
+	// Seed, round cap, and every axis split the key.
+	if base.ContentKey(8, 100) == ck {
+		t.Error("sweep seed not in the content key")
+	}
+	if base.ContentKey(7, 101) == ck {
+		t.Error("round cap not in the content key")
+	}
+	for name, mutate := range map[string]func(*Grid){
+		"graphs": func(g *Grid) { g.Graphs = []GraphSpec{{Family: "cycle"}} },
+		"ns":     func(g *Grid) { g.NS = []int{16} },
+		"deltas": func(g *Grid) { g.Deltas = []float64{0.1} },
+		"ks":     func(g *Grid) { g.Ks = []int{5} },
+		"ties":   func(g *Grid) { g.Ties = []string{"random"} },
+		"noises": func(g *Grid) { g.Noises = []float64{0.05} },
+		"trials": func(g *Grid) { g.Trials = []int{3} },
+	} {
+		mutated := base
+		mutate(&mutated)
+		if mutated.ContentKey(7, 100) == ck {
+			t.Errorf("changing %s kept the grid content key", name)
+		}
+	}
+}
+
 // TestRunSpecKeyCanonical: equivalent run specs (defaults applied or not)
 // render the identical key; any consumed parameter splits it.
 func TestRunSpecKeyCanonical(t *testing.T) {
