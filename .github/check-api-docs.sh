@@ -8,7 +8,9 @@
 #   3. the docs/PERFORMANCE.md scenario table must list exactly the
 #      scenarios cmd/bo3bench registers (bo3bench -list), and
 #   4. the docs/API.md bo3store subcommand table must list exactly the
-#      subcommands cmd/bo3store registers (bo3store -list).
+#      subcommands cmd/bo3store registers (bo3store -list), and
+#   5. the docs/API.md bo3graph subcommand table must list exactly the
+#      subcommands cmd/bo3graph registers (bo3graph -list).
 # Also gates the spec layer with go vet + gofmt so a drifted or
 # unformatted spec/cli package fails the same check.
 set -eu
@@ -109,7 +111,33 @@ elif [ "$doc_subs" != "$reg_subs" ]; then
     status=1
 fi
 
-# --- 5. vet + gofmt gate over the spec layer ---------------------------
+# --- 5. bo3graph subcommand table vs the bo3graph registry -------------
+# Documented subcommands: the first backticked cell of each row of the
+# table headed "| Subcommand | Purpose |" in docs/API.md (a distinct
+# heading from bo3store's table, so the two scrapers never cross-match).
+doc_gsubs=$(awk '
+    /^\| Subcommand \| Purpose \|$/ { in_table = 1; next }
+    in_table && /^\|-/ { next }
+    in_table && /^\| `/ {
+        if (match($0, /`[a-z-]+`/)) print substr($0, RSTART + 1, RLENGTH - 2)
+        next
+    }
+    in_table { exit }
+' docs/API.md | sort)
+reg_gsubs=$(go run ./cmd/bo3graph -list | sort)
+if [ -z "$doc_gsubs" ]; then
+    echo "check-api-docs: no bo3graph subcommand table rows found in docs/API.md (pattern drift?)" >&2
+    status=1
+elif [ "$doc_gsubs" != "$reg_gsubs" ]; then
+    echo "check-api-docs: docs/API.md bo3graph subcommand table disagrees with cmd/bo3graph:" >&2
+    echo "--- registry (go run ./cmd/bo3graph -list)" >&2
+    echo "$reg_gsubs" >&2
+    echo "--- docs/API.md table" >&2
+    echo "$doc_gsubs" >&2
+    status=1
+fi
+
+# --- 6. vet + gofmt gate over the spec layer ---------------------------
 go vet ./spec/... ./internal/cli/... || status=1
 unformatted=$(gofmt -l spec internal/cli)
 if [ -n "$unformatted" ]; then

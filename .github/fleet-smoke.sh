@@ -11,16 +11,18 @@ cd "$(dirname "$0")/.."
 
 dir=$(mktemp -d)
 bin=$(mktemp -d)
-pa='' pb=''
+pa='' pb='' pc=''
 cleanup() {
     [ -n "$pa" ] && kill "$pa" 2>/dev/null || true
     [ -n "$pb" ] && kill "$pb" 2>/dev/null || true
+    [ -n "$pc" ] && kill "$pc" 2>/dev/null || true
     rm -rf "$dir" "$bin"
 }
 trap cleanup EXIT INT TERM
 
 go build -o "$bin/bo3serve" ./cmd/bo3serve
 go build -o "$bin/bo3store" ./cmd/bo3store
+go build -o "$bin/bo3graph" ./cmd/bo3graph
 
 "$bin/bo3serve" -addr 127.0.0.1:18080 -store-dir "$dir" -worker-id a -workers 2 &
 pa=$!
@@ -124,3 +126,52 @@ kill "$pa" "$pb"
 wait "$pa" "$pb" 2>/dev/null || true
 pa='' pb=''
 echo "fleet-smoke: ok — $want_trials trials executed exactly once (a=$ta b=$tb), aggregates byte-identical"
+
+# --- Artifact round-trip: preprocess → verify → serve -----------------
+# bo3graph builds a topology offline, bo3graph verify audits the file,
+# and a bo3serve started with -artifact-dir must serve a run on that
+# topology from the preprocessed artifact (graphs_artifact_hits counts
+# it), not the generator.
+art="$dir/artifacts"
+"$bin/bo3graph" build -graph cycle -n 2048 -dir "$art"
+"$bin/bo3graph" verify "$art"/*.bo3g
+
+"$bin/bo3serve" -addr 127.0.0.1:18082 -artifact-dir "$art" -workers 2 &
+pc=$!
+wait_up 127.0.0.1:18082
+
+run='{"graph":{"family":"cycle","n":2048},"delta":0.05,"trials":4,"max_rounds":400,"seed":4242}'
+rid=$(fetch -X POST -d "$run" "http://127.0.0.1:18082/v1/runs" |
+    grep -o '"id":"[^"]*"' | head -n 1 | cut -d'"' -f4)
+i=0
+while :; do
+    state=$(fetch "http://127.0.0.1:18082/v1/runs/$rid" |
+        sed 's/^{"id":"[^"]*","state":"\([a-z]*\)".*/\1/')
+    case $state in
+    done) break ;;
+    queued | running) ;;
+    *)
+        echo "fleet-smoke: artifact-served run ended state $state" >&2
+        exit 1
+        ;;
+    esac
+    i=$((i + 1))
+    if [ "$i" -gt 600 ]; then
+        echo "fleet-smoke: artifact-served run never finished" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+
+stats=$(fetch "http://127.0.0.1:18082/v1/stats")
+hits=$(printf '%s' "$stats" | grep -o '"graphs_artifact_hits":[0-9]*' | cut -d: -f2)
+misses=$(printf '%s' "$stats" | grep -o '"graphs_artifact_misses":[0-9]*' | cut -d: -f2)
+if [ -z "$hits" ] || [ "$hits" -lt 1 ] || [ "$misses" != 0 ]; then
+    echo "fleet-smoke: artifact server hits=$hits misses=$misses, want >=1 hits and 0 misses" >&2
+    exit 1
+fi
+
+kill "$pc"
+wait "$pc" 2>/dev/null || true
+pc=''
+echo "fleet-smoke: ok — artifact round-trip served the cycle topology from disk ($hits hit)"

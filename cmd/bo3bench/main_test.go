@@ -16,6 +16,7 @@ func TestScenarioNamesStable(t *testing.T) {
 		"round/regular-noise",
 		"trials/kn",
 		"trials/regular",
+		"graph/artifact-load",
 		"serve/jobs",
 		"serve/cached-jobs",
 	}

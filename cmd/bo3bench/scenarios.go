@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"repro"
+	"repro/internal/artifact"
 	"repro/internal/dynamics"
 	"repro/internal/graph"
 	"repro/internal/opinion"
@@ -77,6 +78,11 @@ var scenarios = []scenario{
 		name:        "trials/regular",
 		description: "trial throughput of repro.Runner on random-regular (general engine)",
 		run:         trialsRegular,
+	},
+	{
+		name:        "graph/artifact-load",
+		description: "preprocess→serve split: binary artifact load (read + checksums + zero-copy decode) vs the in-process generator path",
+		run:         graphArtifactLoad,
 	},
 	{
 		name:        "serve/jobs",
@@ -198,6 +204,55 @@ func trialsKn(s Scale) (map[string]any, map[string]float64, error) {
 
 func trialsRegular(s Scale) (map[string]any, map[string]float64, error) {
 	return runTrials(s, spec.GraphSpec{Family: "random-regular", N: s.pick(1<<12, 1<<10), D: 32, Seed: 1}, s.pick(32, 8))
+}
+
+// graphArtifactLoad times the two cold-start paths for one large
+// random-regular topology: the full generator (what every process pays
+// without artifacts) against loading the bo3graph-built artifact from
+// disk (read + checksum passes + zero-copy CSR adoption). The speedup is
+// the PR's acceptance number: artifact load must beat generation.
+func graphArtifactLoad(s Scale) (map[string]any, map[string]float64, error) {
+	gs := spec.GraphSpec{Family: "random-regular", N: s.pick(1<<17, 1<<12), D: 16, Seed: s.Seed}
+	dir, err := os.MkdirTemp("", "bo3bench-artifacts-*")
+	if err != nil {
+		return nil, nil, err
+	}
+	defer os.RemoveAll(dir)
+	d, err := artifact.OpenDir(dir, 0)
+	if err != nil {
+		return nil, nil, err
+	}
+	a, err := artifact.FromSpec(gs)
+	if err != nil {
+		return nil, nil, err
+	}
+	if _, err := d.Store(a); err != nil {
+		return nil, nil, err
+	}
+
+	reps := s.pick(5, 2)
+	start := time.Now()
+	for i := 0; i < reps; i++ {
+		if _, err := gs.Build(); err != nil {
+			return nil, nil, err
+		}
+	}
+	buildMS := time.Since(start).Seconds() * 1e3 / float64(reps)
+
+	start = time.Now()
+	for i := 0; i < reps; i++ {
+		if _, err := d.Load(a.Key); err != nil {
+			return nil, nil, err
+		}
+	}
+	loadMS := time.Since(start).Seconds() * 1e3 / float64(reps)
+
+	return map[string]any{"family": gs.Family, "n": gs.N, "d": gs.D, "seed": gs.Seed, "artifact_bytes": a.EncodedSize(), "reps": reps},
+		map[string]float64{
+			"build_ms": buildMS,
+			"load_ms":  loadMS,
+			"speedup":  buildMS / loadMS,
+		}, nil
 }
 
 func serveJobs(s Scale) (map[string]any, map[string]float64, error) {

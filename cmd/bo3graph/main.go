@@ -1,0 +1,227 @@
+// Command bo3graph is the offline graph preprocessor: it runs a graph
+// family's generator once, ahead of serving, and serializes the CSR
+// topology to a versioned, checksummed binary artifact (internal/
+// artifact) that `bo3serve -artifact-dir` loads near-instantly instead
+// of re-generating per process.
+//
+// Usage:
+//
+//	bo3graph build -graph FAMILY [flags] (-o FILE | -dir DIR)
+//	bo3graph build -spec JSON (-o FILE | -dir DIR)
+//	bo3graph verify FILE...
+//	bo3graph info FILE...
+//	bo3graph -list
+//
+// `build` resolves the topology exactly like bo3sim/bo3sweep — the same
+// flag binder, alias table, and registry validation — or takes a raw
+// GraphSpec as -spec JSON, builds it, and writes the artifact. -o names
+// the output file explicitly; -dir writes into an artifact directory
+// under the spec key's content address, the layout bo3serve reads
+// (atomic rename, safe against a live fleet). `verify` is the audit:
+// every checksum, the full CSR invariant set (sortedness, symmetry, no
+// parallel edges), and a canonical re-encode must all pass. `info`
+// prints the header of each file without loading the arrays. `-list`
+// prints the subcommand names (the CI docs check consumes it).
+package main
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/artifact"
+	"repro/internal/cli"
+	"repro/spec"
+)
+
+// subcommands is the stable registry; docs/API.md lists exactly these
+// (checked in CI via `bo3graph -list`).
+var subcommands = []struct{ name, summary string }{
+	{"build", "generate a topology and write its binary artifact"},
+	{"verify", "audit artifact files: checksums, CSR invariants, canonical encoding"},
+	{"info", "print artifact headers without loading the arrays"},
+}
+
+func main() { os.Exit(run(os.Args[1:], os.Stdout, os.Stderr)) }
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("bo3graph", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	list := fs.Bool("list", false, "print subcommand names, one per line, and exit")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *list {
+		for _, sc := range subcommands {
+			fmt.Fprintln(stdout, sc.name)
+		}
+		return 0
+	}
+	if fs.NArg() == 0 {
+		fmt.Fprintln(stderr, "bo3graph: a subcommand is required:")
+		for _, sc := range subcommands {
+			fmt.Fprintf(stderr, "  %-8s %s\n", sc.name, sc.summary)
+		}
+		return 2
+	}
+	cmd, rest := fs.Arg(0), fs.Args()[1:]
+	switch cmd {
+	case "build":
+		return cmdBuild(rest, stdout, stderr)
+	case "verify":
+		return cmdVerify(rest, stdout, stderr)
+	case "info":
+		return cmdInfo(rest, stdout, stderr)
+	default:
+		fmt.Fprintf(stderr, "bo3graph: unknown subcommand %q\n", cmd)
+		return 2
+	}
+}
+
+func cmdBuild(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("bo3graph build", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	gf := cli.GraphFlags{Family: "random-regular", N: 1 << 14, Alpha: 0.75}
+	gf.Register(fs)
+	seed := fs.Uint64("seed", 1, "generator seed for the seeded families")
+	specJSON := fs.String("spec", "", "raw GraphSpec JSON (overrides the graph flags)")
+	out := fs.String("o", "", "output artifact file")
+	dir := fs.String("dir", "", "artifact directory: write under the spec key's content address (the layout bo3serve -artifact-dir reads)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if (*out == "") == (*dir == "") {
+		fmt.Fprintln(stderr, "bo3graph build: exactly one of -o or -dir is required")
+		return 2
+	}
+	var gs spec.GraphSpec
+	if *specJSON != "" {
+		if err := json.Unmarshal([]byte(*specJSON), &gs); err != nil {
+			fmt.Fprintf(stderr, "bo3graph: -spec: %v\n", err)
+			return 2
+		}
+	} else {
+		var err error
+		gs, err = gf.Spec(*seed)
+		if err != nil {
+			fmt.Fprintf(stderr, "bo3graph: %v\n", err)
+			return 2
+		}
+	}
+	a, err := artifact.FromSpec(gs)
+	if err != nil {
+		fmt.Fprintf(stderr, "bo3graph: %v\n", err)
+		return 1
+	}
+	path := *out
+	if *dir != "" {
+		d, err := artifact.OpenDir(*dir, 0)
+		if err != nil {
+			fmt.Fprintf(stderr, "bo3graph: %v\n", err)
+			return 1
+		}
+		if path, err = d.Store(a); err != nil {
+			fmt.Fprintf(stderr, "bo3graph: %v\n", err)
+			return 1
+		}
+	} else {
+		data, err := a.Encode()
+		if err != nil {
+			fmt.Fprintf(stderr, "bo3graph: %v\n", err)
+			return 1
+		}
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			fmt.Fprintf(stderr, "bo3graph: %v\n", err)
+			return 1
+		}
+	}
+	g := a.Graph
+	fmt.Fprintf(stdout, "wrote %s: %s  key=%s  n=%d m=%d  %d bytes\n",
+		path, g.Name(), a.Key, g.N(), g.M(), a.EncodedSize())
+	return 0
+}
+
+func cmdVerify(args []string, stdout, stderr io.Writer) int {
+	if len(args) == 0 {
+		fmt.Fprintln(stderr, "bo3graph verify: at least one artifact file required")
+		return 2
+	}
+	failed := 0
+	for _, path := range args {
+		data, err := os.ReadFile(path)
+		if err == nil {
+			var a *artifact.Artifact
+			if a, err = artifact.Verify(data); err == nil {
+				fmt.Fprintf(stdout, "ok   %s: %s  key=%s  n=%d m=%d\n",
+					path, a.Graph.Name(), a.Key, a.Graph.N(), a.Graph.M())
+				continue
+			}
+		}
+		fmt.Fprintf(stdout, "FAIL %s: %v\n", path, err)
+		failed++
+	}
+	fmt.Fprintf(stdout, "verified %d files, %d failed\n", len(args), failed)
+	if failed > 0 {
+		return 1
+	}
+	return 0
+}
+
+func cmdInfo(args []string, stdout, stderr io.Writer) int {
+	if len(args) == 0 {
+		fmt.Fprintln(stderr, "bo3graph info: at least one artifact file required")
+		return 2
+	}
+	bad := 0
+	for _, path := range args {
+		if err := printInfo(path, stdout); err != nil {
+			fmt.Fprintf(stdout, "%s: %v\n", path, err)
+			bad++
+		}
+	}
+	if bad > 0 {
+		return 1
+	}
+	return 0
+}
+
+// printInfo reads only the fixed header and strings — enough to describe
+// the file without touching the (possibly huge) array sections. It
+// reports the declared shape even for files whose checksums would fail
+// full decoding; `verify` is the integrity audit.
+func printInfo(path string, stdout io.Writer) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	head := make([]byte, 36)
+	if _, err := io.ReadFull(f, head); err != nil {
+		return fmt.Errorf("truncated header: %w", err)
+	}
+	if string(head[:8]) != artifact.Magic {
+		return fmt.Errorf("bad magic (not an artifact file)")
+	}
+	version := binary.LittleEndian.Uint16(head[8:])
+	n := binary.LittleEndian.Uint64(head[12:])
+	m := binary.LittleEndian.Uint64(head[20:])
+	keyLen := binary.LittleEndian.Uint32(head[28:])
+	nameLen := binary.LittleEndian.Uint32(head[32:])
+	if keyLen > 1<<16 || nameLen > 1<<16 {
+		return fmt.Errorf("implausible key/name lengths %d/%d", keyLen, nameLen)
+	}
+	strs := make([]byte, keyLen+nameLen)
+	if _, err := io.ReadFull(f, strs); err != nil {
+		return fmt.Errorf("truncated key/name: %w", err)
+	}
+	st, err := f.Stat()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "%s: v%d  key=%s  name=%s  n=%d m=%d  %d bytes\n",
+		path, version, strs[:keyLen], strs[keyLen:], n, m, st.Size())
+	return nil
+}

@@ -15,6 +15,15 @@
 // shutdown: the listener stops, in-flight jobs get -drain to finish, then
 // the rest are cancelled.
 //
+// With -artifact-dir set, the server layers a disk artifact tier under
+// its in-memory graph pool: a pool miss first looks for a preprocessed
+// binary artifact of the topology (built offline with `bo3graph build`,
+// or written through by any server sharing the directory) and loads it
+// with one checksummed read instead of re-running the generator; fresh
+// CSR builds are written through for the next process. The directory is
+// multi-process safe (atomic rename-into-place, checksum-gated loads)
+// and -artifact-max-bytes bounds it with least-recently-used eviction.
+//
 // With -store-dir set, the server keeps a persistent result store there:
 // completed jobs are recorded under their content key and identical
 // resubmissions are answered from disk without recomputing; sweeps
@@ -46,6 +55,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/artifact"
 	"repro/internal/serve"
 	"repro/internal/store"
 )
@@ -67,6 +77,8 @@ func main() {
 		maxGrid   = flag.Int("max-grid", 0, "largest admissible sweep-grid expansion in cells (0 = default limit)")
 		sweepConc = flag.Int("sweep-concurrency", 0, "in-flight child runs per sweep (0 = workers)")
 		drain     = flag.Duration("drain", 30*time.Second, "graceful-shutdown budget before jobs are cancelled")
+		artDir    = flag.String("artifact-dir", "", "graph artifact directory: graph-pool misses load preprocessed topologies (bo3graph build) from here and write fresh builds through (empty = no artifact tier)")
+		artMax    = flag.Int64("artifact-max-bytes", 0, "artifact-directory size cap in bytes; least-recently-used artifacts evicted first (0 = unbounded)")
 		storeDir  = flag.String("store-dir", "", "persistent result store directory (empty = no store)")
 		storeMax  = flag.Int64("store-max-bytes", 0, "result-store size cap in bytes; oldest records dropped first (0 = unbounded)")
 		workerID  = flag.String("worker-id", "", "fleet identity; opens -store-dir shared so several servers coordinate over it (empty = exclusive, single server)")
@@ -86,6 +98,17 @@ func main() {
 	}
 	if *maxGrid > 0 {
 		limits.MaxSweepCells = *maxGrid
+	}
+	var artifacts *artifact.Dir
+	if *artDir != "" {
+		var err error
+		artifacts, err = artifact.OpenDir(*artDir, *artMax)
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("artifact directory %s: %d artifacts", *artDir, artifacts.Len())
+	} else if *artMax != 0 {
+		log.Fatal("-artifact-max-bytes requires -artifact-dir")
 	}
 	var resultStore *store.Store
 	if *storeDir != "" {
@@ -109,6 +132,7 @@ func main() {
 		Retention:        *retention,
 		SweepConcurrency: *sweepConc,
 		Limits:           limits,
+		Artifacts:        artifacts,
 		Store:            resultStore,
 		WorkerID:         *workerID,
 		LeaseTTL:         *leaseTTL,

@@ -1,0 +1,305 @@
+// Package artifact is the binary graph-artifact layer behind the
+// preprocess→serve split: an offline builder (cmd/bo3graph) serializes a
+// generated CSR topology to a versioned, checksummed file keyed by its
+// canonical spec key, and the serve-time artifact cache (internal/serve,
+// bo3serve -artifact-dir) loads it near-instantly instead of re-running
+// the generator path on every cold process.
+//
+// # On-disk format (version 1)
+//
+// All integers are little-endian. The file is three checksummed sections
+// plus a whole-file checksum:
+//
+//	offset  size      field
+//	0       8         magic "BO3GRAPH"
+//	8       2         format version (uint16) = 1
+//	10      2         reserved (0)
+//	12      8         n, vertex count (uint64)
+//	20      8         m, undirected edge count (uint64)
+//	28      4         keyLen (uint32)
+//	32      4         nameLen (uint32)
+//	36      keyLen    graph-spec key (spec.GraphSpec.Key(), UTF-8)
+//	…       nameLen   graph name (UTF-8)
+//	…       4         header CRC-32C (over every byte above)
+//	…       0–7       zero padding to an 8-byte boundary
+//	…       (n+1)·4   CSR offsets (int32 array)
+//	…       4         offsets CRC-32C
+//	…       2m·4      CSR adjacency (int32 array)
+//	…       4         adjacency CRC-32C
+//	…       4         whole-file CRC-32C (over every byte above)
+//
+// The declared sizes must account for the file exactly: a truncated,
+// padded, or inconsistent file fails decoding before any size-dependent
+// allocation, so hostile input can neither panic nor balloon memory.
+//
+// Versioning policy: the version field is checked before anything else
+// (even the header checksum), and any version other than 1 is rejected —
+// old binaries refuse new artifacts loudly instead of misreading them.
+// Any layout change, however small, bumps the version; version 1 files
+// are byte-for-byte pinned by the golden fixtures in testdata/.
+//
+// # Zero-copy loads
+//
+// The array sections are aligned so that on little-endian hosts Decode
+// returns int32 views directly into the read buffer — loading a graph is
+// one file read plus three checksum passes, no per-element work and no
+// second allocation. Big-endian (or misaligned) hosts fall back to an
+// explicit conversion.
+package artifact
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"math"
+	"unsafe"
+
+	"repro/internal/graph"
+)
+
+// Magic identifies an artifact file; Version is the current (only) format
+// version.
+const (
+	Magic   = "BO3GRAPH"
+	Version = 1
+)
+
+const (
+	headerFixed = 36      // magic through nameLen
+	maxKeyLen   = 1 << 16 // sanity caps, checked before any allocation
+	maxNameLen  = 1 << 16
+	// maxN keeps n+1 (and every offset) inside int32, the CSR index type.
+	maxN = math.MaxInt32 - 1
+)
+
+// ErrVersion wraps version-mismatch failures, so callers can distinguish
+// "newer format" from corruption.
+var ErrVersion = errors.New("artifact: unsupported format version")
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// Artifact is a decoded (or to-be-encoded) graph artifact: the canonical
+// spec key it was built for and the CSR topology itself.
+type Artifact struct {
+	// Key is the canonical graph-spec key (spec.GraphSpec.Key()) the
+	// artifact answers for. The serve-time cache addresses files by its
+	// hash and rejects a decoded artifact whose recorded key disagrees.
+	Key string
+	// Graph is the CSR topology. After Decode it may alias the read
+	// buffer (zero-copy) and must be treated as immutable, exactly like
+	// every other built graph.
+	Graph *graph.Graph
+}
+
+// New wraps a built CSR graph and its spec key as an artifact.
+func New(key string, g *graph.Graph) *Artifact { return &Artifact{Key: key, Graph: g} }
+
+// hostLittle reports whether this host is little-endian (the on-disk byte
+// order); set once at init.
+var hostLittle = func() bool {
+	var x uint16 = 1
+	return *(*byte)(unsafe.Pointer(&x)) == 1
+}()
+
+// int32Bytes views an int32 slice as raw bytes on little-endian hosts
+// (nil, false otherwise).
+func int32Bytes(s []int32) ([]byte, bool) {
+	if !hostLittle {
+		return nil, false
+	}
+	if len(s) == 0 {
+		return []byte{}, true
+	}
+	return unsafe.Slice((*byte)(unsafe.Pointer(&s[0])), len(s)*4), true
+}
+
+// int32View views a byte slice as int32s without copying when the host is
+// little-endian and the base is 4-byte aligned (ok = false otherwise; the
+// caller then converts explicitly).
+func int32View(b []byte) ([]int32, bool) {
+	if !hostLittle {
+		return nil, false
+	}
+	if len(b) == 0 {
+		return []int32{}, true
+	}
+	if uintptr(unsafe.Pointer(&b[0]))%4 != 0 {
+		return nil, false
+	}
+	return unsafe.Slice((*int32)(unsafe.Pointer(&b[0])), len(b)/4), true
+}
+
+// appendInt32s appends the array section's little-endian bytes.
+func appendInt32s(dst []byte, s []int32) []byte {
+	if raw, ok := int32Bytes(s); ok {
+		return append(dst, raw...)
+	}
+	for _, v := range s {
+		dst = binary.LittleEndian.AppendUint32(dst, uint32(v))
+	}
+	return dst
+}
+
+// decodeInt32s converts an array section read from disk, zero-copy when
+// the platform allows.
+func decodeInt32s(b []byte) []int32 {
+	if view, ok := int32View(b); ok {
+		return view
+	}
+	out := make([]int32, len(b)/4)
+	for i := range out {
+		out[i] = int32(binary.LittleEndian.Uint32(b[i*4:]))
+	}
+	return out
+}
+
+func crc(b []byte) uint32 { return crc32.Checksum(b, crcTable) }
+
+// pad8 returns how many zero bytes pad position p to the next 8-byte
+// boundary.
+func pad8(p int) int { return (8 - p%8) % 8 }
+
+// EncodedSize returns the exact file size Encode produces for a graph
+// with the given key.
+func (a *Artifact) EncodedSize() int {
+	offsets, adj := a.Graph.CSR()
+	head := headerFixed + len(a.Key) + len(a.Graph.Name()) + 4
+	return head + pad8(head) + len(offsets)*4 + 4 + len(adj)*4 + 4 + 4
+}
+
+// Encode serializes the artifact to the version-1 byte layout. Encoding
+// is canonical: equal artifacts produce byte-identical files, which is
+// what the golden-format tests pin.
+func (a *Artifact) Encode() ([]byte, error) {
+	g := a.Graph
+	if g == nil {
+		return nil, errors.New("artifact: nil graph")
+	}
+	name := g.Name()
+	if len(a.Key) == 0 || len(a.Key) > maxKeyLen {
+		return nil, fmt.Errorf("artifact: key length %d outside [1, %d]", len(a.Key), maxKeyLen)
+	}
+	if len(name) > maxNameLen {
+		return nil, fmt.Errorf("artifact: name length %d exceeds %d", len(name), maxNameLen)
+	}
+	if g.N() > maxN {
+		return nil, fmt.Errorf("artifact: n = %d exceeds the format limit %d", g.N(), maxN)
+	}
+	offsets, adj := g.CSR()
+
+	out := make([]byte, 0, a.EncodedSize())
+	out = append(out, Magic...)
+	out = binary.LittleEndian.AppendUint16(out, Version)
+	out = binary.LittleEndian.AppendUint16(out, 0)
+	out = binary.LittleEndian.AppendUint64(out, uint64(g.N()))
+	out = binary.LittleEndian.AppendUint64(out, uint64(g.M()))
+	out = binary.LittleEndian.AppendUint32(out, uint32(len(a.Key)))
+	out = binary.LittleEndian.AppendUint32(out, uint32(len(name)))
+	out = append(out, a.Key...)
+	out = append(out, name...)
+	out = binary.LittleEndian.AppendUint32(out, crc(out))
+	for i := pad8(len(out)); i > 0; i-- {
+		out = append(out, 0)
+	}
+	mark := len(out)
+	out = appendInt32s(out, offsets)
+	out = binary.LittleEndian.AppendUint32(out, crc(out[mark:]))
+	mark = len(out)
+	out = appendInt32s(out, adj)
+	out = binary.LittleEndian.AppendUint32(out, crc(out[mark:]))
+	out = binary.LittleEndian.AppendUint32(out, crc(out))
+	return out, nil
+}
+
+// Decode parses an encoded artifact, verifying the format version, every
+// section checksum, the whole-file checksum, and the cheap CSR structural
+// invariants. On little-endian hosts the returned graph's arrays alias
+// data (zero-copy), so the buffer must stay untouched for the graph's
+// lifetime. Decode never panics and never allocates more than O(len
+// (data)) regardless of input: every declared size is validated against
+// the actual byte count first.
+func Decode(data []byte) (*Artifact, error) {
+	if len(data) < headerFixed+4 {
+		return nil, fmt.Errorf("artifact: %d bytes is shorter than any valid artifact", len(data))
+	}
+	if string(data[:8]) != Magic {
+		return nil, errors.New("artifact: bad magic (not an artifact file)")
+	}
+	if v := binary.LittleEndian.Uint16(data[8:]); v != Version {
+		return nil, fmt.Errorf("%w %d (this binary reads version %d)", ErrVersion, v, Version)
+	}
+	n := binary.LittleEndian.Uint64(data[12:])
+	m := binary.LittleEndian.Uint64(data[20:])
+	keyLen := binary.LittleEndian.Uint32(data[28:])
+	nameLen := binary.LittleEndian.Uint32(data[32:])
+	if keyLen == 0 || keyLen > maxKeyLen || nameLen > maxNameLen {
+		return nil, fmt.Errorf("artifact: implausible key/name lengths %d/%d", keyLen, nameLen)
+	}
+	if n > maxN || 2*m > math.MaxInt32 {
+		return nil, fmt.Errorf("artifact: n = %d, m = %d exceed the format limits", n, m)
+	}
+	// The exact size the declared dimensions demand; everything below is
+	// uint64 arithmetic on values already bounded above, so it cannot
+	// overflow. Only after this check do the section boundaries exist.
+	headEnd := uint64(headerFixed) + uint64(keyLen) + uint64(nameLen)
+	offStart := headEnd + 4 + uint64(pad8(int(headEnd+4)))
+	offEnd := offStart + (n+1)*4
+	adjStart := offEnd + 4
+	adjEnd := adjStart + 2*m*4
+	total := adjEnd + 4 + 4
+	if uint64(len(data)) != total {
+		return nil, fmt.Errorf("artifact: file is %d bytes, but the header describes %d", len(data), total)
+	}
+	if got, want := crc(data[:headEnd]), binary.LittleEndian.Uint32(data[headEnd:]); got != want {
+		return nil, fmt.Errorf("artifact: header checksum mismatch (got %08x, want %08x)", got, want)
+	}
+	if got, want := crc(data[offStart:offEnd]), binary.LittleEndian.Uint32(data[offEnd:]); got != want {
+		return nil, fmt.Errorf("artifact: offsets checksum mismatch (got %08x, want %08x)", got, want)
+	}
+	if got, want := crc(data[adjStart:adjEnd]), binary.LittleEndian.Uint32(data[adjEnd:]); got != want {
+		return nil, fmt.Errorf("artifact: adjacency checksum mismatch (got %08x, want %08x)", got, want)
+	}
+	if got, want := crc(data[:total-4]), binary.LittleEndian.Uint32(data[total-4:]); got != want {
+		return nil, fmt.Errorf("artifact: whole-file checksum mismatch (got %08x, want %08x)", got, want)
+	}
+	key := string(data[headerFixed : headerFixed+uint64(keyLen)])
+	name := string(data[headerFixed+uint64(keyLen) : headEnd])
+	offsets := decodeInt32s(data[offStart:offEnd])
+	adj := decodeInt32s(data[adjStart:adjEnd])
+	g, err := graph.NewCSR(offsets, adj, name)
+	if err != nil {
+		return nil, err
+	}
+	if uint64(g.M()) != m {
+		return nil, fmt.Errorf("artifact: header claims %d edges, adjacency holds %d", m, g.M())
+	}
+	return &Artifact{Key: key, Graph: g}, nil
+}
+
+// Verify is the offline audit behind `bo3graph verify`: Decode (which
+// checks every checksum) plus the full CSR invariant set — sortedness,
+// symmetry, no parallel edges — and a re-encode that must reproduce the
+// input byte-for-byte, proving the file is a canonical encoding.
+func Verify(data []byte) (*Artifact, error) {
+	a, err := Decode(data)
+	if err != nil {
+		return nil, err
+	}
+	if err := a.Graph.Validate(); err != nil {
+		return nil, fmt.Errorf("artifact: %w", err)
+	}
+	enc, err := a.Encode()
+	if err != nil {
+		return nil, err
+	}
+	if len(enc) != len(data) {
+		return nil, errors.New("artifact: file is not a canonical encoding (re-encode size differs)")
+	}
+	for i := range enc {
+		if enc[i] != data[i] {
+			return nil, fmt.Errorf("artifact: file is not a canonical encoding (first divergence at byte %d)", i)
+		}
+	}
+	return a, nil
+}

@@ -1,0 +1,245 @@
+package artifact
+
+import (
+	"bytes"
+	"errors"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/spec"
+)
+
+// -update regenerates the golden fixtures under testdata/ from the
+// current encoder. Run it only when the format version is deliberately
+// bumped; the whole point of the fixtures is to make accidental layout
+// drift fail loudly.
+var update = flag.Bool("update", false, "rewrite golden artifact fixtures")
+
+// goldenSpecs are the deterministic specs behind the committed fixtures:
+// small, covering a deterministic family, a seeded generator, and a
+// non-n-parameterised family.
+var goldenSpecs = []struct {
+	file string
+	spec spec.GraphSpec
+}{
+	{"cycle_n8.bo3g", spec.GraphSpec{Family: "cycle", N: 8}},
+	{"regular_n8_d3.bo3g", spec.GraphSpec{Family: "random-regular", N: 8, D: 3, Seed: 7}},
+	{"torus_3x3.bo3g", spec.GraphSpec{Family: "torus", Rows: 3, Cols: 3}},
+}
+
+func goldenPath(file string) string { return filepath.Join("testdata", file) }
+
+// TestGoldenFixtures pins format v1 byte-for-byte: encoding each golden
+// spec must reproduce the committed file exactly, and decoding the
+// committed file must round-trip through a byte-identical re-encode.
+// Any intentional format change must bump Version and regenerate with
+// -update; anything else failing here is an accidental format break.
+func TestGoldenFixtures(t *testing.T) {
+	for _, g := range goldenSpecs {
+		t.Run(g.file, func(t *testing.T) {
+			a, err := FromSpec(g.spec)
+			if err != nil {
+				t.Fatalf("FromSpec: %v", err)
+			}
+			enc, err := a.Encode()
+			if err != nil {
+				t.Fatalf("Encode: %v", err)
+			}
+			if *update {
+				if err := os.WriteFile(goldenPath(g.file), enc, 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(goldenPath(g.file))
+			if err != nil {
+				t.Fatalf("missing fixture (regenerate with -update): %v", err)
+			}
+			if !bytes.Equal(enc, want) {
+				t.Fatalf("encoding diverged from the committed v%d fixture: got %d bytes, fixture %d bytes; if the format change is intentional, bump Version and regenerate", Version, len(enc), len(want))
+			}
+			dec, err := Verify(want)
+			if err != nil {
+				t.Fatalf("Verify(fixture): %v", err)
+			}
+			if dec.Key != g.spec.Key() {
+				t.Fatalf("decoded key %q, want %q", dec.Key, g.spec.Key())
+			}
+			if dec.Graph.N() != a.Graph.N() || dec.Graph.M() != a.Graph.M() {
+				t.Fatalf("decoded shape n=%d m=%d, want n=%d m=%d", dec.Graph.N(), dec.Graph.M(), a.Graph.N(), a.Graph.M())
+			}
+		})
+	}
+}
+
+// TestVersionRejection proves forward-version rejection: a fixture whose
+// version field is bumped must be refused with ErrVersion — before any
+// checksum complaint, so operators see "newer format", not "corrupt".
+func TestVersionRejection(t *testing.T) {
+	data, err := os.ReadFile(goldenPath("cycle_n8_v2.bo3g"))
+	if err != nil {
+		t.Fatalf("missing bumped-version fixture (regenerate with -update): %v", err)
+	}
+	_, err = Decode(data)
+	if !errors.Is(err, ErrVersion) {
+		t.Fatalf("Decode(v2 fixture) = %v, want ErrVersion", err)
+	}
+	if !strings.Contains(err.Error(), "version 2") {
+		t.Fatalf("error should name the file's version: %v", err)
+	}
+}
+
+// TestUpdateVersionFixture regenerates the bumped-version fixture
+// alongside -update: the golden cycle fixture with its version field set
+// to 2 and nothing else touched (checksums now stale, which is the
+// point — the version check must fire first).
+func TestUpdateVersionFixture(t *testing.T) {
+	if !*update {
+		t.Skip("only runs with -update")
+	}
+	data, err := os.ReadFile(goldenPath("cycle_n8.bo3g"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[8] = 2
+	if err := os.WriteFile(goldenPath("cycle_n8_v2.bo3g"), data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRoundTripAllFamilies round-trips every CSR family in the registry
+// through encode→decode→Validate and checks the decoded graph is
+// structurally identical to the generated one.
+func TestRoundTripAllFamilies(t *testing.T) {
+	for _, s := range testSpecs(t) {
+		t.Run(s.Family, func(t *testing.T) {
+			a, err := FromSpec(s)
+			if err != nil {
+				t.Fatalf("FromSpec: %v", err)
+			}
+			enc, err := a.Encode()
+			if err != nil {
+				t.Fatalf("Encode: %v", err)
+			}
+			got, err := Verify(enc)
+			if err != nil {
+				t.Fatalf("Verify: %v", err)
+			}
+			if got.Key != s.Key() {
+				t.Fatalf("key %q, want %q", got.Key, s.Key())
+			}
+			assertSameGraph(t, got.Graph, a.Graph)
+		})
+	}
+}
+
+// testSpecs returns one small spec per CSR family in the registry,
+// failing the test if a newly registered family has no entry here (the
+// compiler cannot catch that; this keeps coverage honest).
+func testSpecs(t *testing.T) []spec.GraphSpec {
+	t.Helper()
+	specs := map[string]spec.GraphSpec{
+		"complete":       {Family: "complete", N: 16},
+		"random-regular": {Family: "random-regular", N: 16, D: 4, Seed: 3},
+		"gnp":            {Family: "gnp", N: 32, P: 0.4, Seed: 3},
+		"dense":          {Family: "dense", N: 32, Alpha: 0.7, Seed: 3},
+		"sbm":            {Family: "sbm", A: 16, B: 16, PIn: 0.6, POut: 0.2, Seed: 3},
+		"cycle":          {Family: "cycle", N: 16},
+		"torus":          {Family: "torus", Rows: 4, Cols: 4},
+		"hypercube":      {Family: "hypercube", Dim: 4},
+	}
+	var out []spec.GraphSpec
+	for _, fam := range spec.Families() {
+		if fam == "complete-virtual" {
+			continue // virtual: no CSR, rejected by FromSpec (covered below)
+		}
+		s, ok := specs[fam]
+		if !ok {
+			t.Fatalf("family %q registered but has no artifact round-trip spec; add one", fam)
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+func assertSameGraph(t *testing.T, got, want *graph.Graph) {
+	t.Helper()
+	if got.Name() != want.Name() {
+		t.Fatalf("name %q, want %q", got.Name(), want.Name())
+	}
+	go1, ga1 := got.CSR()
+	go2, ga2 := want.CSR()
+	if !intsEqual(go1, go2) || !intsEqual(ga1, ga2) {
+		t.Fatal("decoded CSR arrays differ from the source graph")
+	}
+}
+
+func intsEqual(a, b []int32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestVirtualFamilyRejected: complete-virtual has no CSR arrays; the
+// build path must say so instead of writing a meaningless file.
+func TestVirtualFamilyRejected(t *testing.T) {
+	_, err := FromSpec(spec.GraphSpec{Family: "complete-virtual", N: 16})
+	if err == nil || !strings.Contains(err.Error(), "virtual topology") {
+		t.Fatalf("FromSpec(complete-virtual) = %v, want virtual-topology error", err)
+	}
+}
+
+// TestDecodeRejectsCorruption flips every byte of a small artifact in
+// turn; each flip must fail decoding (no byte of the format is dead
+// weight), and none may panic.
+func TestDecodeRejectsCorruption(t *testing.T) {
+	a, err := FromSpec(spec.GraphSpec{Family: "cycle", N: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc, err := a.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range enc {
+		mut := bytes.Clone(enc)
+		mut[i] ^= 0xff
+		if _, err := Decode(mut); err == nil {
+			t.Fatalf("flipping byte %d went undetected", i)
+		}
+	}
+	for cut := 0; cut < len(enc); cut++ {
+		if _, err := Decode(enc[:cut]); err == nil {
+			t.Fatalf("truncation to %d bytes went undetected", cut)
+		}
+	}
+}
+
+// TestDecodeHugeClaims: headers that declare enormous n/m against a tiny
+// file must fail on the size check without attempting the allocation.
+func TestDecodeHugeClaims(t *testing.T) {
+	a, err := FromSpec(spec.GraphSpec{Family: "cycle", N: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc, _ := a.Encode()
+	for _, off := range []int{12, 20} { // n, m fields
+		mut := bytes.Clone(enc)
+		for i := 0; i < 8; i++ {
+			mut[off+i] = 0xff
+		}
+		if _, err := Decode(mut); err == nil {
+			t.Fatalf("huge claim at offset %d went undetected", off)
+		}
+	}
+}

@@ -1,0 +1,118 @@
+package artifact
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/spec"
+)
+
+// benchSpec is a generator-heavy family at a serving-relevant size: the
+// random-regular pairing model with retries is the path the artifact
+// tier exists to amortise.
+var benchSpec = spec.GraphSpec{Family: "random-regular", N: 1 << 15, D: 16, Seed: 1}
+
+// BenchmarkGraphBuild is the baseline the artifact load competes with:
+// the full in-process generator path for the bench topology.
+func BenchmarkGraphBuild(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := benchSpec.Build(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkArtifactLoad measures the serve-time cold path with an
+// artifact present: one file read plus checksums plus the zero-copy
+// decode. Compare with BenchmarkGraphBuild — the ratio is the
+// preprocess→serve speedup recorded in BENCH_engine.json.
+func BenchmarkArtifactLoad(b *testing.B) {
+	a, err := FromSpec(benchSpec)
+	if err != nil {
+		b.Fatal(err)
+	}
+	d, err := OpenDir(b.TempDir(), 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := d.Store(a); err != nil {
+		b.Fatal(err)
+	}
+	enc, _ := a.Encode()
+	b.SetBytes(int64(len(enc)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := d.Load(a.Key); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkArtifactDecode isolates the in-memory decode (checksum passes
+// + zero-copy views) from the file read.
+func BenchmarkArtifactDecode(b *testing.B) {
+	a, err := FromSpec(benchSpec)
+	if err != nil {
+		b.Fatal(err)
+	}
+	enc, err := a.Encode()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(enc)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Decode(enc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkArtifactEncode measures the build-side serialization.
+func BenchmarkArtifactEncode(b *testing.B) {
+	a, err := FromSpec(benchSpec)
+	if err != nil {
+		b.Fatal(err)
+	}
+	enc, err := a.Encode()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(enc)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := a.Encode(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// TestBenchArtifactRoundTrip keeps the bench spec honest: the artifact
+// written by the bench setup must verify and survive a directory reopen
+// (the bench measures real loads, not a broken fixture).
+func TestBenchArtifactRoundTrip(t *testing.T) {
+	a, err := FromSpec(spec.GraphSpec{Family: "random-regular", N: 1 << 10, D: 8, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	d, err := OpenDir(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := d.Store(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Verify(data); err != nil {
+		t.Fatal(err)
+	}
+	if filepath.Dir(p) != dir {
+		t.Fatalf("stored outside the directory: %s", p)
+	}
+}

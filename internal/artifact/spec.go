@@ -1,0 +1,29 @@
+package artifact
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/spec"
+)
+
+// FromSpec validates the spec, runs its generator, and wraps the result
+// as an artifact under the spec's canonical key — the shared build path
+// of `bo3graph build` and the serve-time write-through. Virtual families
+// (complete-virtual's O(1) arithmetic topology) have no CSR arrays to
+// serialize and are rejected with a descriptive error; they are cheaper
+// to rebuild than to load anyway.
+func FromSpec(s spec.GraphSpec) (*Artifact, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	topo, err := s.Build()
+	if err != nil {
+		return nil, err
+	}
+	g, ok := topo.(*graph.Graph)
+	if !ok {
+		return nil, fmt.Errorf("artifact: family %q builds a virtual topology with no CSR arrays; nothing to preprocess", s.Family)
+	}
+	return New(s.Key(), g), nil
+}

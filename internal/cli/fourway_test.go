@@ -1,0 +1,199 @@
+package cli
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro"
+	"repro/internal/artifact"
+	"repro/internal/serve"
+	"repro/spec"
+)
+
+// fourWaySpecs is one small RunSpec per registered graph family — the
+// test fails if a newly registered family has no entry, so the
+// equivalence guarantee can never silently lose coverage.
+func fourWaySpecs(t *testing.T) []spec.RunSpec {
+	t.Helper()
+	graphs := map[string]spec.GraphSpec{
+		"complete":         {Family: "complete", N: 32},
+		"complete-virtual": {Family: "complete-virtual", N: 32},
+		"random-regular":   {Family: "random-regular", N: 32, D: 4, Seed: 3},
+		"gnp":              {Family: "gnp", N: 32, P: 0.4, Seed: 3},
+		"dense":            {Family: "dense", N: 32, Alpha: 0.7, Seed: 3},
+		"sbm":              {Family: "sbm", A: 16, B: 16, PIn: 0.6, POut: 0.2, Seed: 3},
+		"cycle":            {Family: "cycle", N: 32},
+		"torus":            {Family: "torus", Rows: 4, Cols: 4},
+		"hypercube":        {Family: "hypercube", Dim: 4},
+	}
+	var out []spec.RunSpec
+	for _, fam := range spec.Families() {
+		g, ok := graphs[fam]
+		if !ok {
+			t.Fatalf("family %q registered but missing from the four-way equivalence specs; add one", fam)
+		}
+		out = append(out, spec.RunSpec{
+			Graph:  g,
+			Delta:  0.1,
+			Trials: 3,
+			Seed:   42,
+			Rule:   &spec.RuleSpec{K: 3},
+		})
+	}
+	return out
+}
+
+// serverOutcomes submits the spec to a live server, polls the job to a
+// terminal state, and returns the per-trial outcome triples.
+func serverOutcomes(t *testing.T, url string, raw []byte) []outcomeTriple {
+	t.Helper()
+	resp, err := http.Post(url+"/v1/runs", "application/json", bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var view serve.JobView
+	if err := json.NewDecoder(resp.Body).Decode(&view); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	deadline := time.Now().Add(60 * time.Second)
+	for view.State != serve.StateDone {
+		if time.Now().After(deadline) || view.State == serve.StateFailed {
+			t.Fatalf("server job ended %s (%s)", view.State, view.Error)
+		}
+		time.Sleep(2 * time.Millisecond)
+		r, err := http.Get(url + "/v1/runs/" + view.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := json.NewDecoder(r.Body).Decode(&view); err != nil {
+			t.Fatal(err)
+		}
+		r.Body.Close()
+	}
+	out := make([]outcomeTriple, len(view.Result.Reports))
+	for i, o := range view.Result.Reports {
+		out[i] = outcomeTriple{RedWon: o.RedWon, Consensus: o.Consensus, Rounds: o.Rounds}
+	}
+	return out
+}
+
+// TestSpecEquivalenceFourWayAllFamilies extends the three-way
+// equivalence guarantee to the artifact load path: for every registered
+// graph family, one RunSpec must produce byte-identical per-trial
+// outcomes through (1) the library Runner, (2) the bo3sim CLI, (3) a
+// plain server, and (4) a server whose topology comes from a
+// bo3graph-built artifact instead of the generator. Leg 4 is the PR's
+// acceptance criterion: a preprocessed artifact is indistinguishable,
+// byte for byte, from in-process generation.
+func TestSpecEquivalenceFourWayAllFamilies(t *testing.T) {
+	specs := fourWaySpecs(t)
+
+	// Pre-populate an artifact directory exactly as `bo3graph build -dir`
+	// would, one artifact per CSR family (the virtual family has none and
+	// exercises the bypass path on the artifact server).
+	artDir, err := artifact.OpenDir(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	csrFamilies := 0
+	for _, rs := range specs {
+		if rs.Graph.Family == "complete-virtual" {
+			continue
+		}
+		a, err := artifact.FromSpec(rs.Graph)
+		if err != nil {
+			t.Fatalf("%s: FromSpec: %v", rs.Graph.Family, err)
+		}
+		if _, err := artDir.Store(a); err != nil {
+			t.Fatalf("%s: Store: %v", rs.Graph.Family, err)
+		}
+		csrFamilies++
+	}
+
+	plainMgr := serve.NewManager(serve.Config{Workers: 2})
+	defer plainMgr.Close(context.Background())
+	plainSrv := httptest.NewServer(serve.NewServer(plainMgr))
+	defer plainSrv.Close()
+
+	artMgr := serve.NewManager(serve.Config{Workers: 2, Artifacts: artDir})
+	defer artMgr.Close(context.Background())
+	artSrv := httptest.NewServer(serve.NewServer(artMgr))
+	defer artSrv.Close()
+
+	for _, rs := range specs {
+		rs := rs
+		t.Run(rs.Graph.Family, func(t *testing.T) {
+			raw, err := json.Marshal(rs)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			// Leg 1: library Runner.
+			runner, err := repro.NewRunner(rs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rep, err := runner.Run(context.Background())
+			if err != nil {
+				t.Fatal(err)
+			}
+			lib := make([]outcomeTriple, len(rep.Outcomes))
+			for i, o := range rep.Outcomes {
+				lib[i] = outcomeTriple{RedWon: o.RedWon, Consensus: o.Consensus, Rounds: o.Rounds}
+			}
+			libJSON, _ := json.Marshal(lib)
+
+			// Leg 2: the bo3sim CLI on the identical spec file.
+			specPath := filepath.Join(t.TempDir(), "run.json")
+			if err := os.WriteFile(specPath, raw, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			var stdout, stderr bytes.Buffer
+			// Exit 2 is bo3sim's "completed, but not every trial reached
+			// consensus" signal — a valid outcome for the slow-mixing
+			// families (cycle, torus) under the default round budget.
+			if code := SimMain([]string{"-spec", specPath, "-json"}, &stdout, &stderr); code != 0 && code != 2 {
+				t.Fatalf("bo3sim exited %d: %s", code, stderr.String())
+			}
+			var cliRep repro.RunReport
+			if err := json.Unmarshal(stdout.Bytes(), &cliRep); err != nil {
+				t.Fatal(err)
+			}
+			cliOut := make([]outcomeTriple, len(cliRep.Outcomes))
+			for i, o := range cliRep.Outcomes {
+				cliOut[i] = outcomeTriple{RedWon: o.RedWon, Consensus: o.Consensus, Rounds: o.Rounds}
+			}
+			cliJSON, _ := json.Marshal(cliOut)
+
+			// Legs 3 and 4: generator-path server and artifact-path server.
+			srvJSON, _ := json.Marshal(serverOutcomes(t, plainSrv.URL, raw))
+			artJSON, _ := json.Marshal(serverOutcomes(t, artSrv.URL, raw))
+
+			if !bytes.Equal(libJSON, cliJSON) {
+				t.Errorf("library and CLI outcomes differ:\nlib %s\ncli %s", libJSON, cliJSON)
+			}
+			if !bytes.Equal(libJSON, srvJSON) {
+				t.Errorf("library and server outcomes differ:\nlib %s\nsrv %s", libJSON, srvJSON)
+			}
+			if !bytes.Equal(libJSON, artJSON) {
+				t.Errorf("generator and artifact paths diverge:\nlib %s\nart %s", libJSON, artJSON)
+			}
+		})
+	}
+
+	// Every CSR family's topology on the artifact server must have come
+	// from the preprocessed artifacts, not the generator.
+	st := artMgr.Stats()
+	if st.GraphsArtifactHits != int64(csrFamilies) || st.GraphsArtifactMisses != 0 {
+		t.Errorf("artifact server hits=%d misses=%d, want %d/0 (every CSR family loaded from disk)",
+			st.GraphsArtifactHits, st.GraphsArtifactMisses, csrFamilies)
+	}
+}

@@ -145,6 +145,49 @@ func (g *Graph) Degrees() []int {
 	return out
 }
 
+// CSR exposes the raw compressed-sparse-row arrays: offsets (length N()+1)
+// and the concatenated sorted adjacency lists (length 2·M()). The returned
+// slices alias the graph's internal storage and must not be modified; they
+// are what the artifact serializer writes to disk.
+func (g *Graph) CSR() (offsets, adj []int32) { return g.offsets, g.adj }
+
+// NewCSR adopts pre-built CSR arrays as a graph without copying — the load
+// path for deserialized artifacts. It performs the cheap O(V+E) structural
+// checks (monotone offsets starting at 0 and ending at len(adj), neighbour
+// indices in range, no self-loops); the full invariant set — sortedness,
+// symmetry, no parallel edges — is Validate's, which artifact verification
+// runs separately. The arrays are adopted as-is and must not be modified
+// afterwards.
+func NewCSR(offsets, adj []int32, name string) (*Graph, error) {
+	if len(offsets) == 0 {
+		if len(adj) != 0 {
+			return nil, fmt.Errorf("graph: csr with no offsets but %d adjacency entries", len(adj))
+		}
+		return &Graph{name: name}, nil
+	}
+	n := len(offsets) - 1
+	if offsets[0] != 0 {
+		return nil, fmt.Errorf("graph: csr offsets[0] = %d, want 0", offsets[0])
+	}
+	if int(offsets[n]) != len(adj) {
+		return nil, fmt.Errorf("graph: csr offsets[%d] = %d, want %d", n, offsets[n], len(adj))
+	}
+	for v := 0; v < n; v++ {
+		if offsets[v+1] < offsets[v] {
+			return nil, fmt.Errorf("graph: csr offsets not monotone at vertex %d", v)
+		}
+		for _, w := range adj[offsets[v]:offsets[v+1]] {
+			if int(w) < 0 || int(w) >= n {
+				return nil, fmt.Errorf("graph: csr vertex %d has out-of-range neighbour %d", v, w)
+			}
+			if int(w) == v {
+				return nil, fmt.Errorf("graph: csr self-loop at vertex %d", v)
+			}
+		}
+	}
+	return &Graph{offsets: offsets, adj: adj, name: name}, nil
+}
+
 // Validate checks the structural invariants of the CSR representation:
 // monotone offsets, sorted adjacency lists, no self-loops, no parallel
 // edges, and symmetry (u ∈ adj(v) ⇔ v ∈ adj(u)). It is used by generator

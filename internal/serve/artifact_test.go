@@ -1,0 +1,163 @@
+package serve
+
+import (
+	"context"
+	"os"
+	"testing"
+
+	"repro/internal/artifact"
+	"repro/internal/graph"
+)
+
+func artifactCache(t *testing.T, dir string, capacity int) *GraphCache {
+	t.Helper()
+	d, err := artifact.OpenDir(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewGraphCache(capacity)
+	c.UseArtifacts(d)
+	return c
+}
+
+// TestArtifactWriteThroughAndHit: process one builds cold and writes
+// through; process two (a fresh cache over the same directory — exactly
+// a server restart or a fleet peer) loads the artifact instead of
+// rebuilding, and both serve the identical topology.
+func TestArtifactWriteThroughAndHit(t *testing.T) {
+	dir := t.TempDir()
+	spec := GraphSpec{Family: "random-regular", N: 64, D: 6, Seed: 9}
+
+	c1 := artifactCache(t, dir, 4)
+	g1, _, err := c1.Get(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h, m := c1.ArtifactStats(); h != 0 || m != 1 {
+		t.Fatalf("cold build: artifact hits=%d misses=%d, want 0/1", h, m)
+	}
+
+	c2 := artifactCache(t, dir, 4)
+	g2, _, err := c2.Get(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h, m := c2.ArtifactStats(); h != 1 || m != 0 {
+		t.Fatalf("warm process: artifact hits=%d misses=%d, want 1/0", h, m)
+	}
+
+	o1, a1 := g1.(*graph.Graph).CSR()
+	o2, a2 := g2.(*graph.Graph).CSR()
+	if len(o1) != len(o2) || len(a1) != len(a2) {
+		t.Fatal("loaded topology shape differs from built")
+	}
+	for i := range o1 {
+		if o1[i] != o2[i] {
+			t.Fatal("loaded offsets differ from built")
+		}
+	}
+	for i := range a1 {
+		if a1[i] != a2[i] {
+			t.Fatal("loaded adjacency differs from built")
+		}
+	}
+	if g1.(*graph.Graph).Name() != g2.(*graph.Graph).Name() {
+		t.Fatal("loaded graph name differs from built")
+	}
+
+	// The in-memory tier still fronts the disk tier: a second Get in the
+	// same process is a pool hit, not another artifact load.
+	if _, hit, err := c2.Get(spec); err != nil || !hit {
+		t.Fatalf("in-memory hit = %v, err = %v", hit, err)
+	}
+	if h, _ := c2.ArtifactStats(); h != 1 {
+		t.Fatalf("pool hit went to disk: artifact hits = %d, want 1", h)
+	}
+}
+
+// TestArtifactCorruptFallsBackToBuild: a damaged artifact must degrade
+// to the generator path — rebuild, re-publish — never surface an error
+// to the job.
+func TestArtifactCorruptFallsBackToBuild(t *testing.T) {
+	dir := t.TempDir()
+	spec := GraphSpec{Family: "cycle", N: 32}
+	d, err := artifact.OpenDir(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	c1 := artifactCache(t, dir, 4)
+	if _, _, err := c1.Get(spec); err != nil {
+		t.Fatal(err)
+	}
+	path := d.Path(spec.Key())
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-10] ^= 0x01
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	c2 := artifactCache(t, dir, 4)
+	g, _, err := c2.Get(spec)
+	if err != nil {
+		t.Fatalf("Get over corrupt artifact: %v", err)
+	}
+	if g.N() != 32 {
+		t.Fatalf("rebuilt graph has n = %d, want 32", g.N())
+	}
+	if h, m := c2.ArtifactStats(); h != 0 || m != 1 {
+		t.Fatalf("corrupt load: artifact hits=%d misses=%d, want 0/1 (rebuild)", h, m)
+	}
+	// The rebuild re-published a good artifact; the next process hits.
+	c3 := artifactCache(t, dir, 4)
+	if _, _, err := c3.Get(spec); err != nil {
+		t.Fatal(err)
+	}
+	if h, _ := c3.ArtifactStats(); h != 1 {
+		t.Fatalf("re-published artifact not served: hits = %d, want 1", h)
+	}
+}
+
+// TestArtifactVirtualFamilyBypasses: complete-virtual builds an O(1)
+// arithmetic topology with no CSR; the artifact tier must neither write
+// a file for it nor count it against the artifact counters.
+func TestArtifactVirtualFamilyBypasses(t *testing.T) {
+	dir := t.TempDir()
+	c := artifactCache(t, dir, 4)
+	if _, _, err := c.Get(GraphSpec{Family: "complete-virtual", N: 64}); err != nil {
+		t.Fatal(err)
+	}
+	if h, m := c.ArtifactStats(); h != 0 || m != 0 {
+		t.Fatalf("virtual family touched artifact counters: hits=%d misses=%d", h, m)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 0 {
+		t.Fatalf("virtual family wrote %d files to the artifact dir", len(entries))
+	}
+}
+
+// TestManagerStatsExposeArtifacts: the manager surfaces the disk-tier
+// counters in the /v1/stats payload fields.
+func TestManagerStatsExposeArtifacts(t *testing.T) {
+	d, err := artifact.OpenDir(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := NewManager(Config{Workers: 1, Artifacts: d})
+	defer m.Close(context.Background())
+	m.Cache().Get(GraphSpec{Family: "cycle", N: 16})
+
+	st := m.Stats()
+	if !st.ArtifactsEnabled {
+		t.Fatal("ArtifactsEnabled = false with a directory attached")
+	}
+	if st.GraphsArtifactHits != 0 || st.GraphsArtifactMisses != 1 {
+		t.Fatalf("stats artifact hits=%d misses=%d, want 0/1", st.GraphsArtifactHits, st.GraphsArtifactMisses)
+	}
+}

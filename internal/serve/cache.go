@@ -3,8 +3,11 @@ package serve
 import (
 	"container/list"
 	"sync"
+	"sync/atomic"
 
+	"repro/internal/artifact"
 	"repro/internal/core"
+	"repro/internal/graph"
 )
 
 // GraphCache is an LRU pool of built topologies keyed by GraphSpec.Key().
@@ -25,6 +28,14 @@ type GraphCache struct {
 	building map[string]*buildCall
 
 	hits, misses, evictions int64
+
+	// artifacts is the optional disk tier under the in-memory pool
+	// (bo3serve -artifact-dir): a cold build checks the artifact directory
+	// before invoking the generator and writes through on a miss, so a
+	// preprocessed (or fleet-peer-built) topology costs one checksummed
+	// file read instead of a full generator run. Nil = disabled.
+	artifacts                    *artifact.Dir
+	artifactHits, artifactMisses atomic.Int64
 }
 
 type entry struct {
@@ -86,7 +97,7 @@ func (c *GraphCache) Get(spec GraphSpec) (core.Topology, bool, error) {
 	c.building[key] = call
 	c.mu.Unlock()
 
-	call.g, call.err = spec.Build()
+	call.g, call.err = c.buildOrLoad(spec, key)
 	close(call.done)
 
 	c.mu.Lock()
@@ -96,6 +107,46 @@ func (c *GraphCache) Get(spec GraphSpec) (core.Topology, bool, error) {
 	}
 	c.mu.Unlock()
 	return call.g, false, call.err
+}
+
+// UseArtifacts attaches a disk artifact directory as the tier below the
+// in-memory pool. Call before serving; nil detaches.
+func (c *GraphCache) UseArtifacts(d *artifact.Dir) { c.artifacts = d }
+
+// buildOrLoad materialises the topology for one coalesced cache miss:
+// from the artifact directory when an artifact for the key exists and
+// passes its checksums, otherwise via the spec's generator, writing the
+// freshly built CSR back through to disk. Virtual topologies (no CSR
+// arrays) always take the generator path and touch neither disk nor the
+// artifact counters — they are O(1) to rebuild. Corrupt artifacts are
+// deleted by Load and silently rebuilt: a damaged disk tier degrades to
+// the generator path, never to an error.
+func (c *GraphCache) buildOrLoad(spec GraphSpec, key string) (core.Topology, error) {
+	if c.artifacts != nil {
+		if a, err := c.artifacts.Load(key); err == nil {
+			c.artifactHits.Add(1)
+			return a.Graph, nil
+		}
+	}
+	g, err := spec.Build()
+	if err != nil || c.artifacts == nil {
+		return g, err
+	}
+	if cg, ok := g.(*graph.Graph); ok {
+		c.artifactMisses.Add(1)
+		// Best-effort write-through: the graph is correct whether or not
+		// it was persisted, and a concurrent peer writing the same key
+		// produces identical bytes, so last-rename-wins is harmless.
+		_, _ = c.artifacts.Store(artifact.New(key, cg))
+	}
+	return g, nil
+}
+
+// ArtifactStats returns the disk-tier counters: loads served from the
+// artifact directory and CSR builds that missed it (and were written
+// through). Both are zero when no directory is attached.
+func (c *GraphCache) ArtifactStats() (hits, misses int64) {
+	return c.artifactHits.Load(), c.artifactMisses.Load()
 }
 
 // insert adds the entry and evicts from the LRU tail; callers hold c.mu.

@@ -9,6 +9,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/artifact"
 	"repro/internal/rng"
 	"repro/internal/sim"
 	"repro/internal/store"
@@ -78,6 +79,14 @@ type Config struct {
 	SweepConcurrency int
 	// Limits defaults to DefaultLimits when zero.
 	Limits Limits
+	// Artifacts is the disk-backed graph artifact directory (nil =
+	// disabled; bo3serve opens it from -artifact-dir). With a directory
+	// attached, a graph-pool miss loads the topology from its
+	// preprocessed artifact when one exists (bo3graph build, or a fleet
+	// peer's write-through) instead of running the generator, and freshly
+	// generated CSR topologies are written through for the next process.
+	// The manager does not own the directory.
+	Artifacts *artifact.Dir
 	// Store is the persistent result store (nil = disabled). With a store
 	// attached, a submission whose content key is already recorded is
 	// answered from disk without touching the worker pool, every executed
@@ -213,9 +222,11 @@ func NewManager(cfg Config) *Manager {
 		cfg.LeasePoll = min(max(cfg.LeaseTTL/20, 5*time.Millisecond), 500*time.Millisecond)
 	}
 	ctx, cancel := context.WithCancel(context.Background())
+	cache := NewGraphCache(cfg.CacheCapacity)
+	cache.UseArtifacts(cfg.Artifacts)
 	m := &Manager{
 		cfg:           cfg,
-		cache:         NewGraphCache(cfg.CacheCapacity),
+		cache:         cache,
 		baseCtx:       ctx,
 		cancelBase:    cancel,
 		queue:         make(chan *job, cfg.QueueDepth),
@@ -469,9 +480,11 @@ func (m *Manager) Stats() Stats {
 		SweepsDeduped:      m.sweepsDeduped,
 		WorkerID:           m.cfg.WorkerID,
 		Cache:              m.cache.Stats(),
+		ArtifactsEnabled:   m.cfg.Artifacts != nil,
 		UptimeSeconds:      time.Since(m.startTime).Seconds(),
 		Workers:            m.cfg.Workers,
 	}
+	st.GraphsArtifactHits, st.GraphsArtifactMisses = m.cache.ArtifactStats()
 	if m.cfg.Store != nil {
 		ss := m.cfg.Store.Stats()
 		st.ResultStore = &ss

@@ -161,6 +161,14 @@ type Stats struct {
 	WorkerID string `json:"worker_id,omitempty"`
 	// Cache is the graph-pool snapshot.
 	Cache CacheStats `json:"graph_cache"`
+	// ArtifactsEnabled reports whether a disk artifact directory is
+	// attached (-artifact-dir); GraphsArtifactHits counts graph-pool
+	// misses served by loading a preprocessed artifact from it, and
+	// GraphsArtifactMisses counts CSR builds that found no artifact and
+	// wrote one through. Both stay zero without a directory.
+	ArtifactsEnabled     bool  `json:"artifacts_enabled,omitempty"`
+	GraphsArtifactHits   int64 `json:"graphs_artifact_hits"`
+	GraphsArtifactMisses int64 `json:"graphs_artifact_misses"`
 	// ResultStore is the persistent result store's snapshot; absent when
 	// the server runs without one (no -store-dir). StoreErrors counts
 	// failed store writes (the affected jobs still completed normally;
