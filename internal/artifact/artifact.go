@@ -254,6 +254,14 @@ func Decode(data []byte) (*Artifact, error) {
 	if got, want := crc(data[:headEnd]), binary.LittleEndian.Uint32(data[headEnd:]); got != want {
 		return nil, fmt.Errorf("artifact: header checksum mismatch (got %08x, want %08x)", got, want)
 	}
+	// The padding bytes must be zero, not merely CRC-consistent: encoding
+	// is canonical, and Decode alone must reject non-canonical files
+	// rather than leaving that to Verify's re-encode pass.
+	for i := headEnd + 4; i < offStart; i++ {
+		if data[i] != 0 {
+			return nil, fmt.Errorf("artifact: nonzero padding byte at offset %d", i)
+		}
+	}
 	if got, want := crc(data[offStart:offEnd]), binary.LittleEndian.Uint32(data[offEnd:]); got != want {
 		return nil, fmt.Errorf("artifact: offsets checksum mismatch (got %08x, want %08x)", got, want)
 	}

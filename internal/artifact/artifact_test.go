@@ -2,6 +2,7 @@ package artifact
 
 import (
 	"bytes"
+	"encoding/binary"
 	"errors"
 	"flag"
 	"os"
@@ -241,5 +242,84 @@ func TestDecodeHugeClaims(t *testing.T) {
 		if _, err := Decode(mut); err == nil {
 			t.Fatalf("huge claim at offset %d went undetected", off)
 		}
+	}
+}
+
+// encodeRaw builds artifact bytes in the v1 layout with valid CRCs but
+// no structural validation — the adversary's encoder, producing
+// checksum-valid files Encode itself would refuse. Fuzzing never finds
+// these (random mutation breaks the CRCs first), so the structurally
+// hostile cases are pinned here and seeded into FuzzArtifactDecode.
+func encodeRaw(key, name string, n, m uint64, offsets, adj []int32, padByte byte) []byte {
+	out := []byte(Magic)
+	out = binary.LittleEndian.AppendUint16(out, Version)
+	out = binary.LittleEndian.AppendUint16(out, 0)
+	out = binary.LittleEndian.AppendUint64(out, n)
+	out = binary.LittleEndian.AppendUint64(out, m)
+	out = binary.LittleEndian.AppendUint32(out, uint32(len(key)))
+	out = binary.LittleEndian.AppendUint32(out, uint32(len(name)))
+	out = append(out, key...)
+	out = append(out, name...)
+	out = binary.LittleEndian.AppendUint32(out, crc(out))
+	for i := pad8(len(out)); i > 0; i-- {
+		out = append(out, padByte)
+	}
+	mark := len(out)
+	out = appendInt32s(out, offsets)
+	out = binary.LittleEndian.AppendUint32(out, crc(out[mark:]))
+	mark = len(out)
+	out = appendInt32s(out, adj)
+	out = binary.LittleEndian.AppendUint32(out, crc(out[mark:]))
+	out = binary.LittleEndian.AppendUint32(out, crc(out))
+	return out
+}
+
+// TestDecodeRejectsMalformedOffsets: checksum-valid files whose offsets
+// arrays are not valid CSR slice bounds must fail decoding with an
+// error, never panic. The [0, 100, 0]-with-empty-adjacency case is the
+// regression: it passes the offsets[0]==0 and offsets[n]==len(adj)
+// endpoint checks, and a graph.NewCSR that sliced while checking
+// monotonicity pairwise panicked on it — so a single such file in a
+// shared artifact dir crashed every server that loaded it.
+func TestDecodeRejectsMalformedOffsets(t *testing.T) {
+	cases := []struct {
+		name    string
+		n, m    uint64
+		offsets []int32
+		adj     []int32
+	}{
+		{"spike-then-drop", 2, 0, []int32{0, 100, 0}, nil},
+		{"negative-dip", 2, 0, []int32{0, -4, 0}, nil},
+		{"spike-past-adj", 2, 1, []int32{0, 100, 2}, []int32{1, 0}},
+		{"self-loop", 2, 1, []int32{0, 1, 2}, []int32{0, 1}},
+		{"out-of-range-neighbour", 2, 1, []int32{0, 1, 2}, []int32{1, 9}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("Decode panicked: %v", r)
+				}
+			}()
+			data := encodeRaw("spec", "bad", tc.n, tc.m, tc.offsets, tc.adj, 0)
+			if _, err := Decode(data); err == nil {
+				t.Fatal("Decode accepted a checksum-valid file with malformed CSR arrays")
+			}
+		})
+	}
+}
+
+// TestDecodeRejectsNonzeroPadding: the header-to-offsets padding is part
+// of the canonical encoding; Decode alone (not just Verify's re-encode
+// pass) must reject files whose padding bytes are nonzero.
+func TestDecodeRejectsNonzeroPadding(t *testing.T) {
+	// Key length 1 makes the header end at 41 bytes ⇒ 7 padding bytes.
+	good := encodeRaw("k", "", 2, 1, []int32{0, 1, 2}, []int32{1, 0}, 0)
+	if _, err := Decode(good); err != nil {
+		t.Fatalf("canonical raw file should decode: %v", err)
+	}
+	bad := encodeRaw("k", "", 2, 1, []int32{0, 1, 2}, []int32{1, 0}, 0xAA)
+	if _, err := Decode(bad); err == nil || !strings.Contains(err.Error(), "padding") {
+		t.Fatalf("Decode(nonzero padding) = %v, want a padding error", err)
 	}
 }

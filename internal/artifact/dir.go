@@ -72,9 +72,12 @@ func (d *Dir) Path(key string) string {
 
 // Load reads, checksums, and decodes the artifact for key. It returns
 // ErrNotFound when no file exists. A file that fails decoding — torn,
-// bit-flipped, wrong version, or recorded under a different key — is
-// removed so the caller's rebuild can write a fresh one, and the decode
-// error is returned.
+// bit-flipped, or recorded under a different key — is removed so the
+// caller's rebuild can write a fresh one, and the decode error is
+// returned. A newer-format file (ErrVersion) is NOT removed: in a
+// mixed-version fleet it is a valid artifact written by an upgraded
+// peer, and deleting it would make old and new binaries churn the
+// shared cache against each other through a rolling upgrade.
 func (d *Dir) Load(key string) (*Artifact, error) {
 	path := d.Path(key)
 	data, err := os.ReadFile(path)
@@ -89,7 +92,9 @@ func (d *Dir) Load(key string) (*Artifact, error) {
 		err = fmt.Errorf("artifact: file %s records key %q, expected %q", filepath.Base(path), a.Key, key)
 	}
 	if err != nil {
-		os.Remove(path)
+		if !errors.Is(err, ErrVersion) {
+			os.Remove(path)
+		}
 		return nil, err
 	}
 	// Touch the file so mtime approximates recency-of-use and the

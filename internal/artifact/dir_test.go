@@ -239,3 +239,38 @@ func TestOpenDirSweepsStaleTmp(t *testing.T) {
 		t.Fatal("stale temp file survived OpenDir")
 	}
 }
+
+// TestDirVersionMismatchKept: a newer-format artifact (written by an
+// upgraded fleet peer) must be reported as ErrVersion but NOT deleted —
+// an old binary repeatedly deleting valid v2 files while new binaries
+// rewrite them would churn the shared cache through a rolling upgrade.
+func TestDirVersionMismatchKept(t *testing.T) {
+	d, err := OpenDir(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := testArtifact(t, 16)
+	path, err := d.Store(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Bump the version byte in place. The version check fires before any
+	// checksum, so the now-stale CRCs never enter the picture.
+	data[8] = 2
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Load(a.Key); !errors.Is(err, ErrVersion) {
+		t.Fatalf("Load(v2 file) = %v, want ErrVersion", err)
+	}
+	if _, err := os.Stat(path); err != nil {
+		t.Fatalf("newer-format artifact was removed: %v", err)
+	}
+	if d.Len() != 1 {
+		t.Fatalf("Len = %d, want 1 (file kept for upgraded peers)", d.Len())
+	}
+}

@@ -27,6 +27,12 @@ func FuzzArtifactDecode(f *testing.F) {
 	}
 	f.Add([]byte{})
 	f.Add([]byte(Magic))
+	// Checksum-valid but structurally hostile seeds: mutation alone never
+	// reaches these (it breaks the CRCs first). The [0, 100, 0] offsets
+	// case is the regression seed for the NewCSR slice-bounds panic.
+	f.Add(encodeRaw("spec", "bad", 2, 0, []int32{0, 100, 0}, nil, 0))
+	f.Add(encodeRaw("spec", "bad", 2, 1, []int32{0, 100, 2}, []int32{1, 0}, 0))
+	f.Add(encodeRaw("k", "", 2, 1, []int32{0, 1, 2}, []int32{1, 0}, 0xAA))
 	f.Fuzz(func(t *testing.T, data []byte) {
 		a, err := Decode(data)
 		if err != nil {

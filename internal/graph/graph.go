@@ -172,10 +172,17 @@ func NewCSR(offsets, adj []int32, name string) (*Graph, error) {
 	if int(offsets[n]) != len(adj) {
 		return nil, fmt.Errorf("graph: csr offsets[%d] = %d, want %d", n, offsets[n], len(adj))
 	}
+	// Validate the whole offsets array before slicing adj with any of it:
+	// monotonicity plus the endpoint checks above bound every offset to
+	// [0, len(adj)]. Checking pairwise while slicing is not enough — e.g.
+	// offsets [0, 100, 0] with empty adj passes both endpoint checks and
+	// the v=0 monotonicity test, then the slice would panic.
 	for v := 0; v < n; v++ {
 		if offsets[v+1] < offsets[v] {
 			return nil, fmt.Errorf("graph: csr offsets not monotone at vertex %d", v)
 		}
+	}
+	for v := 0; v < n; v++ {
 		for _, w := range adj[offsets[v]:offsets[v+1]] {
 			if int(w) < 0 || int(w) >= n {
 				return nil, fmt.Errorf("graph: csr vertex %d has out-of-range neighbour %d", v, w)

@@ -732,3 +732,51 @@ func TestGnpEdgeInclusionUniform(t *testing.T) {
 		}
 	}
 }
+
+// TestNewCSRRejectsMalformedOffsets: NewCSR must return errors — never
+// panic — on offsets arrays that pass the endpoint checks but are not
+// valid slice bounds. The [0, 100, 0] case is the regression: with empty
+// adjacency it satisfies offsets[0]==0 and offsets[n]==len(adj), and a
+// pairwise monotonicity check interleaved with slicing would panic on
+// adj[0:100] before reaching the non-monotone pair.
+func TestNewCSRRejectsMalformedOffsets(t *testing.T) {
+	cases := []struct {
+		name    string
+		offsets []int32
+		adj     []int32
+	}{
+		{"spike-then-drop", []int32{0, 100, 0}, nil},
+		{"negative-dip", []int32{0, -4, 0}, nil},
+		{"spike-past-adj", []int32{0, 100, 2}, []int32{1, 0}},
+		{"bad-first", []int32{3, 2}, []int32{1, 0}},
+		{"bad-last", []int32{0, 5}, []int32{1, 0}},
+		{"adj-without-offsets", nil, []int32{1, 0}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("NewCSR panicked: %v", r)
+				}
+			}()
+			if _, err := NewCSR(tc.offsets, tc.adj, "bad"); err == nil {
+				t.Fatal("NewCSR accepted malformed CSR arrays")
+			}
+		})
+	}
+}
+
+// TestNewCSRValid: well-formed CSR arrays round-trip through NewCSR with
+// the adopted storage intact (a path graph 0-1-2).
+func TestNewCSRValid(t *testing.T) {
+	g, err := NewCSR([]int32{0, 1, 3, 4}, []int32{1, 0, 2, 1}, "path3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 3 || g.M() != 2 {
+		t.Fatalf("N=%d M=%d, want 3/2", g.N(), g.M())
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}

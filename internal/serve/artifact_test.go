@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"bytes"
 	"context"
 	"os"
 	"testing"
@@ -159,5 +160,57 @@ func TestManagerStatsExposeArtifacts(t *testing.T) {
 	}
 	if st.GraphsArtifactHits != 0 || st.GraphsArtifactMisses != 1 {
 		t.Fatalf("stats artifact hits=%d misses=%d, want 0/1", st.GraphsArtifactHits, st.GraphsArtifactMisses)
+	}
+}
+
+// TestArtifactNewerFormatKept is the mixed-version fleet drill: a key
+// whose artifact file carries a newer format version (written by an
+// upgraded peer) must be rebuilt in-process — counted as a miss — while
+// the peer's file stays on disk byte-for-byte: neither deleted by the
+// failed load nor overwritten by write-through, or old and new binaries
+// would churn the shared key against each other through a rolling
+// upgrade.
+func TestArtifactNewerFormatKept(t *testing.T) {
+	dir := t.TempDir()
+	spec := GraphSpec{Family: "cycle", N: 32}
+	d, err := artifact.OpenDir(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	c1 := artifactCache(t, dir, 4)
+	if _, _, err := c1.Get(spec); err != nil {
+		t.Fatal(err)
+	}
+	path := d.Path(spec.Key())
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Bump the version byte: to this binary the file is now "from the
+	// future" (version check fires before any checksum).
+	v2 := append([]byte(nil), data...)
+	v2[8]++
+	if err := os.WriteFile(path, v2, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	c2 := artifactCache(t, dir, 4)
+	g, _, err := c2.Get(spec)
+	if err != nil {
+		t.Fatalf("Get over newer-format artifact: %v", err)
+	}
+	if g.N() != 32 {
+		t.Fatalf("rebuilt graph has n = %d, want 32", g.N())
+	}
+	if h, m := c2.ArtifactStats(); h != 0 || m != 1 {
+		t.Fatalf("newer-format load: artifact hits=%d misses=%d, want 0/1 (rebuild)", h, m)
+	}
+	after, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("newer-format artifact was deleted: %v", err)
+	}
+	if !bytes.Equal(after, v2) {
+		t.Fatal("newer-format artifact was overwritten by write-through")
 	}
 }

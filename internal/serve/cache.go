@@ -2,6 +2,7 @@ package serve
 
 import (
 	"container/list"
+	"errors"
 	"sync"
 	"sync/atomic"
 
@@ -120,13 +121,20 @@ func (c *GraphCache) UseArtifacts(d *artifact.Dir) { c.artifacts = d }
 // arrays) always take the generator path and touch neither disk nor the
 // artifact counters — they are O(1) to rebuild. Corrupt artifacts are
 // deleted by Load and silently rebuilt: a damaged disk tier degrades to
-// the generator path, never to an error.
+// the generator path, never to an error. A newer-format artifact
+// (ErrVersion, written by an upgraded fleet peer) is also rebuilt
+// in-process but neither deleted nor overwritten: write-through would
+// replace the peer's file with this binary's older format and the two
+// fleet halves would churn the shared key against each other.
 func (c *GraphCache) buildOrLoad(spec GraphSpec, key string) (core.Topology, error) {
+	newerFormat := false
 	if c.artifacts != nil {
-		if a, err := c.artifacts.Load(key); err == nil {
+		a, err := c.artifacts.Load(key)
+		if err == nil {
 			c.artifactHits.Add(1)
 			return a.Graph, nil
 		}
+		newerFormat = errors.Is(err, artifact.ErrVersion)
 	}
 	g, err := spec.Build()
 	if err != nil || c.artifacts == nil {
@@ -137,7 +145,9 @@ func (c *GraphCache) buildOrLoad(spec GraphSpec, key string) (core.Topology, err
 		// Best-effort write-through: the graph is correct whether or not
 		// it was persisted, and a concurrent peer writing the same key
 		// produces identical bytes, so last-rename-wins is harmless.
-		_, _ = c.artifacts.Store(artifact.New(key, cg))
+		if !newerFormat {
+			_, _ = c.artifacts.Store(artifact.New(key, cg))
+		}
 	}
 	return g, nil
 }
