@@ -8,9 +8,12 @@
 #   3. the docs/PERFORMANCE.md scenario table must list exactly the
 #      scenarios cmd/bo3bench registers (bo3bench -list), and
 #   4. the docs/API.md bo3store subcommand table must list exactly the
-#      subcommands cmd/bo3store registers (bo3store -list), and
+#      subcommands cmd/bo3store registers (bo3store -list),
 #   5. the docs/API.md bo3graph subcommand table must list exactly the
-#      subcommands cmd/bo3graph registers (bo3graph -list).
+#      subcommands cmd/bo3graph registers (bo3graph -list), and
+#   6. every json field of the serve Stats struct (the GET /v1/stats
+#      payload) must appear backticked somewhere in docs/API.md, so new
+#      counters cannot ship undocumented.
 # Also gates the spec layer with go vet + gofmt so a drifted or
 # unformatted spec/cli package fails the same check.
 set -eu
@@ -137,7 +140,29 @@ elif [ "$doc_gsubs" != "$reg_gsubs" ]; then
     status=1
 fi
 
-# --- 6. vet + gofmt gate over the spec layer ---------------------------
+# --- 6. Stats fields vs docs/API.md ------------------------------------
+# Every json tag of the Stats struct must appear backticked in the docs
+# (the stats table, or prose for nested/derived mentions).
+stats_fields=$(awk '
+    /^type Stats struct \{/ { in_struct = 1; next }
+    in_struct && /^\}/ { exit }
+    in_struct && match($0, /json:"[a-z_]+/) { print substr($0, RSTART + 6, RLENGTH - 6) }
+' internal/serve/wire.go)
+if [ -z "$stats_fields" ]; then
+    echo "check-api-docs: no json tags found on serve.Stats (pattern drift?)" >&2
+    status=1
+fi
+while IFS= read -r field; do
+    [ -n "$field" ] || continue
+    if ! grep -qF "\`$field\`" docs/API.md; then
+        echo "check-api-docs: serve.Stats field \"$field\" is not documented (backticked) in docs/API.md" >&2
+        status=1
+    fi
+done <<EOF
+$stats_fields
+EOF
+
+# --- 7. vet + gofmt gate over the spec layer ---------------------------
 go vet ./spec/... ./internal/cli/... || status=1
 unformatted=$(gofmt -l spec internal/cli)
 if [ -n "$unformatted" ]; then

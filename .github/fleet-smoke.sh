@@ -171,6 +171,33 @@ if [ -z "$hits" ] || [ "$hits" -lt 1 ] || [ "$misses" != 0 ]; then
     exit 1
 fi
 
+# --- Live event stream over a real socket ------------------------------
+# Subscribe to a sweep's /events endpoint while the sweep is executing:
+# the NDJSON stream must deliver at least one live trajectory frame and
+# the terminal sweep event, then EOF cleanly when the server closes the
+# topic (curl exits 0). This is the separate-process check behind the
+# in-process stream tests in internal/serve.
+sweep='{"grid":{"graphs":[{"family":"cycle"}],"ns":[2048],"deltas":[0,0.05],"trials":[16]},"max_rounds":400,"seed":4242}'
+sid=$(fetch -X POST -d "$sweep" "http://127.0.0.1:18082/v1/sweeps" |
+    grep -o '"id":"[^"]*"' | head -n 1 | cut -d'"' -f4)
+events="$dir/events.ndjson"
+curl -fsSN "http://127.0.0.1:18082/v1/sweeps/$sid/events" >"$events" &
+pe=$!
+if ! wait "$pe"; then
+    echo "fleet-smoke: events stream did not EOF cleanly" >&2
+    exit 1
+fi
+rounds=$(grep -c '"type":"round"' "$events" || true)
+if [ "$rounds" -lt 1 ]; then
+    echo "fleet-smoke: events stream carried no trajectory frames" >&2
+    exit 1
+fi
+if ! grep -q '"type":"sweep"' "$events"; then
+    echo "fleet-smoke: events stream ended without the terminal sweep event" >&2
+    exit 1
+fi
+echo "fleet-smoke: ok — live event stream delivered $rounds trajectory frames and a clean terminal EOF"
+
 kill "$pc"
 wait "$pc" 2>/dev/null || true
 pc=''

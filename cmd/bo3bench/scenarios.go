@@ -1,6 +1,7 @@
 package main
 
 import (
+	"bufio"
 	"bytes"
 	"context"
 	"encoding/json"
@@ -8,6 +9,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"os"
+	"sync"
 	"time"
 
 	"repro"
@@ -93,6 +95,11 @@ var scenarios = []scenario{
 		name:        "serve/cached-jobs",
 		description: "result-store hit path: identical jobs resubmitted to a store-backed server (miss vs hit throughput)",
 		run:         serveCachedJobs,
+	},
+	{
+		name:        "serve/events-fanout",
+		description: "event-bus fan-out: one sweep streamed to K concurrent /events watchers (NDJSON, one deliberately slow), reporting delivered/published/dropped frames",
+		run:         serveEventsFanout,
 	},
 }
 
@@ -322,6 +329,127 @@ func serveCachedJobs(s Scale) (map[string]any, map[string]float64, error) {
 			"miss_jobs_per_sec": float64(jobs) / missSecs,
 			"hit_jobs_per_sec":  float64(jobs) / hitSecs,
 			"hit_speedup":       missSecs / hitSecs,
+		}, nil
+}
+
+// serveEventsFanout measures the event bus end to end over HTTP: one
+// sweep publishes round-decimated trajectory frames while K concurrent
+// NDJSON watchers tail GET /v1/sweeps/{id}/events, watcher 0 reading
+// deliberately slowly. The headline number is delivered frames per
+// second across the fan-out; events_dropped records how much the
+// drop-oldest rings shed (bursts outrunning a stream goroutine against
+// the deliberately small 32-frame ring). The simulations' wall time is
+// never a function of the watchers — that invariant is pinned by the
+// wedged-subscriber test in internal/serve.
+func serveEventsFanout(s Scale) (map[string]any, map[string]float64, error) {
+	mgr := serve.NewManager(serve.Config{Workers: 4, RootSeed: s.Seed, EventBuffer: 32})
+	srv := httptest.NewServer(serve.NewServer(mgr))
+	defer srv.Close()
+	defer mgr.Close(context.Background())
+
+	// Cycle runs on the general engine, so rounds cost real wall time and
+	// the sweep is still publishing frames when the watchers attach —
+	// complete-virtual would finish before the first GET and reduce the
+	// scenario to snapshot replay.
+	trials, maxRounds := s.pick(64, 8), s.pick(400, 100)
+	req := serve.SweepRequest{
+		Grid: serve.SweepGrid{
+			Graphs: []serve.GraphSpec{{Family: "cycle"}},
+			NS:     []int{1 << 12},
+			Deltas: []float64{0, 0.05},
+			Trials: []int{trials},
+		},
+		MaxRounds: maxRounds,
+		Seed:      s.Seed,
+	}
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, nil, err
+	}
+	start := time.Now()
+	resp, err := http.Post(srv.URL+"/v1/sweeps", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return nil, nil, err
+	}
+	var accepted serve.SweepView
+	derr := json.NewDecoder(resp.Body).Decode(&accepted)
+	resp.Body.Close()
+	if derr != nil {
+		return nil, nil, derr
+	}
+	if resp.StatusCode != http.StatusAccepted {
+		return nil, nil, fmt.Errorf("submit sweep: status %d", resp.StatusCode)
+	}
+
+	watchers := s.pick(16, 4)
+	// One laggy client per run. Over real TCP the kernel socket buffers
+	// absorb a slow *reader*, so server-side drops come from publish
+	// bursts outrunning the stream goroutine against the small ring —
+	// events_dropped reports whatever load-shedding actually happened.
+	slowDelay := time.Millisecond
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		received int64
+		firstErr error
+	)
+	for w := 0; w < watchers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			stream, err := http.Get(srv.URL + "/v1/sweeps/" + accepted.ID + "/events")
+			if err == nil && stream.StatusCode != http.StatusOK {
+				err = fmt.Errorf("watcher %d: status %d", w, stream.StatusCode)
+			}
+			var lines int64
+			if err == nil {
+				sc := bufio.NewScanner(stream.Body)
+				sc.Buffer(make([]byte, 0, 1<<16), 1<<22)
+				for sc.Scan() {
+					lines++
+					if w == 0 {
+						time.Sleep(slowDelay)
+					}
+				}
+				err = sc.Err()
+			}
+			if stream != nil {
+				stream.Body.Close()
+			}
+			mu.Lock()
+			received += lines
+			if err != nil && firstErr == nil {
+				firstErr = err
+			}
+			mu.Unlock()
+		}(w)
+	}
+	wg.Wait()
+	secs := time.Since(start).Seconds()
+	if firstErr != nil {
+		return nil, nil, firstErr
+	}
+
+	var stats serve.Stats
+	resp, err = http.Get(srv.URL + "/v1/stats")
+	if err != nil {
+		return nil, nil, err
+	}
+	err = json.NewDecoder(resp.Body).Decode(&stats)
+	resp.Body.Close()
+	if err != nil {
+		return nil, nil, err
+	}
+	if stats.EventsPublished == 0 {
+		return nil, nil, fmt.Errorf("events_published = 0 after a watched sweep")
+	}
+	return map[string]any{"watchers": watchers, "family": "cycle", "n": 1 << 12, "cells": 2,
+			"trials": trials, "max_rounds": maxRounds, "event_buffer": 32},
+		map[string]float64{
+			"events_delivered_per_sec": float64(received) / secs,
+			"events_delivered":         float64(received),
+			"events_published":         float64(stats.EventsPublished),
+			"events_dropped":           float64(stats.EventsDropped),
 		}, nil
 }
 

@@ -42,6 +42,14 @@
 // before a peer takes its lease over. Sweep IDs are namespaced per worker
 // so fleets never collide in the shared journal. Shared mode is
 // incompatible with -store-max-bytes (pruning needs exclusive ownership).
+//
+// Live telemetry streams from the bounded-backpressure event bus on
+// GET /v1/runs/{id}/events, /v1/sweeps/{id}/events, and /v1/events (SSE
+// or NDJSON, negotiated by Accept). Each watcher owns a ring of
+// -event-buffer frames; a watcher that falls behind loses oldest frames
+// first — counted in the `dropped` field of the next frame it receives
+// and in /v1/stats events_dropped — and the simulations publish without
+// ever waiting on a subscriber.
 package main
 
 import (
@@ -83,6 +91,7 @@ func main() {
 		storeMax  = flag.Int64("store-max-bytes", 0, "result-store size cap in bytes; oldest records dropped first (0 = unbounded)")
 		workerID  = flag.String("worker-id", "", "fleet identity; opens -store-dir shared so several servers coordinate over it (empty = exclusive, single server)")
 		leaseTTL  = flag.Duration("lease-ttl", 0, "cell-claim lease duration in fleet mode (0 = 1m)")
+		eventBuf  = flag.Int("event-buffer", 0, "per-subscriber event ring on the /events streams; slower watchers drop oldest frames first (0 = 256)")
 	)
 	flag.Parse()
 	if *workerID != "" && *storeDir == "" {
@@ -136,6 +145,7 @@ func main() {
 		Store:            resultStore,
 		WorkerID:         *workerID,
 		LeaseTTL:         *leaseTTL,
+		EventBuffer:      *eventBuf,
 	})
 	if resultStore != nil {
 		// Finish whatever a previous generation left mid-flight before

@@ -18,6 +18,12 @@
 //	bo3sweep -serve http://localhost:8080 -quick -concurrency 8
 //	bo3sweep -serve-runs http://localhost:8080 -quick -concurrency 8
 //
+// Adding -watch to a -serve session attaches a second, SSE subscription
+// to the sweep's live event topic (GET /v1/sweeps/{id}/events) and prints
+// round-decimated trajectory frames and cell completions to stderr while
+// the sweep runs — including `dropped` notices when this client falls
+// behind the server's bounded per-subscriber ring.
+//
 // The replayed grid is a spec.Grid, the same type the server expands and
 // the experiment registry publishes. By default it is the n × δ load-test
 // grid over the topology selected by the shared -graph family flags (so
@@ -90,6 +96,7 @@ func main() {
 		serveRuns = flag.String("serve-runs", "", "bo3serve base URL: replay the grid as per-cell /v1/runs requests (pre-sweep baseline)")
 		gridID    = flag.String("grid", "", "in -serve/-serve-runs mode, replay this registry grid (e.g. E1) instead of the -graph load-test grid")
 		conc      = flag.Int("concurrency", 4, "concurrent cells in -serve / -serve-runs mode")
+		watch     = flag.Bool("watch", false, "in -serve mode, also tail the sweep's live event stream (SSE) and print round-level telemetry to stderr")
 	)
 	flag.Parse()
 
@@ -115,7 +122,7 @@ func main() {
 			log.Fatal(err)
 		}
 		if *serveURL != "" {
-			err = sweepTest(*serveURL, grid, *conc, *seed)
+			err = sweepTest(*serveURL, grid, *conc, *seed, *watch)
 		} else {
 			err = loadTest(*serveRuns, grid, *conc, *seed)
 		}

@@ -31,8 +31,10 @@ func cellSize(g serve.GraphSpec) int {
 // server-side sweep: a single POST /v1/sweeps expands it into child runs
 // on the server, and the NDJSON results stream is tailed until the final
 // aggregate arrives — no per-cell round-trips and no polling, which is
-// the batching win over the -serve-runs path.
-func sweepTest(base string, grid serve.SweepGrid, concurrency int, seed uint64) error {
+// the batching win over the -serve-runs path. With watch set it also
+// attaches an SSE subscriber to the sweep's event topic and prints live
+// round-level telemetry to stderr while the results stream runs.
+func sweepTest(base string, grid serve.SweepGrid, concurrency int, seed uint64, watch bool) error {
 	client := &http.Client{Timeout: 10 * time.Minute}
 	if err := checkHealth(client, base); err != nil {
 		return err
@@ -60,6 +62,16 @@ func sweepTest(base string, grid serve.SweepGrid, concurrency int, seed uint64) 
 	var accepted serve.SweepView
 	if err := decodeJSON(resp, http.StatusAccepted, &accepted); err != nil {
 		return fmt.Errorf("submit sweep: %w", err)
+	}
+
+	watched := make(chan struct{})
+	if watch {
+		go func() {
+			defer close(watched)
+			watchSweep(client, base, accepted.ID)
+		}()
+	} else {
+		close(watched)
 	}
 
 	// Tail the stream: one long-lived GET replaces per-job polling.
@@ -104,6 +116,10 @@ func sweepTest(base string, grid serve.SweepGrid, concurrency int, seed uint64) 
 	if err := sc.Err(); err != nil {
 		return err
 	}
+	// The event topic closes with the sweep's terminal event, so the
+	// watcher exits on its own right after the results stream does; wait
+	// for it so telemetry never interleaves with the tables below.
+	<-watched
 	wall := time.Since(start)
 
 	fmt.Println()

@@ -1,0 +1,108 @@
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"strings"
+
+	"repro/internal/bus"
+	"repro/internal/serve"
+)
+
+// watchSweep drives the SSE side of the event bus while sweepTest tails
+// the NDJSON results stream: one GET /v1/sweeps/{id}/events with
+// `Accept: text/event-stream`, printing live telemetry — round-decimated
+// trajectory frames, cell completions, drop counts — to stderr until the
+// server closes the stream at the sweep's terminal event. Runs in its own
+// goroutine; failures are reported, never fatal, because watching is
+// strictly observational.
+func watchSweep(client *http.Client, base, id string) {
+	req, err := http.NewRequest(http.MethodGet, base+"/v1/sweeps/"+id+"/events", nil)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "watch: %v\n", err)
+		return
+	}
+	req.Header.Set("Accept", "text/event-stream")
+	resp, err := client.Do(req)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "watch: %v\n", err)
+		return
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		fmt.Fprintf(os.Stderr, "watch: events stream returned %s\n", resp.Status)
+		return
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		fmt.Fprintf(os.Stderr, "watch: negotiated %q, want text/event-stream\n", ct)
+		return
+	}
+
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<22)
+	for sc.Scan() {
+		line := sc.Text()
+		// SSE framing: only data: lines carry events; id:/event: lines and
+		// ": heartbeat" comments are advisory.
+		if !strings.HasPrefix(line, "data: ") {
+			continue
+		}
+		var ev bus.Event
+		if err := json.Unmarshal([]byte(strings.TrimPrefix(line, "data: ")), &ev); err != nil {
+			fmt.Fprintf(os.Stderr, "watch: bad event: %v\n", err)
+			return
+		}
+		printEvent(ev)
+	}
+	// EOF after the terminal sweep event is the clean exit; a scan error
+	// means the connection died first.
+	if err := sc.Err(); err != nil {
+		fmt.Fprintf(os.Stderr, "watch: stream: %v\n", err)
+	}
+}
+
+// printEvent renders one bus event as a stderr telemetry line.
+func printEvent(ev bus.Event) {
+	if ev.Dropped > 0 {
+		fmt.Fprintf(os.Stderr, "watch: fell behind, %d frames dropped\n", ev.Dropped)
+	}
+	switch ev.Type {
+	case serve.EventRound:
+		var f serve.RoundFrame
+		if remarshalData(ev.Data, &f) != nil {
+			return
+		}
+		fmt.Fprintf(os.Stderr, "watch: %s trial=%d round=%d blue=%d/%d\n", f.Job, f.Trial, f.Round, f.Blues, f.N)
+	case serve.EventCell:
+		var c serve.SweepCellView
+		if remarshalData(ev.Data, &c) != nil {
+			return
+		}
+		fmt.Fprintf(os.Stderr, "watch: cell %d (%s) %s\n", c.Index, c.JobID, c.State)
+	case serve.EventState:
+		var v serve.SweepView
+		if remarshalData(ev.Data, &v) != nil {
+			return
+		}
+		fmt.Fprintf(os.Stderr, "watch: sweep %s %s, %d cells\n", v.ID, v.State, v.Aggregate.Cells)
+	case serve.EventSweep:
+		var v serve.SweepView
+		if remarshalData(ev.Data, &v) != nil {
+			return
+		}
+		fmt.Fprintf(os.Stderr, "watch: sweep %s terminal: %s (%d done, %d failed, %d cancelled)\n",
+			v.ID, v.State, v.Aggregate.Done, v.Aggregate.Failed, v.Aggregate.Cancelled)
+	}
+}
+
+// remarshalData converts an any-typed event payload into its wire view.
+func remarshalData(data any, out any) error {
+	raw, err := json.Marshal(data)
+	if err != nil {
+		return err
+	}
+	return json.Unmarshal(raw, out)
+}

@@ -1,0 +1,65 @@
+package bus
+
+import (
+	"fmt"
+	"testing"
+)
+
+// BenchmarkBusPublish measures the publisher-side cost of fan-out — the
+// number that must stay flat-ish as watchers attach, since it is paid on
+// the simulation's critical path. Subscribers here drain continuously
+// except in the wedged case, which pins the cost of the drop-oldest
+// overflow path (a stalled watcher must cost the publisher no more than a
+// healthy one).
+func BenchmarkBusPublish(b *testing.B) {
+	for _, subs := range []int{0, 1, 64} {
+		b.Run(fmt.Sprintf("subs=%d", subs), func(b *testing.B) {
+			benchPublish(b, subs, false)
+		})
+	}
+	b.Run("subs=1/wedged", func(b *testing.B) {
+		benchPublish(b, 1, true)
+	})
+}
+
+func benchPublish(b *testing.B, subs int, wedged bool) {
+	bus := New()
+	bus.Topic("t", 64)
+	stop := make(chan struct{})
+	done := make(chan struct{}, subs)
+	for i := 0; i < subs; i++ {
+		_, s, ok := bus.Subscribe("t", 256, 0)
+		if !ok {
+			b.Fatal("subscribe failed")
+		}
+		defer s.Cancel()
+		if wedged {
+			continue // never reads: every publish beyond the ring drops
+		}
+		go func(s *Subscription) {
+			defer func() { done <- struct{}{} }()
+			for {
+				if _, ok := s.Next(); ok {
+					continue
+				}
+				select {
+				case <-stop:
+					return
+				case <-s.Ready():
+				}
+			}
+		}(s)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bus.Publish("t", "round", i)
+	}
+	b.StopTimer()
+	close(stop)
+	if !wedged {
+		for i := 0; i < subs; i++ {
+			<-done
+		}
+	}
+}

@@ -10,6 +10,8 @@ import (
 	"os"
 
 	"repro"
+	"repro/internal/bus"
+	"repro/internal/core"
 	"repro/internal/trace"
 	"repro/spec"
 )
@@ -36,6 +38,7 @@ func SimMain(args []string, stdout, stderr io.Writer) int {
 		seed      = fs.Uint64("seed", 1, "run seed (runs are deterministic per seed)")
 		maxRounds = fs.Int("maxrounds", 0, "round budget (0 = auto from prediction)")
 		quiet     = fs.Bool("quiet", false, "suppress the per-round trajectory")
+		progress  = fs.Bool("progress", false, "print round-decimated progress lines to stderr (at most ~256 across the run, any trial count)")
 		specPath  = fs.String("spec", "", "read the RunSpec from this JSON file instead of the flags")
 		jsonOut   = fs.Bool("json", false, "print the aggregate report as JSON")
 		traceCSV  = fs.String("trace", "", "write trial 0's trajectory to this CSV file")
@@ -74,7 +77,7 @@ func SimMain(args []string, stdout, stderr io.Writer) int {
 	}
 
 	opts := []repro.RunnerOption{}
-	live := !*quiet && !*jsonOut && runSpec.Trials <= 1
+	live := !*quiet && !*jsonOut && runSpec.Trials <= 1 && !*progress
 	// Set once the topology is built, before Run fires the observer.
 	nVertices := 1.0
 	if live {
@@ -82,6 +85,19 @@ func SimMain(args []string, stdout, stderr io.Writer) int {
 		// executes instead of replaying it afterwards.
 		opts = append(opts, repro.WithObserver(func(_, round, blues int) {
 			fmt.Fprintf(stdout, "%5d  %10d  %.6f\n", round, blues, float64(blues)/nVertices)
+		}))
+	}
+	// dec is the same fixed-stride decimation the serve event bus applies
+	// to /events trajectory frames (library parity with the wire): sized
+	// after the topology is built, before Run fires the observer. Keep is
+	// pure, so concurrent trial goroutines share it without locking.
+	var dec *bus.Decimator
+	if *progress {
+		opts = append(opts, repro.WithObserver(func(trial, round, blues int) {
+			if dec == nil || !dec.Keep(round) {
+				return
+			}
+			fmt.Fprintf(stderr, "progress  trial=%d round=%d blue=%d/%d\n", trial, round, blues, int(nVertices))
 		}))
 	}
 	runner, err := repro.NewRunner(runSpec, opts...)
@@ -94,6 +110,9 @@ func SimMain(args []string, stdout, stderr io.Writer) int {
 		return fail(err)
 	}
 	nVertices = math.Max(1, float64(g.N()))
+	if *progress {
+		dec = bus.NewDecimator(core.RoundBudget(g, runSpec.Delta, runSpec.MaxRounds), runSpec.Trials, bus.DefaultFrameBudget)
+	}
 
 	if !*jsonOut {
 		fmt.Fprintf(stdout, "graph       %s\n", g.Name())

@@ -124,6 +124,19 @@ func RunBestOfThree(g Topology, delta float64, opt Options) (Report, error) {
 	return Run(context.Background(), g, delta, opt)
 }
 
+// RoundBudget is the effective per-trial round cap Run enforces on the
+// instance: MaxRounds when positive, otherwise the generous default
+// derived from the Theorem 1 prediction. Exported so observers that
+// decimate the round stream (the serve event bus, bo3sim -progress) can
+// size their stride from the exact worst case before the first round.
+func RoundBudget(g Topology, delta float64, maxRounds int) int {
+	if maxRounds > 0 {
+		return maxRounds
+	}
+	predicted := theory.PredictedRounds(g.N(), float64(g.MinDegree()), math.Max(delta, 1e-6))
+	return 50*predicted + 1000
+}
+
 // Run is RunBestOfThree with cancellation and per-round observation: the
 // context is checked between rounds, and a cancelled run returns the
 // partial report (trajectory up to the last completed round) together with
@@ -139,10 +152,7 @@ func Run(ctx context.Context, g Topology, delta float64, opt Options) (Report, e
 	}
 	pre := CheckPrecondition(g, delta)
 	predicted := theory.PredictedRounds(g.N(), float64(g.MinDegree()), math.Max(delta, 1e-6))
-	budget := opt.MaxRounds
-	if budget <= 0 {
-		budget = 50*predicted + 1000
-	}
+	budget := RoundBudget(g, delta, opt.MaxRounds)
 	src := rng.New(opt.Seed)
 	init := opinion.RandomConfig(g.N(), 0.5-delta, src)
 	proc, err := dynamics.New(g, rule, init, dynamics.Options{Seed: src.Uint64(), Workers: opt.Workers, Engine: opt.Engine})

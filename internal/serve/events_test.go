@@ -1,0 +1,439 @@
+package serve
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/bus"
+)
+
+// readEvents consumes an NDJSON event stream to EOF, decoding each line
+// into a bus.Event (heartbeat lines included).
+func readEvents(t *testing.T, body *bufio.Scanner) []bus.Event {
+	t.Helper()
+	var out []bus.Event
+	for body.Scan() {
+		var ev bus.Event
+		if err := json.Unmarshal(body.Bytes(), &ev); err != nil {
+			t.Fatalf("bad NDJSON line %q: %v", body.Text(), err)
+		}
+		out = append(out, ev)
+	}
+	return out
+}
+
+// TestRunEventsStream drives the full run-events lifecycle over NDJSON:
+// queued → running → ≥1 trajectory frame → terminal state with the result
+// summary, then a clean EOF.
+func TestRunEventsStream(t *testing.T) {
+	ts, _ := newTestServer(t, Config{Workers: 1})
+	var job JobView
+	doJSON(t, http.MethodPost, ts.URL+"/v1/runs", RunRequest{
+		Graph: GraphSpec{Family: "cycle", N: 512}, Delta: 0, Trials: 2, MaxRounds: 50, Seed: 7,
+	}, http.StatusAccepted, &job)
+
+	resp, err := http.Get(ts.URL + "/v1/runs/" + job.ID + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("Content-Type = %q, want NDJSON without an SSE Accept", ct)
+	}
+	events := readEvents(t, bufio.NewScanner(resp.Body))
+	if len(events) == 0 {
+		t.Fatal("empty event stream")
+	}
+
+	states := []string{}
+	rounds := 0
+	var lastSeq uint64
+	for _, ev := range events {
+		if ev.Seq <= lastSeq {
+			t.Errorf("seq not increasing: %d after %d", ev.Seq, lastSeq)
+		}
+		lastSeq = ev.Seq
+		switch ev.Type {
+		case EventState:
+			var st RunStateEvent
+			remarshal(t, ev.Data, &st)
+			states = append(states, st.State)
+			if st.Job != job.ID {
+				t.Errorf("state event for job %q, want %q", st.Job, job.ID)
+			}
+			if st.State == StateDone {
+				if st.Result == nil || st.Result.Trials != 2 {
+					t.Errorf("terminal state lacks result summary: %+v", st)
+				}
+				if st.Result != nil && st.Result.Reports != nil {
+					t.Error("terminal frame carries per-trial reports; summary must stay O(1)")
+				}
+			}
+		case EventRound:
+			var f RoundFrame
+			remarshal(t, ev.Data, &f)
+			if f.N != 512 || f.Blues < 0 || f.Blues > f.N {
+				t.Errorf("implausible round frame %+v", f)
+			}
+			rounds++
+		}
+	}
+	if want := []string{StateQueued, StateRunning, StateDone}; strings.Join(states, ",") != strings.Join(want, ",") {
+		t.Errorf("lifecycle states = %v, want %v", states, want)
+	}
+	if rounds == 0 {
+		t.Error("no trajectory frames on the run stream")
+	}
+}
+
+// remarshal round-trips an any-typed Data payload into a concrete view.
+func remarshal(t *testing.T, data any, out any) {
+	t.Helper()
+	raw, err := json.Marshal(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(raw, out); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRunEventsSSEAndResume checks content negotiation (Accept:
+// text/event-stream selects SSE framing with id:/event:/data: lines) and
+// Last-Event-ID resume: a reconnect sees exactly the events after its
+// cursor.
+func TestRunEventsSSEAndResume(t *testing.T) {
+	ts, _ := newTestServer(t, Config{Workers: 1})
+	var job JobView
+	doJSON(t, http.MethodPost, ts.URL+"/v1/runs", RunRequest{
+		Graph: GraphSpec{Family: "complete-virtual", N: 64}, Delta: 0.2, Trials: 1, Seed: 3,
+	}, http.StatusAccepted, &job)
+	pollDone(t, ts.URL, job.ID)
+
+	req, _ := http.NewRequest(http.MethodGet, ts.URL+"/v1/runs/"+job.ID+"/events", nil)
+	req.Header.Set("Accept", "text/event-stream")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("Content-Type = %q, want text/event-stream", ct)
+	}
+	var ids []string
+	sc := bufio.NewScanner(resp.Body)
+	sawData := false
+	for sc.Scan() {
+		line := sc.Text()
+		if strings.HasPrefix(line, "id: ") {
+			ids = append(ids, strings.TrimPrefix(line, "id: "))
+		}
+		if strings.HasPrefix(line, "data: ") {
+			sawData = true
+			var ev bus.Event
+			if err := json.Unmarshal([]byte(strings.TrimPrefix(line, "data: ")), &ev); err != nil {
+				t.Fatalf("SSE data line is not an event: %v", err)
+			}
+		}
+	}
+	if len(ids) < 3 || !sawData {
+		t.Fatalf("SSE stream had %d id: lines (sawData=%v), want the full lifecycle", len(ids), sawData)
+	}
+
+	// Resume after the second event: only later events replay.
+	req2, _ := http.NewRequest(http.MethodGet, ts.URL+"/v1/runs/"+job.ID+"/events", nil)
+	req2.Header.Set("Last-Event-ID", ids[1])
+	resp2, err := http.DefaultClient.Do(req2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	events := readEvents(t, bufio.NewScanner(resp2.Body))
+	if len(events) == 0 {
+		t.Fatal("resumed stream is empty")
+	}
+	if events[0].Seq != 3 {
+		t.Errorf("resume after seq 2 replayed from seq %d", events[0].Seq)
+	}
+}
+
+// TestMetricsEvents subscribes to the server-wide stream and expects an
+// immediate metrics frame carrying the stats payload.
+func TestMetricsEvents(t *testing.T) {
+	ts, _ := newTestServer(t, Config{Workers: 1})
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	req, _ := http.NewRequestWithContext(ctx, http.MethodGet, ts.URL+"/v1/events", nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	sc := bufio.NewScanner(resp.Body)
+	if !sc.Scan() {
+		t.Fatal("no first frame on /v1/events")
+	}
+	var ev bus.Event
+	if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+		t.Fatal(err)
+	}
+	if ev.Type != EventMetrics {
+		t.Fatalf("first frame type = %q, want metrics", ev.Type)
+	}
+	var st Stats
+	remarshal(t, ev.Data, &st)
+	// The frame is published just before the subscriber attaches, so its
+	// own subscriber count excludes the joiner; workers pins the payload.
+	if st.Workers != 1 {
+		t.Errorf("metrics frame stats = workers %d, want 1", st.Workers)
+	}
+}
+
+// TestEventsUnknownIDs pins the 404 contract.
+func TestEventsUnknownIDs(t *testing.T) {
+	ts, _ := newTestServer(t, Config{Workers: 1})
+	for _, path := range []string{"/v1/runs/run-999999/events", "/v1/sweeps/sweep-999999/events"} {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotFound {
+			t.Errorf("GET %s = %d, want 404", path, resp.StatusCode)
+		}
+	}
+}
+
+// wedgedWriter is an http.ResponseWriter whose first Write blocks until
+// the test releases it — a client that connected and then stopped reading
+// entirely, with zero socket buffer.
+type wedgedWriter struct {
+	header  http.Header
+	release chan struct{}
+	once    sync.Once
+	wedged  chan struct{} // closed when the first Write has blocked
+}
+
+func newWedgedWriter() *wedgedWriter {
+	return &wedgedWriter{header: make(http.Header), release: make(chan struct{}), wedged: make(chan struct{})}
+}
+
+func (w *wedgedWriter) Header() http.Header { return w.header }
+func (w *wedgedWriter) WriteHeader(int)     {}
+func (w *wedgedWriter) Write(p []byte) (int, error) {
+	w.once.Do(func() { close(w.wedged) })
+	<-w.release
+	return len(p), nil
+}
+
+// TestWedgedSubscriberNeverBlocksSweep is the PR's acceptance pin: one
+// completely wedged events client (tiny ring, never reads) coexists with
+// a completing sweep, the sweep's aggregate stays byte-identical to the
+// same sweep run on an unwatched manager, and the shed load is visible in
+// events_dropped.
+func TestWedgedSubscriberNeverBlocksSweep(t *testing.T) {
+	req := SweepRequest{
+		Grid: SweepGrid{
+			Graphs: []GraphSpec{{Family: "cycle"}},
+			NS:     []int{512, 1024},
+			Deltas: []float64{0, 0.1},
+			Trials: []int{8},
+		},
+		MaxRounds: 200,
+		Seed:      42,
+	}
+
+	// Watched manager: EventBuffer 4 guarantees overflow under the
+	// sweep's event volume.
+	mgr := NewManager(Config{Workers: 2, EventBuffer: 4})
+	defer mgr.Close(context.Background())
+	srv := NewServer(mgr)
+	view, err := mgr.SubmitSweep(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancelReq := context.WithCancel(context.Background())
+	w := newWedgedWriter()
+	handlerDone := make(chan struct{})
+	go func() {
+		defer close(handlerDone)
+		r := httptest.NewRequest(http.MethodGet, "/v1/sweeps/"+view.ID+"/events", nil).WithContext(ctx)
+		srv.ServeHTTP(w, r)
+	}()
+	select {
+	case <-w.wedged:
+	case <-time.After(10 * time.Second):
+		t.Fatal("events handler never started writing")
+	}
+
+	// The sweep must complete while the client stays wedged.
+	deadline := time.Now().Add(60 * time.Second)
+	var watched SweepView
+	for {
+		var ok bool
+		watched, ok = mgr.GetSweep(view.ID)
+		if !ok {
+			t.Fatal("sweep vanished")
+		}
+		if watched.State != StateRunning {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("sweep did not complete while a subscriber was wedged — the publisher blocked")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if st := mgr.Stats(); st.EventsDropped == 0 {
+		t.Error("wedged subscriber shed no load: events_dropped = 0")
+	}
+	cancelReq()
+	close(w.release)
+	<-handlerDone
+
+	// Unwatched control run on a fresh manager: byte-identical aggregate.
+	ctrl := NewManager(Config{Workers: 2})
+	defer ctrl.Close(context.Background())
+	cv, err := ctrl.SubmitSweep(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var unwatched SweepView
+	for {
+		unwatched, _ = ctrl.GetSweep(cv.ID)
+		if unwatched.State != StateRunning {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	got, _ := json.Marshal(watched.Aggregate)
+	want, _ := json.Marshal(unwatched.Aggregate)
+	if string(got) != string(want) {
+		t.Errorf("watched aggregate diverged from unwatched:\n  watched   %s\n  unwatched %s", got, want)
+	}
+}
+
+// TestEventsSubscriberChurnDuringSweep churns HTTP subscribers —
+// attach, read a little, disconnect — against a live sweep; run under
+// -race in CI. After the dust settles no subscriptions may leak.
+func TestEventsSubscriberChurnDuringSweep(t *testing.T) {
+	ts, mgr := newTestServer(t, Config{Workers: 4, EventBuffer: 8})
+	view := SweepView{}
+	// Non-consensing cells sized to outlive the churn without blowing the
+	// race detector's time budget.
+	doJSON(t, http.MethodPost, ts.URL+"/v1/sweeps", SweepRequest{
+		Grid: SweepGrid{
+			Graphs: []GraphSpec{{Family: "cycle"}},
+			NS:     []int{1024},
+			Deltas: []float64{0},
+			Trials: []int{32, 64},
+		},
+		MaxRounds: 100,
+		Seed:      9,
+	}, http.StatusAccepted, &view)
+
+	var wg sync.WaitGroup
+	for c := 0; c < 6; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for iter := 0; iter < 8; iter++ {
+				ctx, cancel := context.WithCancel(context.Background())
+				req, _ := http.NewRequestWithContext(ctx, http.MethodGet, ts.URL+"/v1/sweeps/"+view.ID+"/events", nil)
+				if c%2 == 0 {
+					req.Header.Set("Accept", "text/event-stream")
+				}
+				resp, err := http.DefaultClient.Do(req)
+				if err != nil {
+					cancel()
+					continue
+				}
+				sc := bufio.NewScanner(resp.Body)
+				for i := 0; i < (c+iter)%5; i++ {
+					if !sc.Scan() {
+						break
+					}
+					if c%3 == 0 {
+						time.Sleep(time.Millisecond) // slow reader
+					}
+				}
+				cancel()
+				resp.Body.Close()
+			}
+		}(c)
+	}
+	wg.Wait()
+	pollSweepDone(t, ts.URL, view.ID)
+
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if st := mgr.Stats(); st.Subscribers == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("subscriptions leaked after churn: %d", mgr.Stats().Subscribers)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestSweepEventsCarryCellsAndTerminal attaches late — after completion —
+// and still replays the lifecycle from the retained snapshot: the initial
+// state event, every cell exactly once, the terminal sweep summary, then
+// EOF.
+func TestSweepEventsCarryCellsAndTerminal(t *testing.T) {
+	ts, _ := newTestServer(t, Config{Workers: 2})
+	var view SweepView
+	doJSON(t, http.MethodPost, ts.URL+"/v1/sweeps", SweepRequest{
+		Grid: SweepGrid{
+			Graphs: []GraphSpec{{Family: "complete-virtual"}},
+			NS:     []int{64, 96},
+			Deltas: []float64{0.1},
+			Trials: []int{2},
+		},
+		Seed: 5,
+	}, http.StatusAccepted, &view)
+	pollSweepDone(t, ts.URL, view.ID)
+
+	resp, err := http.Get(ts.URL + "/v1/sweeps/" + view.ID + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	events := readEvents(t, bufio.NewScanner(resp.Body))
+	seenCells := map[int]int{}
+	terminal := false
+	for _, ev := range events {
+		switch ev.Type {
+		case EventCell:
+			var cv SweepCellView
+			remarshal(t, ev.Data, &cv)
+			seenCells[cv.Index]++
+		case EventSweep:
+			var sv SweepView
+			remarshal(t, ev.Data, &sv)
+			if sv.State != StateDone {
+				t.Errorf("terminal sweep event state = %q", sv.State)
+			}
+			terminal = true
+		}
+	}
+	if len(seenCells) != 2 {
+		t.Errorf("snapshot replayed %d distinct cells, want 2", len(seenCells))
+	}
+	for idx, n := range seenCells {
+		if n != 1 {
+			t.Errorf("cell %d replayed %d times", idx, n)
+		}
+	}
+	if !terminal {
+		t.Error("no terminal sweep event before EOF")
+	}
+}

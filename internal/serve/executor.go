@@ -12,8 +12,10 @@ import (
 // shared repro.Runner and folds the trial stream into a RunResult. g, when
 // non-nil, is a pre-built topology (the manager's graph pool); nil lets
 // the Runner build it. workers > 0 sets trial parallelism — it never
-// changes outcomes, only wall time.
-func executeSpec(ctx context.Context, runSpec RunRequest, g core.Topology, workers int) (*RunResult, error) {
+// changes outcomes, only wall time. obs, when non-nil, observes every
+// recorded blue count (the manager installs the event bus's decimated
+// trajectory publisher here); observation never changes outcomes either.
+func executeSpec(ctx context.Context, runSpec RunRequest, g core.Topology, workers int, obs repro.RoundObserver) (*RunResult, error) {
 	// The Runner's canonical engine configuration (one engine worker per
 	// trial) is deliberately left in place: it is what makes outcomes
 	// byte-identical to the same spec run through the library or bo3sim,
@@ -25,6 +27,9 @@ func executeSpec(ctx context.Context, runSpec RunRequest, g core.Topology, worke
 	}
 	if workers > 0 {
 		opts = append(opts, repro.WithWorkers(workers))
+	}
+	if obs != nil {
+		opts = append(opts, repro.WithObserver(obs))
 	}
 	runner, err := repro.NewRunner(runSpec, opts...)
 	if err != nil {
@@ -112,7 +117,7 @@ func Execute(ctx context.Context, req RunRequest) (*RunResult, error) {
 	if err := req.Validate(); err != nil {
 		return nil, err
 	}
-	res, err := executeSpec(ctx, req, nil, 0)
+	res, err := executeSpec(ctx, req, nil, 0, nil)
 	if err != nil {
 		return nil, err
 	}

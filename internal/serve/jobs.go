@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"repro/internal/artifact"
+	"repro/internal/bus"
 	"repro/internal/rng"
 	"repro/internal/sim"
 	"repro/internal/store"
@@ -110,6 +111,22 @@ type Config struct {
 	// lease re-checks for its result or expiry (0 = LeaseTTL/20, clamped
 	// to [5ms, 500ms]).
 	LeasePoll time.Duration
+	// EventBuffer is the per-subscriber ring size on the /events streams
+	// (0 = 256). A subscriber that falls further behind than this loses
+	// oldest frames first and is told how many (the `dropped` field on the
+	// next frame it receives); the publishing simulation never waits.
+	EventBuffer int
+	// FrameBudget caps the trajectory frames one run publishes across all
+	// its trials (0 = bus.DefaultFrameBudget = 256): rounds are decimated
+	// to a fixed stride derived from the run's round budget, so watching a
+	// 10⁶-round run costs O(FrameBudget), not O(rounds).
+	FrameBudget int
+	// Heartbeat is the idle keep-alive interval on /events streams (0 =
+	// 15s).
+	Heartbeat time.Duration
+	// MetricsInterval is how often the server-wide metrics topic publishes
+	// a stats frame while it has subscribers (0 = 1s).
+	MetricsInterval time.Duration
 }
 
 // Sentinel errors mapped to HTTP status codes by the handlers.
@@ -154,11 +171,13 @@ type job struct {
 type Manager struct {
 	cfg   Config
 	cache *GraphCache
+	bus   *bus.Bus
 
-	baseCtx    context.Context
-	cancelBase context.CancelFunc
-	queue      chan *job
-	wg         sync.WaitGroup
+	baseCtx     context.Context
+	cancelBase  context.CancelFunc
+	queue       chan *job
+	metricsStop chan struct{}
+	wg          sync.WaitGroup
 
 	sweepWG sync.WaitGroup // sweep scheduler goroutines
 
@@ -221,26 +240,46 @@ func NewManager(cfg Config) *Manager {
 	if cfg.LeasePoll <= 0 {
 		cfg.LeasePoll = min(max(cfg.LeaseTTL/20, 5*time.Millisecond), 500*time.Millisecond)
 	}
+	if cfg.EventBuffer <= 0 {
+		cfg.EventBuffer = 256
+	}
+	if cfg.FrameBudget <= 0 {
+		cfg.FrameBudget = bus.DefaultFrameBudget
+	}
+	if cfg.Heartbeat <= 0 {
+		cfg.Heartbeat = 15 * time.Second
+	}
+	if cfg.MetricsInterval <= 0 {
+		cfg.MetricsInterval = time.Second
+	}
 	ctx, cancel := context.WithCancel(context.Background())
 	cache := NewGraphCache(cfg.CacheCapacity)
 	cache.UseArtifacts(cfg.Artifacts)
 	m := &Manager{
 		cfg:           cfg,
 		cache:         cache,
+		bus:           bus.New(),
 		baseCtx:       ctx,
 		cancelBase:    cancel,
 		queue:         make(chan *job, cfg.QueueDepth),
+		metricsStop:   make(chan struct{}),
 		jobs:          make(map[string]*job),
 		sweeps:        make(map[string]*sweep),
 		doneSweepKeys: make(map[string]string),
 		startTime:     time.Now(),
 	}
+	m.bus.Topic(MetricsTopic, metricsRetain)
+	m.wg.Add(1)
+	go m.metricsLoop()
 	for i := 0; i < cfg.Workers; i++ {
 		m.wg.Add(1)
 		go m.worker()
 	}
 	return m
 }
+
+// Bus exposes the event bus (for tests and embedding consumers).
+func (m *Manager) Bus() *bus.Bus { return m.bus }
 
 // Cache exposes the graph pool (for stats and tests).
 func (m *Manager) Cache() *GraphCache { return m.cache }
@@ -343,6 +382,10 @@ func (m *Manager) enqueueLocked(req RunRequest, sweepID string, cached *RunResul
 		m.order = append(m.order, j.id)
 		m.completed++
 		m.jobsCached++
+		// Born done: the topic's whole life is one terminal state event
+		// (with the cached result attached) followed by EOF.
+		m.bus.Topic(runTopic(j.id), m.cfg.FrameBudget+16)
+		m.publishJobState(j)
 		return j, nil
 	}
 	select {
@@ -354,6 +397,10 @@ func (m *Manager) enqueueLocked(req RunRequest, sweepID string, cached *RunResul
 		m.jobs[j.id] = j
 		m.order = append(m.order, j.id)
 		m.queued++
+		// The retained prefix must hold a full decimated trajectory plus
+		// the lifecycle frames, so a late joiner replays the whole run.
+		m.bus.Topic(runTopic(j.id), m.cfg.FrameBudget+16)
+		m.publishJobState(j)
 		m.pruneLocked()
 		return j, nil
 	default:
@@ -382,6 +429,7 @@ func (m *Manager) pruneLocked() {
 		}
 		if excess > 0 && finished {
 			delete(m.jobs, id)
+			m.bus.Drop(runTopic(id))
 			excess--
 			continue
 		}
@@ -440,6 +488,7 @@ func (m *Manager) cancelJobLocked(j *job) {
 		j.finished = time.Now()
 		m.queued--
 		m.cancelled++
+		m.publishJobState(j)
 		close(j.done)
 	case StateRunning:
 		j.cancel() // the worker finalises state when the run returns
@@ -484,6 +533,10 @@ func (m *Manager) Stats() Stats {
 		UptimeSeconds:      time.Since(m.startTime).Seconds(),
 		Workers:            m.cfg.Workers,
 	}
+	bs := m.bus.Stats()
+	st.EventsPublished = int64(bs.Published)
+	st.EventsDropped = int64(bs.Dropped)
+	st.Subscribers = bs.Subscribers
 	st.GraphsArtifactHits, st.GraphsArtifactMisses = m.cache.ArtifactStats()
 	if m.cfg.Store != nil {
 		ss := m.cfg.Store.Stats()
@@ -501,6 +554,7 @@ func (m *Manager) Close(ctx context.Context) error {
 	if !m.closed {
 		m.closed = true
 		close(m.queue)
+		close(m.metricsStop)
 	}
 	m.mu.Unlock()
 
@@ -561,6 +615,7 @@ func (m *Manager) worker() {
 		j.cancel = cancel
 		m.queued--
 		m.running++
+		m.publishJobState(j)
 		m.mu.Unlock()
 
 		var stopRenew chan struct{}
@@ -620,7 +675,8 @@ func (m *Manager) worker() {
 			j.err = err
 			m.failed++
 		}
-		close(j.done) // wakes the sweep watcher, if any
+		m.publishJobState(j) // terminal: closes the run topic
+		close(j.done)        // wakes the sweep watcher, if any
 		m.mu.Unlock()
 	}
 }
@@ -664,7 +720,7 @@ func (m *Manager) run(ctx context.Context, j *job) (*RunResult, error) {
 	}
 	runSpec := j.req
 	runSpec.Seed = j.effSeed
-	res, err := executeSpec(ctx, runSpec, g, m.cfg.TrialParallelism)
+	res, err := executeSpec(ctx, runSpec, g, m.cfg.TrialParallelism, m.trajectoryObserver(j, g, runSpec))
 	if err != nil {
 		return nil, err
 	}

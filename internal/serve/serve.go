@@ -22,10 +22,19 @@
 //	GET    /v1/sweeps/{id}          poll one sweep (per-cell status + aggregate)
 //	GET    /v1/sweeps/{id}/results  stream completed cells as NDJSON
 //	DELETE /v1/sweeps/{id}          cancel a sweep and its children
+//	GET    /v1/runs/{id}/events     live run telemetry (SSE or NDJSON)
+//	GET    /v1/sweeps/{id}/events   live sweep telemetry (SSE or NDJSON)
+//	GET    /v1/events               server-wide metrics frames (SSE or NDJSON)
 //	GET    /v1/results              list stored results (family/n filters, pagination)
 //	GET    /v1/results/{key}        fetch one stored result by content key
 //	GET    /v1/stats                job, sweep, trial, graph-pool, and store counters
 //	GET    /healthz                 liveness
+//
+// The /events endpoints stream from the bounded-backpressure event bus
+// (internal/bus): lifecycle transitions, round-decimated trajectory
+// frames, and per-cell sweep results, with snapshot-then-tail semantics,
+// Last-Event-ID resume, and drop-oldest overflow for slow readers — a
+// stalled watcher never slows the simulation.
 //
 // Determinism: a job with seed s runs trial i from rng.ChildSeed(s, i),
 // and a sweep with seed s runs cell i with job seed rng.ChildSeed(s, i);
@@ -48,6 +57,8 @@ import (
 	"fmt"
 	"net/http"
 	"strconv"
+
+	"repro/internal/bus"
 )
 
 // Server is the http.Handler for the bo3serve API.
@@ -68,6 +79,9 @@ func NewServer(mgr *Manager) *Server {
 	s.mux.HandleFunc("GET /v1/sweeps/{id}", s.handleSweepGet)
 	s.mux.HandleFunc("GET /v1/sweeps/{id}/results", s.handleSweepResults)
 	s.mux.HandleFunc("DELETE /v1/sweeps/{id}", s.handleSweepCancel)
+	s.mux.HandleFunc("GET /v1/runs/{id}/events", s.handleRunEvents)
+	s.mux.HandleFunc("GET /v1/sweeps/{id}/events", s.handleSweepEvents)
+	s.mux.HandleFunc("GET /v1/events", s.handleMetricsEvents)
 	s.mux.HandleFunc("GET /v1/results", s.handleResultList)
 	s.mux.HandleFunc("GET /v1/results/{key}", s.handleResultGet)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
@@ -179,44 +193,62 @@ func (s *Server) handleSweepCancel(w http.ResponseWriter, r *http.Request) {
 
 // handleSweepResults streams the sweep's cells as NDJSON, one SweepEvent
 // per line in completion order, ending with a sweep event carrying the
-// final aggregate. The stream starts with cells already completed, so a
-// client can attach late and still see every cell; it ends when the sweep
-// is terminal or the client goes away.
+// final aggregate. Since PR 8 it is a thin adapter over the event bus: a
+// type-filtered subscription (cell and sweep events only, ring sized to
+// the cell count) replays the retained history and tails the live stream,
+// so late-subscriber replay is one mechanism shared with /events. The
+// stream ends when the sweep is terminal or the client goes away.
 func (s *Server) handleSweepResults(w http.ResponseWriter, r *http.Request) {
-	id := r.PathValue("id")
-	if _, ok := s.mgr.GetSweepSummary(id); !ok {
+	snapshot, sub, ok := s.mgr.SubscribeSweepResults(r.PathValue("id"))
+	if !ok {
 		writeError(w, http.StatusNotFound, errors.New("serve: no such sweep"))
 		return
 	}
+	defer sub.Cancel()
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	w.WriteHeader(http.StatusOK)
 	flusher, canFlush := w.(http.Flusher)
 	enc := json.NewEncoder(w)
-	cursor := 0
-	for {
-		cells, next, terminal, changed, ok := s.mgr.SweepStream(id, cursor)
-		if !ok { // evicted mid-stream
+	// emit maps one bus event to a legacy NDJSON line; stop is true after
+	// the terminal sweep event or a failed write (client gone).
+	emit := func(ev bus.Event) (stop bool) {
+		var line SweepEvent
+		switch data := ev.Data.(type) {
+		case *SweepCellView:
+			line.Cell = data
+		case *SweepView:
+			line.Sweep = data
+		default:
+			return false
+		}
+		if err := enc.Encode(line); err != nil {
+			return true
+		}
+		return line.Sweep != nil
+	}
+	for _, ev := range snapshot {
+		if emit(ev) {
 			return
 		}
-		cursor = next
-		for i := range cells {
-			if err := enc.Encode(SweepEvent{Cell: &cells[i]}); err != nil {
-				return // client went away
+	}
+	for {
+		for {
+			ev, ok := sub.Next()
+			if !ok {
+				break
+			}
+			if emit(ev) {
+				return
 			}
 		}
-		if terminal {
-			// Cells were already streamed line by line; the final event
-			// carries only the state and aggregate.
-			if view, ok := s.mgr.GetSweepSummary(id); ok {
-				_ = enc.Encode(SweepEvent{Sweep: &view})
-			}
+		if sub.Done() { // evicted mid-stream
 			return
 		}
 		if canFlush {
 			flusher.Flush()
 		}
 		select {
-		case <-changed:
+		case <-sub.Ready():
 		case <-r.Context().Done():
 			return
 		}

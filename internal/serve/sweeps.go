@@ -177,12 +177,6 @@ type sweep struct {
 	// record "running" so a restarted server resumes the sweep).
 	userCancelled bool
 	agg           *SweepAggregate // memoised at the terminal transition
-
-	// completedOrder lists cell indices in terminal order; results
-	// streaming replays it. changed is closed and replaced on every
-	// append and on the sweep's own terminal transition.
-	completedOrder []int
-	changed        chan struct{}
 }
 
 // SubmitSweep validates and expands the grid, registers the sweep, and
@@ -281,7 +275,6 @@ func (m *Manager) registerSweepLocked(id string, req SweepRequest, reqs []RunReq
 		contentKey:  req.Grid.ContentKey(req.Seed, req.MaxRounds),
 		ctx:         ctx,
 		cancel:      cancel,
-		changed:     make(chan struct{}),
 	}
 	for i := range reqs {
 		s.cells[i] = sweepCell{req: reqs[i], state: StateCellPending}
@@ -290,6 +283,13 @@ func (m *Manager) registerSweepLocked(id string, req SweepRequest, reqs []RunReq
 	m.sweepOrder = append(m.sweepOrder, s.id)
 	m.pruneSweepsLocked()
 	m.sweepWG.Add(1)
+	// The retained prefix must replay every cell event to a late joiner —
+	// the results adapter's losslessness rests on it — plus lifecycle
+	// frames. The dense per-round mirrors are published ephemerally, so
+	// they never count against this cap.
+	m.bus.Topic(sweepTopic(s.id), len(reqs)+16)
+	view := m.sweepViewLocked(s, false)
+	m.bus.Publish(sweepTopic(s.id), EventState, &view)
 	return s
 }
 
@@ -530,11 +530,14 @@ func (m *Manager) registerRefusedSweep(id string, req SweepRequest, cause error)
 		finished:      now,
 		resumeRefused: cause.Error(),
 		agg:           &SweepAggregate{},
-		changed:       make(chan struct{}),
 	}
 	m.sweeps[id] = s
 	m.sweepOrder = append(m.sweepOrder, id)
 	m.pruneSweepsLocked()
+	// Born terminal: the topic's whole life is the refusal summary.
+	view := m.sweepViewLocked(s, false)
+	m.bus.Publish(sweepTopic(id), EventSweep, &view)
+	m.bus.Close(sweepTopic(id))
 }
 
 // errSweepRegistered reports a resume of a sweep that is already live
@@ -618,6 +621,7 @@ func (m *Manager) pruneSweepsLocked() {
 		s := m.sweeps[id]
 		if excess > 0 && s.state != StateRunning {
 			delete(m.sweeps, id)
+			m.bus.Drop(sweepTopic(id))
 			excess--
 			continue
 		}
@@ -761,16 +765,17 @@ func (m *Manager) claimCell(s *sweep, i int) (claimed bool, fence uint64, cached
 	}
 }
 
-// markCellLocked moves a cell to a terminal state and broadcasts the
-// change; callers hold m.mu.
+// markCellLocked moves a cell to a terminal state and publishes the cell
+// event on the sweep's topic; callers hold m.mu. Publication is retained:
+// a watcher attaching later replays every cell exactly once from the
+// topic's snapshot.
 func (m *Manager) markCellLocked(s *sweep, i int, state, errMsg string) {
 	c := &s.cells[i]
 	c.state = state
 	c.err = errMsg
 	m.sweepCellsFinished++
-	s.completedOrder = append(s.completedOrder, i)
-	close(s.changed)
-	s.changed = make(chan struct{})
+	cv := m.cellViewLocked(s, i)
+	m.bus.Publish(sweepTopic(s.id), EventCell, &cv)
 }
 
 // finalizeCell copies the finished child run's outcome into the cell.
@@ -837,8 +842,11 @@ func (m *Manager) finalizeSweep(s *sweep) {
 	// sweep; dropping the references lets pruneLocked evictions actually
 	// free the child jobs (and their per-trial reports).
 	s.jobs = nil
-	close(s.changed)
-	s.changed = make(chan struct{})
+	// The terminal summary is always the topic's last event; Close turns
+	// attached watchers' streams into EOF once they drain it.
+	view := m.sweepViewLocked(s, false)
+	m.bus.Publish(sweepTopic(s.id), EventSweep, &view)
+	m.bus.Close(sweepTopic(s.id))
 	m.mu.Unlock()
 	// The write happens before runSweep returns (and so before Close's
 	// sweepWG wait can complete), off the manager lock like every other
@@ -905,23 +913,6 @@ func (m *Manager) CancelSweep(id string) (SweepView, bool) {
 		}
 	}
 	return m.sweepViewLocked(s, true), true
-}
-
-// SweepStream returns the cell events recorded since cursor (an index into
-// the sweep's completion order), the advanced cursor, whether the sweep is
-// terminal, and a channel closed on the next change. The handler loops:
-// drain, write, wait.
-func (m *Manager) SweepStream(id string, cursor int) (cells []SweepCellView, next int, terminal bool, changed <-chan struct{}, ok bool) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	s, ok := m.sweeps[id]
-	if !ok {
-		return nil, cursor, false, nil, false
-	}
-	for ; cursor < len(s.completedOrder); cursor++ {
-		cells = append(cells, m.cellViewLocked(s, s.completedOrder[cursor]))
-	}
-	return cells, cursor, s.state != StateRunning, s.changed, true
 }
 
 // cellViewLocked snapshots one cell; callers hold m.mu. Until

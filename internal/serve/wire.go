@@ -175,6 +175,13 @@ type Stats struct {
 	// they just were not recorded).
 	ResultStore *store.Stats `json:"result_store,omitempty"`
 	StoreErrors int64        `json:"store_errors,omitempty"`
+	// Event-bus counters. EventsPublished counts frames accepted onto the
+	// bus; EventsDropped counts per-subscriber ring overflows (slow /events
+	// watchers shedding load — the publishing simulations were unaffected);
+	// Subscribers is the number of currently attached event streams.
+	EventsPublished int64 `json:"events_published"`
+	EventsDropped   int64 `json:"events_dropped"`
+	Subscribers     int   `json:"subscribers"`
 	// UptimeSeconds counts from manager start.
 	UptimeSeconds float64 `json:"uptime_seconds"`
 	// Workers is the job-pool width.
