@@ -4,7 +4,8 @@
 #   1. every route registered in internal/serve must have its own
 #      "## METHOD /path" section,
 #   2. the graph-family table must list exactly the families in the spec
-#      registry (one row per family, no extras, none missing),
+#      registry (one row per family, no extras, none missing), and the
+#      variant table likewise exactly the registered variants,
 #   3. the docs/PERFORMANCE.md scenario table must list exactly the
 #      scenarios cmd/bo3bench registers (bo3bench -list), and
 #   4. the docs/API.md bo3store subcommand table must list exactly the
@@ -61,6 +62,31 @@ elif [ "$doc_families" != "$reg_families" ]; then
     echo "$reg_families" >&2
     echo "--- docs/API.md table" >&2
     echo "$doc_families" >&2
+    status=1
+fi
+
+# --- 2b. Variant table vs the spec registry ----------------------------
+# Documented variants: the first backticked cell of each row of the table
+# headed "| Variant | Parameters | Notes |" (and only that table).
+doc_variants=$(awk '
+    /^\| Variant \| Parameters \| Notes \|$/ { in_table = 1; next }
+    in_table && /^\|-/ { next }
+    in_table && /^\| `/ {
+        if (match($0, /`[a-z0-9-]+`/)) print substr($0, RSTART + 1, RLENGTH - 2)
+        next
+    }
+    in_table { exit }
+' docs/API.md | sort)
+reg_variants=$(go run ./internal/tools/specvariants | sort)
+if [ -z "$doc_variants" ]; then
+    echo "check-api-docs: no variant table rows found in docs/API.md (pattern drift?)" >&2
+    status=1
+elif [ "$doc_variants" != "$reg_variants" ]; then
+    echo "check-api-docs: docs/API.md variant table disagrees with the spec registry:" >&2
+    echo "--- registry (go run ./internal/tools/specvariants)" >&2
+    echo "$reg_variants" >&2
+    echo "--- docs/API.md table" >&2
+    echo "$doc_variants" >&2
     status=1
 fi
 

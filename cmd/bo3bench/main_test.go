@@ -19,6 +19,7 @@ func TestScenarioNamesStable(t *testing.T) {
 		"graph/artifact-load",
 		"serve/jobs",
 		"serve/cached-jobs",
+		"sweep/variant-sweep",
 		"serve/events-fanout",
 	}
 	if len(scenarios) != len(want) {

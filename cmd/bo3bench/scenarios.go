@@ -97,6 +97,11 @@ var scenarios = []scenario{
 		run:         serveCachedJobs,
 	},
 	{
+		name:        "sweep/variant-sweep",
+		description: "one /v1/sweeps request crossing the registered opinion dynamics (the grid's variants axis): per-variant trial cost from a single sweep's cells",
+		run:         sweepVariantSweep,
+	},
+	{
 		name:        "serve/events-fanout",
 		description: "event-bus fan-out: one sweep streamed to K concurrent /events watchers (NDJSON, one deliberately slow), reporting delivered/published/dropped frames",
 		run:         serveEventsFanout,
@@ -332,6 +337,125 @@ func serveCachedJobs(s Scale) (map[string]any, map[string]float64, error) {
 		}, nil
 }
 
+// sweepVariantSweep submits one sweep whose grid crosses a single
+// random-regular instance with every registered opinion dynamic and
+// reports per-variant trial cost from the finished cells. The ratios
+// (<variant>_cost_vs_sync) are the number to watch across PRs: they say
+// what a non-default dynamic costs relative to the paper's synchronous
+// protocol on the identical instance, seeds included.
+func sweepVariantSweep(s Scale) (map[string]any, map[string]float64, error) {
+	mgr := serve.NewManager(serve.Config{Workers: 4, RootSeed: s.Seed})
+	srv := httptest.NewServer(serve.NewServer(mgr))
+	defer srv.Close()
+	defer mgr.Close(context.Background())
+
+	// stubborn_frac 0.2 makes the frozen-Blue zealots a winning coalition
+	// (blue share 0.4·0.8 + 0.2 > 1/2), so the stubborn cell converges to
+	// Blue consensus like the others converge to Red — every variant is
+	// then measured on an init-to-consensus trial rather than on round-cap
+	// exhaustion; the explicit MaxRounds bounds the scenario regardless.
+	n, trials := s.pick(1<<14, 1<<11), s.pick(8, 2)
+	// Warm the graph pool with one throwaway job on the shared topology so
+	// the first sweep cell (sync, the ratios' denominator) is not the one
+	// paying the random-regular construction cost.
+	if err := warmGraph(srv.URL, serve.GraphSpec{Family: "random-regular", N: n, D: 32, Seed: s.Seed}); err != nil {
+		return nil, nil, err
+	}
+	req := serve.SweepRequest{
+		Grid: serve.SweepGrid{
+			Graphs: []serve.GraphSpec{{Family: "random-regular", N: n, D: 32, Seed: s.Seed}},
+			Deltas: []float64{0.1},
+			Trials: []int{trials},
+			Variants: []spec.VariantSpec{
+				{Name: "sync"},
+				{Name: "async"},
+				{Name: "stubborn", StubbornFrac: 0.2},
+				{Name: "plurality", Q: 4},
+			},
+		},
+		MaxRounds: s.pick(512, 256),
+		Seed:      s.Seed,
+	}
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, nil, err
+	}
+	start := time.Now()
+	resp, err := http.Post(srv.URL+"/v1/sweeps", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return nil, nil, err
+	}
+	var view serve.SweepView
+	derr := json.NewDecoder(resp.Body).Decode(&view)
+	resp.Body.Close()
+	if derr != nil {
+		return nil, nil, derr
+	}
+	if resp.StatusCode != http.StatusAccepted {
+		return nil, nil, fmt.Errorf("submit sweep: status %d", resp.StatusCode)
+	}
+
+	deadline := time.Now().Add(2 * time.Minute)
+	for view.State == serve.StateRunning {
+		if time.Now().After(deadline) {
+			return nil, nil, fmt.Errorf("sweep %s did not finish in time", view.ID)
+		}
+		time.Sleep(5 * time.Millisecond)
+		resp, err := http.Get(srv.URL + "/v1/sweeps/" + view.ID)
+		if err != nil {
+			return nil, nil, err
+		}
+		err = json.NewDecoder(resp.Body).Decode(&view)
+		resp.Body.Close()
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+	secs := time.Since(start).Seconds()
+	if view.State != serve.StateDone {
+		return nil, nil, fmt.Errorf("sweep ended %s", view.State)
+	}
+
+	metrics := map[string]float64{
+		"wall_secs":      secs,
+		"trials_per_sec": float64(len(view.Cells)*trials) / secs,
+	}
+	var syncMS float64
+	for _, c := range view.Cells {
+		if c.Result == nil {
+			return nil, nil, fmt.Errorf("cell %d finished without a result", c.Index)
+		}
+		name := c.Result.Variant
+		if name == "" {
+			name = "sync"
+		}
+		// elapsed_ms has 1 ms wire resolution; quick-scale cells can finish
+		// under it. Floor at the half-quantum so the metric stays positive —
+		// the committed full-scale baseline runs cells well above 1 ms.
+		cellMS := float64(c.Result.ElapsedMS)
+		if cellMS == 0 {
+			cellMS = 0.5
+		}
+		perTrialMS := cellMS / float64(trials)
+		metrics[name+"_trial_ms"] = perTrialMS
+		metrics[name+"_mean_rounds"] = c.Result.MeanRounds
+		if name == "sync" {
+			syncMS = perTrialMS
+		}
+	}
+	if syncMS > 0 {
+		for _, c := range view.Cells {
+			name := c.Result.Variant
+			if name == "" {
+				continue
+			}
+			metrics[name+"_cost_vs_sync"] = metrics[name+"_trial_ms"] / syncMS
+		}
+	}
+	return map[string]any{"family": "random-regular", "n": n, "d": 32, "delta": 0.1,
+		"trials": trials, "variants": len(view.Cells), "workers": 4}, metrics, nil
+}
+
 // serveEventsFanout measures the event bus end to end over HTTP: one
 // sweep publishes round-decimated trajectory frames while K concurrent
 // NDJSON watchers tail GET /v1/sweeps/{id}/events, watcher 0 reading
@@ -451,6 +575,50 @@ func serveEventsFanout(s Scale) (map[string]any, map[string]float64, error) {
 			"events_published":         float64(stats.EventsPublished),
 			"events_dropped":           float64(stats.EventsDropped),
 		}, nil
+}
+
+// warmGraph runs one throwaway single-trial job on gs so the server's
+// graph pool holds the topology before a timed scenario touches it.
+func warmGraph(url string, gs serve.GraphSpec) error {
+	body, err := json.Marshal(spec.RunSpec{Graph: gs, Delta: 0.1, Trials: 1, Seed: 1})
+	if err != nil {
+		return err
+	}
+	resp, err := http.Post(url+"/v1/runs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	var view serve.JobView
+	err = json.NewDecoder(resp.Body).Decode(&view)
+	resp.Body.Close()
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusAccepted {
+		return fmt.Errorf("warm-up job: status %d", resp.StatusCode)
+	}
+	deadline := time.Now().Add(time.Minute)
+	for {
+		if time.Now().After(deadline) {
+			return fmt.Errorf("warm-up job %s did not finish in time", view.ID)
+		}
+		resp, err := http.Get(url + "/v1/runs/" + view.ID)
+		if err != nil {
+			return err
+		}
+		err = json.NewDecoder(resp.Body).Decode(&view)
+		resp.Body.Close()
+		if err != nil {
+			return err
+		}
+		switch view.State {
+		case serve.StateDone:
+			return nil
+		case serve.StateFailed, serve.StateCancelled:
+			return fmt.Errorf("warm-up job ended %s: %s", view.State, view.Error)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
 }
 
 // submitAndDrain posts `jobs` explicit-seed runs (seed s.Seed+i+1, so a

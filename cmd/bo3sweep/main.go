@@ -56,7 +56,24 @@ type runner struct {
 // replayGrid resolves the grid a -serve/-serve-runs session replays:
 // a named registry grid, or the load-test grid over the topology the
 // shared family flags select.
-func replayGrid(gf *cli.GraphFlags, cfg experiments.Config, gridID string, quick bool, trials int) (serve.SweepGrid, error) {
+func replayGrid(gf *cli.GraphFlags, cfg experiments.Config, gridID, variants string, quick bool, trials int) (serve.SweepGrid, error) {
+	grid, err := baseGrid(gf, cfg, gridID, quick, trials)
+	if err != nil {
+		return serve.SweepGrid{}, err
+	}
+	if variants != "" {
+		vs, err := cli.ParseVariants(variants)
+		if err != nil {
+			return serve.SweepGrid{}, err
+		}
+		grid.Variants = vs
+	}
+	return grid, nil
+}
+
+// baseGrid resolves the grid before the -variants override: a named
+// registry grid, or the load-test grid over the selected topology.
+func baseGrid(gf *cli.GraphFlags, cfg experiments.Config, gridID string, quick bool, trials int) (serve.SweepGrid, error) {
 	if gridID != "" {
 		grid, ok := experiments.Grids(cfg)[strings.ToUpper(gridID)]
 		if !ok {
@@ -95,6 +112,7 @@ func main() {
 		serveURL  = flag.String("serve", "", "bo3serve base URL: replay the grid as one server-side /v1/sweeps request")
 		serveRuns = flag.String("serve-runs", "", "bo3serve base URL: replay the grid as per-cell /v1/runs requests (pre-sweep baseline)")
 		gridID    = flag.String("grid", "", "in -serve/-serve-runs mode, replay this registry grid (e.g. E1) instead of the -graph load-test grid")
+		variants  = flag.String("variants", "", "in -serve/-serve-runs mode, set the grid's variant axis (comma-separated, e.g. sync,async,stubborn:0.05,plurality:4)")
 		conc      = flag.Int("concurrency", 4, "concurrent cells in -serve / -serve-runs mode")
 		watch     = flag.Bool("watch", false, "in -serve mode, also tail the sweep's live event stream (SSE) and print round-level telemetry to stderr")
 	)
@@ -117,7 +135,7 @@ func main() {
 		log.Fatal("-serve and -serve-runs are mutually exclusive")
 	}
 	if *serveURL != "" || *serveRuns != "" {
-		grid, err := replayGrid(gf, cfg, *gridID, *quick, *trials)
+		grid, err := replayGrid(gf, cfg, *gridID, *variants, *quick, *trials)
 		if err != nil {
 			log.Fatal(err)
 		}

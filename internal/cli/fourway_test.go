@@ -14,6 +14,7 @@ import (
 	"repro"
 	"repro/internal/artifact"
 	"repro/internal/serve"
+	"repro/internal/store"
 	"repro/spec"
 )
 
@@ -195,5 +196,196 @@ func TestSpecEquivalenceFourWayAllFamilies(t *testing.T) {
 	if st.GraphsArtifactHits != int64(csrFamilies) || st.GraphsArtifactMisses != 0 {
 		t.Errorf("artifact server hits=%d misses=%d, want %d/0 (every CSR family loaded from disk)",
 			st.GraphsArtifactHits, st.GraphsArtifactMisses, csrFamilies)
+	}
+}
+
+// fourWayVariantSpecs is one representative RunSpec per registered variant
+// — the test fails if a newly registered variant has no entry, so the
+// cross-layer equivalence tier can never silently lose variant coverage.
+func fourWayVariantSpecs(t *testing.T) []spec.RunSpec {
+	t.Helper()
+	variants := map[string]*spec.VariantSpec{
+		"sync":      nil, // the default: exactly the pre-variant request shape
+		"async":     {Name: "async"},
+		"stubborn":  {Name: "stubborn", StubbornFrac: 0.1},
+		"plurality": {Name: "plurality", Q: 4},
+	}
+	var out []spec.RunSpec
+	for _, name := range spec.Variants() {
+		v, ok := variants[name]
+		if !ok {
+			t.Fatalf("variant %q registered but missing from the four-way equivalence specs; add one", name)
+		}
+		out = append(out, spec.RunSpec{
+			Graph:     spec.GraphSpec{Family: "random-regular", N: 64, D: 8, Seed: 3},
+			Delta:     0.1,
+			Trials:    3,
+			MaxRounds: 128,
+			Seed:      42,
+			Rule:      &spec.RuleSpec{K: 3},
+			Variant:   v,
+		})
+	}
+	return out
+}
+
+// serverJob submits the spec to a live server, polls to a terminal state,
+// and returns the full job view (outcomes plus cache provenance).
+func serverJob(t *testing.T, url string, raw []byte) serve.JobView {
+	t.Helper()
+	resp, err := http.Post(url+"/v1/runs", "application/json", bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var view serve.JobView
+	if err := json.NewDecoder(resp.Body).Decode(&view); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	deadline := time.Now().Add(60 * time.Second)
+	for view.State != serve.StateDone {
+		if time.Now().After(deadline) || view.State == serve.StateFailed {
+			t.Fatalf("server job ended %s (%s)", view.State, view.Error)
+		}
+		time.Sleep(2 * time.Millisecond)
+		r, err := http.Get(url + "/v1/runs/" + view.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := json.NewDecoder(r.Body).Decode(&view); err != nil {
+			t.Fatal(err)
+		}
+		r.Body.Close()
+	}
+	return view
+}
+
+func tripleJSON(reports []serve.TrialReport) []byte {
+	out := make([]outcomeTriple, len(reports))
+	for i, o := range reports {
+		out[i] = outcomeTriple{RedWon: o.RedWon, Consensus: o.Consensus, Rounds: o.Rounds}
+	}
+	raw, _ := json.Marshal(out)
+	return raw
+}
+
+// TestSpecEquivalenceFourWayAllVariants is the variant tier's headline
+// guarantee: for every registered variant, one RunSpec must produce
+// byte-identical per-trial outcomes through (1) the library Runner, (2)
+// the bo3sim CLI, (3) a plain server, and (4) a store-backed server — and
+// leg 4 twice, so the second submission is a store replay whose recorded
+// outcomes are byte-identical to fresh execution. All variants share one
+// store and one (graph, delta, trials, seed) tuple, differing only in the
+// variant field, so every fresh (non-cached) first submission doubles as
+// proof that content keys distinguish variants: a stubborn run is never
+// answered from the sync run's record.
+func TestSpecEquivalenceFourWayAllVariants(t *testing.T) {
+	specs := fourWayVariantSpecs(t)
+
+	plainMgr := serve.NewManager(serve.Config{Workers: 2})
+	defer plainMgr.Close(context.Background())
+	plainSrv := httptest.NewServer(serve.NewServer(plainMgr))
+	defer plainSrv.Close()
+
+	st, err := store.Open(t.TempDir(), store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	storeMgr := serve.NewManager(serve.Config{Workers: 2, Store: st})
+	defer storeMgr.Close(context.Background())
+	storeSrv := httptest.NewServer(serve.NewServer(storeMgr))
+	defer storeSrv.Close()
+
+	for _, rs := range specs {
+		rs := rs
+		name := rs.VariantName()
+		t.Run(name, func(t *testing.T) {
+			raw, err := json.Marshal(rs)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			// Leg 1: library Runner.
+			runner, err := repro.NewRunner(rs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rep, err := runner.Run(context.Background())
+			if err != nil {
+				t.Fatal(err)
+			}
+			lib := make([]outcomeTriple, len(rep.Outcomes))
+			for i, o := range rep.Outcomes {
+				lib[i] = outcomeTriple{RedWon: o.RedWon, Consensus: o.Consensus, Rounds: o.Rounds}
+			}
+			libJSON, _ := json.Marshal(lib)
+
+			// Leg 2: the bo3sim CLI on the identical spec file.
+			specPath := filepath.Join(t.TempDir(), "run.json")
+			if err := os.WriteFile(specPath, raw, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			var stdout, stderr bytes.Buffer
+			if code := SimMain([]string{"-spec", specPath, "-json"}, &stdout, &stderr); code != 0 && code != 2 {
+				t.Fatalf("bo3sim exited %d: %s", code, stderr.String())
+			}
+			var cliRep repro.RunReport
+			if err := json.Unmarshal(stdout.Bytes(), &cliRep); err != nil {
+				t.Fatal(err)
+			}
+			cliOut := make([]outcomeTriple, len(cliRep.Outcomes))
+			for i, o := range cliRep.Outcomes {
+				cliOut[i] = outcomeTriple{RedWon: o.RedWon, Consensus: o.Consensus, Rounds: o.Rounds}
+			}
+			cliJSON, _ := json.Marshal(cliOut)
+
+			// Leg 3: plain server.
+			srvJSON, _ := json.Marshal(serverOutcomes(t, plainSrv.URL, raw))
+
+			// Leg 4: store-backed server, fresh execution. Because the sync
+			// variant ran first under the identical (graph, delta, trials,
+			// seed), a cache hit here would mean variant keys collide.
+			fresh := serverJob(t, storeSrv.URL, raw)
+			if fresh.Result.Cached {
+				t.Fatalf("%s: first store-server submission was answered from cache; variant does not partition the key space", name)
+			}
+			wantVariant := name
+			if wantVariant == "sync" {
+				wantVariant = "" // omitted on the wire for the default
+			}
+			if fresh.Result.Variant != wantVariant {
+				t.Errorf("result variant = %q, want %q", fresh.Result.Variant, wantVariant)
+			}
+			freshJSON := tripleJSON(fresh.Result.Reports)
+
+			// Leg 4b: the identical request again — must be a store replay
+			// with byte-identical outcomes.
+			replay := serverJob(t, storeSrv.URL, raw)
+			if !replay.Result.Cached {
+				t.Errorf("%s: repeated submission was re-executed instead of replayed from the store", name)
+			}
+			replayJSON := tripleJSON(replay.Result.Reports)
+
+			for legName, leg := range map[string][]byte{
+				"CLI": cliJSON, "plain server": srvJSON, "store server": freshJSON, "store replay": replayJSON,
+			} {
+				if !bytes.Equal(libJSON, leg) {
+					t.Errorf("library and %s outcomes differ for variant %s:\nlib %s\nleg %s", legName, name, libJSON, leg)
+				}
+			}
+		})
+	}
+
+	// The stats split must account every executed variant job exactly once
+	// (replays are cached, not executed).
+	stats := storeMgr.Stats()
+	for _, name := range spec.Variants() {
+		if got := stats.JobsByVariant[name]; got != 1 {
+			t.Errorf("store server jobs_by_variant[%s] = %d, want 1", name, got)
+		}
+	}
+	if stats.JobsCached != int64(len(specs)) {
+		t.Errorf("jobs_cached = %d, want %d (one replay per variant)", stats.JobsCached, len(specs))
 	}
 }

@@ -34,6 +34,9 @@ func SimMain(args []string, stdout, stderr io.Writer) int {
 		tie       = fs.String("tie", "keep", "tie rule for even k: keep|random")
 		noise     = fs.Float64("noise", 0, "per-sample misreporting probability in [0, 0.5]")
 		noReplace = fs.Bool("noreplace", false, "sample k distinct neighbours (ablation rule)")
+		variant   = fs.String("variant", "", "opinion dynamic: sync|async|stubborn|plurality (default sync)")
+		stubFrac  = fs.Float64("stubborn-frac", 0, "stubborn variant: fraction of vertices frozen Blue, in (0, 0.5]")
+		qOpinions = fs.Int("q", 0, "plurality variant: opinion alphabet size in [2, 256]")
 		trials    = fs.Int("trials", 1, "independent trials (trial i is seeded ChildSeed(seed, i))")
 		seed      = fs.Uint64("seed", 1, "run seed (runs are deterministic per seed)")
 		maxRounds = fs.Int("maxrounds", 0, "round budget (0 = auto from prediction)")
@@ -73,6 +76,9 @@ func SimMain(args []string, stdout, stderr io.Writer) int {
 			MaxRounds: *maxRounds,
 			Seed:      *seed,
 			Rule:      &spec.RuleSpec{K: *k, Tie: *tie, Noise: *noise, WithoutReplacement: *noReplace},
+		}
+		if *variant != "" || *stubFrac != 0 || *qOpinions != 0 {
+			runSpec.Variant = &spec.VariantSpec{Name: *variant, StubbornFrac: *stubFrac, Q: *qOpinions}
 		}
 	}
 
@@ -117,6 +123,9 @@ func SimMain(args []string, stdout, stderr io.Writer) int {
 	if !*jsonOut {
 		fmt.Fprintf(stdout, "graph       %s\n", g.Name())
 		fmt.Fprintf(stdout, "protocol    %s\n", runSpec.Rule.Name())
+		if v := runner.VariantName(); v != "sync" {
+			fmt.Fprintf(stdout, "variant     %s\n", v)
+		}
 		fmt.Fprintf(stdout, "delta       %.4f\n", runSpec.Delta)
 		pre := repro.CheckPrecondition(g, runSpec.Delta)
 		fmt.Fprintf(stdout, "theorem 1   %s\n", pre)

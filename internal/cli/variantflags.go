@@ -1,0 +1,47 @@
+package cli
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/spec"
+)
+
+// ParseVariants parses a comma-separated variant axis ("sync,async" or
+// "stubborn:0.05,plurality:4") into grid entries. Each element is a
+// registered variant name, optionally followed by ":" and that variant's
+// parameter — the stubborn fraction or the plurality alphabet size q.
+// Names are resolved (and parameters range-checked) by the spec registry
+// when the grid validates, so this only handles the surface syntax.
+func ParseVariants(s string) ([]spec.VariantSpec, error) {
+	var out []spec.VariantSpec
+	for _, elem := range strings.Split(s, ",") {
+		elem = strings.TrimSpace(elem)
+		if elem == "" {
+			continue
+		}
+		name, param, hasParam := strings.Cut(elem, ":")
+		v := spec.VariantSpec{Name: name}
+		if hasParam {
+			switch name {
+			case "stubborn":
+				frac, err := strconv.ParseFloat(param, 64)
+				if err != nil {
+					return nil, fmt.Errorf("variant %q: bad fraction %q: %v", name, param, err)
+				}
+				v.StubbornFrac = frac
+			case "plurality":
+				q, err := strconv.Atoi(param)
+				if err != nil {
+					return nil, fmt.Errorf("variant %q: bad q %q: %v", name, param, err)
+				}
+				v.Q = q
+			default:
+				return nil, fmt.Errorf("variant %q takes no parameter (got %q)", name, param)
+			}
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}

@@ -10,8 +10,6 @@ import (
 	"math"
 
 	"repro/internal/dynamics"
-	"repro/internal/opinion"
-	"repro/internal/rng"
 	"repro/internal/theory"
 )
 
@@ -108,8 +106,12 @@ type Options struct {
 	// Engine selects the round engine; the zero value (EngineAuto) takes
 	// the O(1) mean-field fast path on eligible topologies (graph.Kn) and
 	// the general sharded engine otherwise. EngineGeneral forces the
-	// general engine for A/B validation.
+	// general engine for A/B validation. Non-sync variants always run
+	// per-vertex sampling; requesting EngineMeanField with one is an error.
 	Engine dynamics.Engine
+	// Variant selects the dynamic (sync, async, stubborn, plurality); the
+	// zero value is the paper's synchronous dynamic. See the Variant type.
+	Variant Variant
 	// OnRound, when non-nil, is invoked after every recorded blue count —
 	// first with (0, initial count), then once per executed round — on the
 	// goroutine driving the run. It must not retain the process.
@@ -153,9 +155,7 @@ func Run(ctx context.Context, g Topology, delta float64, opt Options) (Report, e
 	pre := CheckPrecondition(g, delta)
 	predicted := theory.PredictedRounds(g.N(), float64(g.MinDegree()), math.Max(delta, 1e-6))
 	budget := RoundBudget(g, delta, opt.MaxRounds)
-	src := rng.New(opt.Seed)
-	init := opinion.RandomConfig(g.N(), 0.5-delta, src)
-	proc, err := dynamics.New(g, rule, init, dynamics.Options{Seed: src.Uint64(), Workers: opt.Workers, Engine: opt.Engine})
+	proc, err := newRunProcess(g, delta, rule, opt)
 	if err != nil {
 		return Report{}, err
 	}
@@ -163,7 +163,9 @@ func Run(ctx context.Context, g Topology, delta float64, opt Options) (Report, e
 	rep := Report{PredictedRounds: predicted, Precondition: pre}
 	// Counts come from the process, not the materialised configuration:
 	// under the mean-field engine Blues and Consensus are O(1) reads, so
-	// the per-round bookkeeping never forces an O(n) materialisation.
+	// the per-round bookkeeping never forces an O(n) materialisation. For
+	// the plurality variant, Blues is the opposition mass (vertices not
+	// holding opinion 0) and RedWon asks whether opinion 0 won.
 	blues := proc.Blues()
 	rep.BlueTrajectory = []int{blues}
 	if opt.OnRound != nil {
@@ -171,20 +173,13 @@ func Run(ctx context.Context, g Topology, delta float64, opt Options) (Report, e
 	}
 	finish := func(err error) (Report, error) {
 		rep.Rounds = proc.Round()
-		if col, ok := proc.Consensus(); ok {
-			rep.Consensus = true
-			rep.RedWon = col == opinion.Red
-		} else {
-			rep.RedWon = 2*proc.Blues() <= proc.Graph().N()
-		}
+		rep.Consensus = proc.ConsensusReached()
+		rep.RedWon = proc.RedWon()
 		return rep, err
 	}
 	for proc.Round() < budget {
-		if col, ok := proc.Consensus(); ok {
-			rep.Consensus = true
-			rep.RedWon = col == opinion.Red
-			rep.Rounds = proc.Round()
-			return rep, nil
+		if proc.ConsensusReached() {
+			return finish(nil)
 		}
 		if err := ctx.Err(); err != nil {
 			return finish(err)

@@ -30,6 +30,9 @@ func NewAsync(g Topology, rule Rule, init *opinion.Config, seed uint64) (*AsyncP
 	if err := rule.Validate(); err != nil {
 		return nil, err
 	}
+	if rule.WithoutReplacement {
+		return nil, fmt.Errorf("dynamics: the async process does not implement without-replacement sampling")
+	}
 	if g.N() != init.N() {
 		return nil, fmt.Errorf("dynamics: graph has %d vertices, configuration has %d", g.N(), init.N())
 	}
@@ -54,6 +57,10 @@ func (a *AsyncProcess) Ticks() int { return a.ticks }
 // Sweeps returns the number of completed sweeps (ticks / n).
 func (a *AsyncProcess) Sweeps() int { return a.ticks / a.g.N() }
 
+// Blues returns the current number of Blue vertices (tracked incrementally,
+// so the read is O(1)).
+func (a *AsyncProcess) Blues() int { return a.blues }
+
 // Tick activates one uniformly random vertex.
 func (a *AsyncProcess) Tick() {
 	v := a.src.Intn(a.g.N())
@@ -65,6 +72,11 @@ func (a *AsyncProcess) Tick() {
 		if a.cfg.Get(w) == opinion.Blue {
 			blues++
 		}
+	}
+	if a.rule.Noise > 0 {
+		// Same misreporting model as the synchronous scalar path: each of
+		// the k observed opinions flips independently with probability Noise.
+		blues += a.src.Binomial(k-blues, a.rule.Noise) - a.src.Binomial(blues, a.rule.Noise)
 	}
 	var col opinion.Colour
 	switch {

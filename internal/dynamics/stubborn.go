@@ -23,7 +23,18 @@ type StubbornProcess struct {
 // NewStubborn wraps a Process so the listed vertices keep their initial
 // opinion forever. Duplicate vertices are allowed; out-of-range vertices
 // are an error.
+//
+// The inner process always runs the general engine: the mean-field fast
+// path models the configuration as an exchangeable blue count, and frozen
+// vertices break exchangeability (restoring them after a mean-field step
+// would silently mutate a stale materialisation). Requesting EngineMeanField
+// explicitly is therefore an error; EngineAuto resolves to general here even
+// on mean-field-eligible topologies.
 func NewStubborn(g Topology, rule Rule, init *opinion.Config, stubborn []int, opt Options) (*StubbornProcess, error) {
+	if opt.Engine == EngineMeanField {
+		return nil, fmt.Errorf("dynamics: stubborn process requires the general engine (frozen vertices break mean-field exchangeability)")
+	}
+	opt.Engine = EngineGeneral
 	p, err := New(g, rule, init, opt)
 	if err != nil {
 		return nil, err

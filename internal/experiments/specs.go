@@ -13,9 +13,10 @@ import (
 
 // Grids returns the server-sweepable slice of the E1–E21 registry as
 // spec grids, scaled by cfg (trials per cell, largest n, seed). Entries
-// built on dual objects, per-round trajectories, or engine variants not
-// exposed over the wire are library-only and absent here; DESIGN.md's
-// registry table records why, entry by entry.
+// built on dual objects or per-round trajectories are library-only and
+// absent here; DESIGN.md's registry table records why, entry by entry.
+// The opinion dynamics ride the grids' Variants axis — the same
+// spec.VariantSpec values POST /v1/sweeps accepts.
 func Grids(cfg Config) map[string]spec.Grid {
 	ns := nsUpTo(cfg.MaxN)
 	trials := []int{cfg.Trials}
@@ -60,10 +61,51 @@ func Grids(cfg Config) map[string]spec.Grid {
 			Deltas: []float64{0.05},
 			Trials: trials,
 		},
+		// E14: q-opinion plurality — the variants axis sweeps q on a
+		// materialised K_n (plurality always runs on the general engine).
+		"E14": {
+			Graphs: []spec.GraphSpec{{Family: "complete", N: 512}},
+			Deltas: []float64{0.05},
+			Variants: []spec.VariantSpec{
+				{Name: "plurality", Q: 2},
+				{Name: "plurality", Q: 3},
+				{Name: "plurality", Q: 5},
+				{Name: "plurality", Q: 8},
+			},
+			Trials: trials,
+		},
+		// E15: stubborn (zealot) tolerance — frozen-Red fractions vs the
+		// plain protocol on one regular instance.
+		"E15": {
+			Graphs: []spec.GraphSpec{{Family: "random-regular", N: cfg.MaxN, D: 64, Seed: cfg.Seed}},
+			Deltas: []float64{0.05},
+			Variants: []spec.VariantSpec{
+				{Name: "sync"},
+				{Name: "stubborn", StubbornFrac: 0.01},
+				{Name: "stubborn", StubbornFrac: 0.05},
+				{Name: "stubborn", StubbornFrac: 0.2},
+			},
+			Trials: trials,
+		},
+		// E18: synchronous rounds vs sequential single-vertex sweeps on
+		// the same instances (an async "round" is n activations, so round
+		// counts are directly comparable).
+		"E18": {
+			Graphs: []spec.GraphSpec{{Family: "random-regular", D: 32, Seed: cfg.Seed}},
+			NS:     ns[len(ns)-1:],
+			Deltas: []float64{0.1, 0.05},
+			Variants: []spec.VariantSpec{
+				{Name: "sync"},
+				{Name: "async"},
+			},
+			Trials: trials,
+		},
 		// E19: per-sample communication noise threshold — the noises axis
 		// brackets the regime where misreported samples stall consensus
 		// (heavily noised cells run to the theory-derived round cap; that
-		// is the measurement, not a failure).
+		// is the measurement, not a failure), crossed with the sync/async
+		// dynamic: the threshold location must not depend on the update
+		// schedule.
 		"E19": {
 			Graphs: []spec.GraphSpec{
 				{Family: "complete-virtual"},
@@ -72,6 +114,10 @@ func Grids(cfg Config) map[string]spec.Grid {
 			NS:     ns[len(ns)-1:],
 			Deltas: []float64{0.1},
 			Noises: []float64{0, 0.02, 0.05, 0.1, 0.2, 0.3},
+			Variants: []spec.VariantSpec{
+				{Name: "sync"},
+				{Name: "async"},
+			},
 			Trials: trials,
 		},
 		// E20: the simulated side of the exact-chain validation.

@@ -1,0 +1,86 @@
+package markov
+
+import (
+	"context"
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/rng"
+)
+
+// variantWinRate runs `trials` independent core.Run trials of the given
+// variant on K_n and returns the empirical red-win rate — the full
+// cross-layer dispatch path (core.newRunProcess), not a hand-built process,
+// so the distributional checks below certify what the wire actually runs.
+func variantWinRate(t *testing.T, n int, delta float64, v core.Variant, trials int, seed uint64) float64 {
+	t.Helper()
+	redWins := 0
+	for i := 0; i < trials; i++ {
+		rep, err := core.Run(context.Background(), graph.NewKn(n), delta,
+			core.Options{Seed: rng.ChildSeed(seed, uint64(i)), MaxRounds: 4000, Variant: v})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.RedWon {
+			redWins++
+		}
+	}
+	return float64(redWins) / float64(trials)
+}
+
+// TestPluralityQ2MatchesExactChain grounds the plurality variant in the
+// exact blue-count chain: at q = 2 the q-opinion dynamic collapses to the
+// two-party synchronous dynamic (three samples never tie, opinion 0 starts
+// with the i.i.d. share 1/2 + δ exactly as Red does), so its empirical
+// red-win rate on K_n must sit inside the 99% CI around the exact
+// absorption probability — the same acceptance bar the engine seam meets
+// in TestEnginesMatchExactChain.
+func TestPluralityQ2MatchesExactChain(t *testing.T) {
+	const (
+		n      = 64
+		delta  = 0.1 // share0 = 1/2 + 0.1 → pBlue = 0.4
+		trials = 1200
+		z99    = 2.576
+	)
+	chain := New(n, 3)
+	exact := chain.RedWinProbability(0.5-delta, 4000)
+
+	got := variantWinRate(t, n, delta, core.Variant{Name: core.VariantPlurality, Q: 2}, trials, 303)
+	se := math.Sqrt(exact*(1-exact)/trials) + 1e-9
+	if d := math.Abs(got - exact); d > z99*se {
+		t.Errorf("plurality q=2 red-win rate %v vs exact %v: |diff| %v > 99%% CI %v", got, exact, d, z99*se)
+	}
+}
+
+// TestAsyncColourSymmetry checks the sequential dynamic's exact
+// distributional invariant: Best-of-Three is colour-symmetric (k = 3 never
+// ties, no noise), so at δ = 0 the red-win probability is exactly 1/2 —
+// any dispatch bug that biases initialisation or the majority rule shows
+// up as a deviation outside the 99% CI.
+func TestAsyncColourSymmetry(t *testing.T) {
+	const (
+		n      = 64
+		trials = 1200
+		z99    = 2.576
+	)
+	got := variantWinRate(t, n, 0, core.Variant{Name: core.VariantAsync}, trials, 404)
+	se := math.Sqrt(0.25/trials) + 1e-9
+	if d := math.Abs(got - 0.5); d > z99*se {
+		t.Errorf("async red-win rate at delta 0 = %v: |diff from 1/2| %v > 99%% CI %v", got, d, z99*se)
+	}
+}
+
+// TestAsyncTracksImbalance: at a clear imbalance the sequential dynamic
+// must, like the synchronous one, amplify the majority to near-certain
+// victory — the coarse distributional agreement behind E18's "same
+// threshold behaviour, different clock" claim.
+func TestAsyncTracksImbalance(t *testing.T) {
+	const trials = 300
+	syncRate := variantWinRate(t, 64, 0.2, core.Variant{}, trials, 505)
+	asyncRate := variantWinRate(t, 64, 0.2, core.Variant{Name: core.VariantAsync}, trials, 606)
+	if syncRate < 0.9 || asyncRate < 0.9 {
+		t.Errorf("at delta 0.2 on K_64: sync red-win rate %v, async %v; both should be near-certain", syncRate, asyncRate)
+	}
+}

@@ -76,6 +76,9 @@ type RoundFrame struct {
 	Round int `json:"round"`
 	Blues int `json:"blues"`
 	N     int `json:"n"`
+	// Variant is the run's opinion dynamic; omitted for the synchronous
+	// default, so pre-variant watchers see unchanged frames.
+	Variant string `json:"variant,omitempty"`
 }
 
 // publishJobState publishes a run lifecycle transition; callers hold m.mu.
@@ -111,6 +114,10 @@ func (m *Manager) trajectoryObserver(j *job, g core.Topology, runSpec RunRequest
 	budget := core.RoundBudget(g, runSpec.Delta, runSpec.MaxRounds)
 	dec := bus.NewDecimator(budget, runSpec.Trials, m.cfg.FrameBudget)
 	n := g.N()
+	variant := ""
+	if v := runSpec.VariantName(); v != "sync" {
+		variant = v
+	}
 	topic := runTopic(j.id)
 	sweepTp := ""
 	if j.sweep != "" {
@@ -120,7 +127,7 @@ func (m *Manager) trajectoryObserver(j *job, g core.Topology, runSpec RunRequest
 		if !dec.Keep(round) {
 			return
 		}
-		f := RoundFrame{Trial: trial, Round: round, Blues: blues, N: n}
+		f := RoundFrame{Trial: trial, Round: round, Blues: blues, N: n, Variant: variant}
 		m.bus.Publish(topic, EventRound, &f)
 		if sweepTp != "" {
 			mirror := f

@@ -95,6 +95,11 @@ func executeSpec(ctx context.Context, runSpec RunRequest, g core.Topology, worke
 		ElapsedMS:       elapsed.Milliseconds(),
 		Reports:         reports,
 	}
+	if v := runner.VariantName(); v != "sync" {
+		// The sync default is omitted (omitempty) so plain-run results —
+		// and every pre-variant store record — keep their exact bytes.
+		res.Variant = v
+	}
 	tl := tallyReports(reports)
 	res.RedWins = tl.Wins
 	res.Consensus = tl.Consensus

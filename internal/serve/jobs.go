@@ -200,6 +200,7 @@ type Manager struct {
 	completed, failed, cancelled, rejected           int64
 	trialsRun, roundsRun                             int64
 	jobsMeanField, jobsGeneral, jobsCached           int64
+	jobsByVariant                                    map[string]int64
 	storeErrors                                      int64
 	queued, running                                  int
 	sweepsCompleted, sweepsCancelled, sweepsRejected int64
@@ -533,6 +534,12 @@ func (m *Manager) Stats() Stats {
 		UptimeSeconds:      time.Since(m.startTime).Seconds(),
 		Workers:            m.cfg.Workers,
 	}
+	if len(m.jobsByVariant) > 0 {
+		st.JobsByVariant = make(map[string]int64, len(m.jobsByVariant))
+		for k, v := range m.jobsByVariant {
+			st.JobsByVariant[k] = v
+		}
+	}
 	bs := m.bus.Stats()
 	st.EventsPublished = int64(bs.Published)
 	st.EventsDropped = int64(bs.Dropped)
@@ -667,6 +674,16 @@ func (m *Manager) worker() {
 			} else {
 				m.jobsGeneral++
 			}
+			// The wire result omits the sync default; the counter spells it
+			// out so the stats split always sums to the executed jobs.
+			variant := result.Variant
+			if variant == "" {
+				variant = "sync"
+			}
+			if m.jobsByVariant == nil {
+				m.jobsByVariant = make(map[string]int64)
+			}
+			m.jobsByVariant[variant]++
 		case errors.Is(err, context.Canceled):
 			j.state = StateCancelled
 			m.cancelled++

@@ -44,8 +44,11 @@ type CellResult struct {
 	MeanRounds      float64 `json:"mean_rounds"`
 	MaxRounds       int     `json:"max_rounds"`
 	PredictedRounds int     `json:"predicted_rounds"`
-	CacheHit        bool    `json:"cache_hit"`
-	ElapsedMS       int64   `json:"elapsed_ms"`
+	// Variant is the cell's opinion dynamic; omitted for the synchronous
+	// default, so pre-variant sweep views keep their exact bytes.
+	Variant   string `json:"variant,omitempty"`
+	CacheHit  bool   `json:"cache_hit"`
+	ElapsedMS int64  `json:"elapsed_ms"`
 }
 
 // SweepCellView is one expanded grid cell and its status.
@@ -796,6 +799,7 @@ func (m *Manager) finalizeCell(s *sweep, i int, j *job) {
 			MeanRounds:      r.MeanRounds,
 			MaxRounds:       r.MaxRounds,
 			PredictedRounds: r.PredictedRounds,
+			Variant:         r.Variant,
 			CacheHit:        r.CacheHit,
 			ElapsedMS:       r.ElapsedMS,
 		}

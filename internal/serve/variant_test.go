@@ -1,0 +1,161 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"testing"
+
+	"repro"
+	"repro/spec"
+)
+
+// TestSweepVariantAxis drives the variant axis through the full server
+// sweep path: one grid crossing every registered variant expands into one
+// cell per variant, every cell's outcomes are byte-identical to running
+// its expanded spec through the library Runner, results and retained event
+// frames carry the variant, and the stats split accounts each executed
+// variant exactly once.
+func TestSweepVariantAxis(t *testing.T) {
+	ts, mgr := newTestServer(t, Config{Workers: 2})
+
+	req := SweepRequest{
+		Grid: SweepGrid{
+			Graphs: []GraphSpec{{Family: "random-regular", N: 64, D: 8, Seed: 3}},
+			Deltas: []float64{0.1},
+			Trials: []int{2},
+			Variants: []spec.VariantSpec{
+				{Name: "sync"},
+				{Name: "async"},
+				{Name: "stubborn", StubbornFrac: 0.1},
+				{Name: "plurality", Q: 4},
+			},
+		},
+		MaxRounds: 64,
+		Seed:      11,
+	}
+	var accepted SweepView
+	doJSON(t, http.MethodPost, ts.URL+"/v1/sweeps", req, http.StatusAccepted, &accepted)
+	if len(accepted.Cells) != 4 {
+		t.Fatalf("variant grid expanded to %d cells, want 4", len(accepted.Cells))
+	}
+
+	v := pollSweepDone(t, ts.URL, accepted.ID)
+	if v.State != StateDone {
+		t.Fatalf("sweep ended %s, want done", v.State)
+	}
+	seen := map[string]bool{}
+	for i, c := range v.Cells {
+		if c.State != StateDone || c.Result == nil {
+			t.Fatalf("cell %d = %+v, want done with result", i, c)
+		}
+		name := c.Request.VariantName()
+		seen[name] = true
+		wantWire := name
+		if wantWire == "sync" {
+			wantWire = ""
+		}
+		if c.Result.Variant != wantWire {
+			t.Errorf("cell %d result variant = %q, want %q", i, c.Result.Variant, wantWire)
+		}
+
+		// The full result lives on the child run; its per-trial outcomes
+		// must be byte-identical to the library running the expanded spec —
+		// the sweep path is just another entry point.
+		var jv JobView
+		doJSON(t, http.MethodGet, ts.URL+"/v1/runs/"+c.JobID, nil, http.StatusOK, &jv)
+		if jv.Result == nil {
+			t.Fatalf("cell %d job %s has no result", i, c.JobID)
+		}
+		if jv.Result.Variant != wantWire {
+			t.Errorf("cell %d run result variant = %q, want %q", i, jv.Result.Variant, wantWire)
+		}
+		if jv.Result.Engine != "general" {
+			t.Errorf("cell %d engine = %q, want general (random-regular)", i, jv.Result.Engine)
+		}
+		runner, err := repro.NewRunner(c.Request)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := runner.Run(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		for tr, o := range rep.Outcomes {
+			got := jv.Result.Reports[tr]
+			if got.RedWon != o.RedWon || got.Consensus != o.Consensus || got.Rounds != o.Rounds {
+				t.Errorf("cell %d (%s) trial %d: server %+v vs library %+v", i, name, tr, got, o)
+			}
+		}
+
+		// The run topic's retained trajectory frames carry the variant
+		// (omitted for the sync default).
+		snap, sub, ok := mgr.SubscribeRun(c.JobID, 0)
+		if !ok {
+			t.Fatalf("cell %d job topic missing", i)
+		}
+		sub.Cancel()
+		rounds := 0
+		for _, ev := range snap {
+			if ev.Type != EventRound {
+				continue
+			}
+			rounds++
+			var f RoundFrame
+			if err := json.Unmarshal(mustJSON(t, ev.Data), &f); err != nil {
+				t.Fatal(err)
+			}
+			if f.Variant != wantWire {
+				t.Errorf("cell %d round frame variant = %q, want %q", i, f.Variant, wantWire)
+			}
+		}
+		if rounds == 0 {
+			t.Errorf("cell %d (%s) retained no trajectory frames", i, name)
+		}
+	}
+	for _, name := range spec.Variants() {
+		if !seen[name] {
+			t.Errorf("registered variant %q missing from the expanded sweep", name)
+		}
+	}
+
+	st := mgr.Stats()
+	for _, name := range spec.Variants() {
+		if got := st.JobsByVariant[name]; got != 1 {
+			t.Errorf("jobs_by_variant[%s] = %d, want 1", name, got)
+		}
+	}
+}
+
+// mustJSON round-trips an event payload to raw JSON so the test can decode
+// it into the concrete frame type regardless of how the bus stored it.
+func mustJSON(t *testing.T, v any) []byte {
+	t.Helper()
+	raw, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return raw
+}
+
+// TestSubmitVariantValidation: the server rejects unsupported
+// engine×variant and parameter combinations at admission with 400s, one
+// per registered non-sync variant.
+func TestSubmitVariantValidation(t *testing.T) {
+	ts, _ := newTestServer(t, Config{Workers: 1})
+	bad := []RunRequest{
+		{Graph: GraphSpec{Family: "complete-virtual", N: 64}, Delta: 0.1, Engine: "mean-field", Variant: &spec.VariantSpec{Name: "async"}},
+		{Graph: GraphSpec{Family: "complete-virtual", N: 64}, Delta: 0.1, Engine: "mean-field", Variant: &spec.VariantSpec{Name: "stubborn", StubbornFrac: 0.1}},
+		{Graph: GraphSpec{Family: "complete-virtual", N: 64}, Delta: 0.1, Engine: "mean-field", Variant: &spec.VariantSpec{Name: "plurality", Q: 4}},
+		{Graph: GraphSpec{Family: "complete", N: 64}, Delta: 0.1, Variant: &spec.VariantSpec{Name: "nope"}},
+		{Graph: GraphSpec{Family: "complete", N: 64}, Delta: 0.1, Variant: &spec.VariantSpec{Name: "stubborn"}},
+		{Graph: GraphSpec{Family: "complete", N: 64}, Delta: 0.1, Variant: &spec.VariantSpec{Name: "plurality", Q: 1}},
+	}
+	for i, req := range bad {
+		var eb errorBody
+		doJSON(t, http.MethodPost, ts.URL+"/v1/runs", req, http.StatusBadRequest, &eb)
+		if eb.Error == "" {
+			t.Errorf("bad request %d accepted without an error body", i)
+		}
+	}
+}

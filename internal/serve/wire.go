@@ -75,6 +75,12 @@ type RunResult struct {
 	// "general" (per-vertex sharded sampling). Requests opt out of the
 	// fast path with `"engine": "general"` on the RunRequest.
 	Engine string `json:"engine"`
+	// Variant is the resolved opinion dynamic the trials executed
+	// ("async", "stubborn", "plurality"); omitted for the synchronous
+	// default, so results of plain runs — including every record the
+	// result store persisted before the variant axis existed — are
+	// byte-identical to the pre-variant wire format.
+	Variant string `json:"variant,omitempty"`
 	// CacheHit reports whether the graph came from the pool.
 	CacheHit bool `json:"cache_hit"`
 	// Cached reports that the result was served from the persistent
@@ -142,6 +148,11 @@ type Stats struct {
 	JobsMeanField int64 `json:"jobs_mean_field"`
 	JobsGeneral   int64 `json:"jobs_general"`
 	JobsCached    int64 `json:"jobs_cached"`
+	// JobsByVariant splits executed jobs by the opinion dynamic that ran
+	// them ("sync", "async", "stubborn", "plurality"). Like the engine
+	// split, cached jobs are not counted. Absent until the first job
+	// executes.
+	JobsByVariant map[string]int64 `json:"jobs_by_variant,omitempty"`
 	// Sweep counters. SweepCellsFinished counts child runs that reached a
 	// terminal state (done, failed, or cancelled).
 	SweepsSubmitted    int64 `json:"sweeps_submitted"`

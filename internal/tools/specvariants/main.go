@@ -1,0 +1,17 @@
+// Command specvariants prints the spec registry's variant names, one per
+// line, sorted. CI (.github/check-api-docs.sh) diffs this output against
+// the variant table in docs/API.md so the documentation cannot drift from
+// the registry.
+package main
+
+import (
+	"fmt"
+
+	"repro/spec"
+)
+
+func main() {
+	for _, name := range spec.Variants() {
+		fmt.Println(name)
+	}
+}

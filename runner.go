@@ -26,6 +26,9 @@ type (
 	// Grid is a cross-product parameter grid expanding into RunSpecs; see
 	// spec.Grid.
 	Grid = spec.Grid
+	// VariantSpec selects the opinion dynamic a RunSpec executes; see
+	// spec.VariantSpec.
+	VariantSpec = spec.VariantSpec
 )
 
 // RoundObserver receives one callback per recorded blue count of a trial:
@@ -131,14 +134,22 @@ func (r *Runner) Topology() (Topology, error) {
 
 // EngineName reports the resolved round engine ("general" or
 // "mean-field") the runner's trials execute on, building the topology if
-// needed. The serve layer records it per job.
+// needed. The serve layer records it per job. Non-sync variants always run
+// per-vertex sampling, so they resolve to "general" without a build.
 func (r *Runner) EngineName() (string, error) {
+	if r.spec.VariantName() != "sync" {
+		return "general", nil
+	}
 	g, err := r.Topology()
 	if err != nil {
 		return "", err
 	}
 	return core.EngineFor(g, r.rule, r.engine), nil
 }
+
+// VariantName reports the resolved dynamic the runner's trials execute
+// ("sync", "async", "stubborn", or "plurality").
+func (r *Runner) VariantName() string { return r.spec.VariantName() }
 
 // TrialResult is one trial's outcome as delivered by Stream.
 type TrialResult struct {
@@ -220,6 +231,7 @@ func (r *Runner) runTrial(ctx context.Context, g Topology, i int) TrialResult {
 		Workers:   r.cfg.engineWorkers,
 		Rule:      r.rule,
 		Engine:    r.engine,
+		Variant:   r.spec.CoreVariant(),
 	}
 	if obs := r.cfg.observer; obs != nil {
 		opt.OnRound = func(round, blues int) { obs(i, round, blues) }

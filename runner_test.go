@@ -243,3 +243,68 @@ func TestRunnerEngineABEquivalence(t *testing.T) {
 		t.Errorf("consensus: mean-field %d/64, general %d/64", mf.ConsensusCount, gen.ConsensusCount)
 	}
 }
+
+// TestRunnerVariantStreamRace is the variant tier's concurrency stress: an
+// async-variant spec fanned out over parallel trial workers through Stream,
+// with a shared observer attached, must (a) race-cleanly execute under `go
+// test -race` and (b) deliver outcomes byte-identical to the serial run —
+// trial parallelism never changes what a trial computes, for variants
+// exactly as for the synchronous default.
+func TestRunnerVariantStreamRace(t *testing.T) {
+	for _, v := range []*repro.VariantSpec{
+		{Name: "async"},
+		{Name: "stubborn", StubbornFrac: 0.1},
+		{Name: "plurality", Q: 4},
+	} {
+		v := v
+		t.Run(v.Name, func(t *testing.T) {
+			s := testSpec(32)
+			s.MaxRounds = 200
+			s.Variant = v
+
+			serial, err := repro.NewRunner(s, repro.WithWorkers(1))
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := serial.Run(context.Background())
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			var mu sync.Mutex
+			frames := 0
+			parallel, err := repro.NewRunner(s, repro.WithWorkers(8),
+				repro.WithObserver(func(trial, round, blues int) {
+					mu.Lock()
+					frames++
+					mu.Unlock()
+				}))
+			if err != nil {
+				t.Fatal(err)
+			}
+			stream, err := parallel.Stream(context.Background())
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := make([]repro.TrialOutcome, s.Trials)
+			for res := range stream {
+				if res.Err != nil {
+					t.Fatal(res.Err)
+				}
+				got[res.Trial] = repro.TrialOutcome{
+					Trial:     res.Trial,
+					Seed:      res.Seed,
+					RedWon:    res.Report.RedWon,
+					Consensus: res.Report.Consensus,
+					Rounds:    res.Report.Rounds,
+				}
+			}
+			if !reflect.DeepEqual(want.Outcomes, got) {
+				t.Errorf("parallel %s outcomes diverge from serial:\nserial   %+v\nparallel %+v", v.Name, want.Outcomes, got)
+			}
+			if frames == 0 {
+				t.Errorf("observer saw no frames")
+			}
+		})
+	}
+}

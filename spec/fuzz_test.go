@@ -5,6 +5,84 @@ import (
 	"testing"
 )
 
+// FuzzRunSpecVariant fuzzes the variant axis against the registry and
+// checks the contract the store and equivalence tiers rest on: validation
+// is total (no panics), keys are deterministic, the sync default is
+// key-invisible, and any two specs differing in effective variant
+// parameters render different keys.
+func FuzzRunSpecVariant(f *testing.F) {
+	names := append(Variants(), "", "no-such-variant")
+	engines := []string{"", "auto", "general", "mean-field"}
+	f.Add(0, 0.0, 0, 0, 0.0, false, 0)
+	f.Add(2, 0.05, 0, 1, 0.0, false, 1)
+	f.Add(3, 0.0, 5, 2, 0.1, true, 3)
+	f.Add(5, -1.0, 1<<30, 3, 1.0, false, 99)
+	f.Fuzz(func(t *testing.T, nameIdx int, frac float64, q, engIdx int, noise float64, noReplace bool, k int) {
+		name := "no-such-variant"
+		if nameIdx >= 0 && nameIdx < len(names) {
+			name = names[nameIdx]
+		}
+		engine := "mean-field"
+		if engIdx >= 0 && engIdx < len(engines) {
+			engine = engines[engIdx]
+		}
+		s := RunSpec{
+			Graph:   GraphSpec{Family: "complete-virtual", N: 32},
+			Delta:   0.1,
+			Trials:  1,
+			Seed:    7,
+			Engine:  engine,
+			Rule:    &RuleSpec{K: k, Noise: noise, WithoutReplacement: noReplace},
+			Variant: &VariantSpec{Name: name, StubbornFrac: frac, Q: q},
+		}
+
+		// Validation and the key must be total, and the key deterministic.
+		err := s.Validate()
+		key := s.Key()
+		if key != s.Key() {
+			t.Fatalf("key not deterministic: %q vs %q", key, s.Key())
+		}
+		if err != nil {
+			return
+		}
+
+		// A valid non-sync spec extends the key; a valid sync spec must be
+		// byte-identical to the variant-free form (the store compatibility
+		// guarantee).
+		bare := s
+		bare.Variant = nil
+		if s.VariantName() == "sync" {
+			if key != bare.Key() {
+				t.Fatalf("sync variant changed the key:\nwith    %q\nwithout %q", key, bare.Key())
+			}
+			return
+		}
+		if key == bare.Key() {
+			t.Fatalf("variant %q key-invisible: %q", s.VariantName(), key)
+		}
+		// Perturbing an effective parameter must change the key (the store
+		// must never answer one parameterisation with another's result).
+		switch s.VariantName() {
+		case "stubborn":
+			other := *s.Variant
+			other.StubbornFrac = other.StubbornFrac / 2
+			os := s
+			os.Variant = &other
+			if os.Validate() == nil && os.Key() == key {
+				t.Fatalf("stubborn_frac %v and %v share the key %q", s.Variant.StubbornFrac, other.StubbornFrac, key)
+			}
+		case "plurality":
+			other := *s.Variant
+			other.Q++
+			os := s
+			os.Variant = &other
+			if os.Validate() == nil && os.Key() == key {
+				t.Fatalf("q %d and %d share the key %q", s.Variant.Q, other.Q, key)
+			}
+		}
+	})
+}
+
 // FuzzGraphSpecKey fuzzes the family/parameter space and checks the
 // canonical-key contract: keys are deterministic, stray parameters never
 // split a valid spec's key, and validation never panics (overflow-scale

@@ -34,6 +34,12 @@ type Grid struct {
 	// lives in expansion, not Normalize, so wire echoes of noiseless
 	// grids are unchanged).
 	Noises []float64 `json:"noises,omitempty"`
+	// Variants is the opinion-dynamic axis: each entry is a full variant
+	// selection (name plus its parameters), so one grid can sweep e.g.
+	// sync against async, or plurality at several q values. Empty keeps
+	// the synchronous default (like Noises, the default lives in
+	// expansion).
+	Variants []VariantSpec `json:"variants,omitempty"`
 	// Trials is the trials-per-cell axis (default [1]).
 	Trials []int `json:"trials,omitempty"`
 }
@@ -72,6 +78,15 @@ func (g Grid) Validate() error {
 			return fmt.Errorf("sweep: family %q does not take n; drop it from grid.graphs or omit grid.ns", gs.Family)
 		}
 	}
+	for _, v := range g.Variants {
+		// Resolve the name against the registry up front so a typo fails
+		// the whole grid with one message, not one error per expanded
+		// cell. Parameter validation happens on the expanded RunSpecs.
+		vs := v
+		if _, err := variantFor(&vs); err != nil {
+			return fmt.Errorf("sweep: %w", err)
+		}
+	}
 	return nil
 }
 
@@ -79,7 +94,7 @@ func (g Grid) Validate() error {
 // grid reports "too many cells" instead of wrapping into a small positive
 // count that slips past a cap.
 func (g Grid) CellCount() (int, error) {
-	return safeProduct(len(g.Graphs), max(len(g.NS), 1), len(g.Deltas), len(g.Ks), len(g.Ties), max(len(g.Noises), 1), len(g.Trials))
+	return safeProduct(len(g.Graphs), max(len(g.NS), 1), len(g.Deltas), len(g.Ks), len(g.Ties), max(len(g.Noises), 1), max(len(g.Variants), 1), len(g.Trials))
 }
 
 // safeProduct multiplies axis lengths, treating empty axes as single-value
@@ -127,6 +142,16 @@ func (g Grid) Key() string {
 		kv("noises", g.Noises),
 		kv("trials", trials),
 	}
+	if len(g.Variants) > 0 {
+		// Appended conditionally (like the RunSpec noise fragment) so every
+		// pre-variant grid key — and therefore every recorded sweep content
+		// key and journal high-water mark — is unchanged.
+		variants := make([]string, len(g.Variants))
+		for i, v := range g.Variants {
+			variants[i] = v.key()
+		}
+		parts = append(parts, kv("variants", "["+strings.Join(variants, ";")+"]"))
+	}
 	return strings.Join(parts, "|")
 }
 
@@ -156,6 +181,10 @@ func (g Grid) Expand(sweepSeed uint64, maxRounds int) []RunSpec {
 	if len(noises) == 0 {
 		noises = []float64{0} // noiseless protocol
 	}
+	variants := g.Variants
+	if len(variants) == 0 {
+		variants = []VariantSpec{{}} // synchronous default
+	}
 	cells := make([]RunSpec, 0)
 	for _, tmpl := range g.Graphs {
 		for _, n := range ns {
@@ -167,15 +196,22 @@ func (g Grid) Expand(sweepSeed uint64, maxRounds int) []RunSpec {
 				for _, k := range g.Ks {
 					for _, tie := range g.Ties {
 						for _, noise := range noises {
-							for _, trials := range g.Trials {
-								cells = append(cells, RunSpec{
-									Graph:     gs,
-									Delta:     delta,
-									Trials:    trials,
-									MaxRounds: maxRounds,
-									Seed:      rng.ChildSeed(sweepSeed, uint64(len(cells))),
-									Rule:      &RuleSpec{K: k, Tie: tie, Noise: noise},
-								})
+							for _, vr := range variants {
+								for _, trials := range g.Trials {
+									cell := RunSpec{
+										Graph:     gs,
+										Delta:     delta,
+										Trials:    trials,
+										MaxRounds: maxRounds,
+										Seed:      rng.ChildSeed(sweepSeed, uint64(len(cells))),
+										Rule:      &RuleSpec{K: k, Tie: tie, Noise: noise},
+									}
+									if vr != (VariantSpec{}) {
+										v := vr
+										cell.Variant = &v
+									}
+									cells = append(cells, cell)
+								}
 							}
 						}
 					}

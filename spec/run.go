@@ -41,6 +41,13 @@ type RunSpec struct {
 	// engine configuration every entry point defaults to), outcomes remain
 	// a deterministic function of the spec.
 	Engine string `json:"engine,omitempty"`
+	// Variant selects the opinion dynamic: nil (or name "sync") is the
+	// paper's synchronous dynamic; "async", "stubborn", and "plurality"
+	// expose the extension dynamics, with per-variant parameters validated
+	// against the variant registry. Non-default variants participate in
+	// Key()/ContentKey(), so the result store and sweep dedupe never
+	// conflate a variant run with a plain one.
+	Variant *VariantSpec `json:"variant,omitempty"`
 }
 
 // Normalize applies the documented defaults in place (Trials 0 → 1).
@@ -76,6 +83,9 @@ func (s *RunSpec) ValidateLimits(l Limits) error {
 		return err
 	}
 	if _, err := dynamics.ParseEngine(s.Engine); err != nil {
+		return err
+	}
+	if err := s.validateVariant(rule); err != nil {
 		return err
 	}
 	if s.Engine == "mean-field" && !FamilyMeanField(s.Graph.Family) {
@@ -137,6 +147,14 @@ func (s RunSpec) Key() string {
 		// distinct noise levels into one key; append the full-precision
 		// value (conditionally, so pre-existing keys are unchanged).
 		parts = append(parts, kv("noise", s.Rule.Noise))
+	}
+	if s.VariantName() != "sync" {
+		// Non-default variants extend the key (conditionally, like noise,
+		// so every pre-variant key is unchanged): the fragment carries the
+		// name plus exactly the parameters the variant consumes, which is
+		// what keeps a stubborn or plurality run from ever being answered
+		// by a plain run's store record.
+		parts = append(parts, kv("variant", s.Variant.key()))
 	}
 	return strings.Join(parts, "|")
 }

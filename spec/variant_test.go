@@ -1,0 +1,272 @@
+package spec
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func variantSpec(v *VariantSpec) RunSpec {
+	return RunSpec{
+		Graph:   GraphSpec{Family: "complete", N: 32},
+		Delta:   0.1,
+		Trials:  2,
+		Seed:    7,
+		Variant: v,
+	}
+}
+
+// TestVariantsRegistered pins the registered variant set: the wire API, the
+// docs table, and the equivalence tests all enumerate exactly these.
+func TestVariantsRegistered(t *testing.T) {
+	want := []string{"async", "plurality", "stubborn", "sync"}
+	got := Variants()
+	if len(got) != len(want) {
+		t.Fatalf("Variants() = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Variants() = %v, want %v", got, want)
+		}
+	}
+}
+
+// TestVariantValidation exercises the registry's per-variant parameter and
+// rule checks: every unsupported combination must be rejected at
+// validation, before any entry point executes a different dynamic than the
+// caller asked for.
+func TestVariantValidation(t *testing.T) {
+	cases := []struct {
+		name    string
+		mutate  func(*RunSpec)
+		wantErr string // "" = must validate
+	}{
+		{"nil variant", func(s *RunSpec) { s.Variant = nil }, ""},
+		{"explicit sync", func(s *RunSpec) { s.Variant = &VariantSpec{Name: "sync"} }, ""},
+		{"empty name resolves sync", func(s *RunSpec) { s.Variant = &VariantSpec{} }, ""},
+		{"async", func(s *RunSpec) { s.Variant = &VariantSpec{Name: "async"} }, ""},
+		{"async with noise", func(s *RunSpec) {
+			s.Variant = &VariantSpec{Name: "async"}
+			s.Rule = &RuleSpec{K: 3, Noise: 0.1}
+		}, ""},
+		{"stubborn", func(s *RunSpec) { s.Variant = &VariantSpec{Name: "stubborn", StubbornFrac: 0.05} }, ""},
+		{"plurality", func(s *RunSpec) { s.Variant = &VariantSpec{Name: "plurality", Q: 5} }, ""},
+
+		{"unknown name", func(s *RunSpec) { s.Variant = &VariantSpec{Name: "turbo"} }, "unknown variant"},
+		{"sync stray frac", func(s *RunSpec) { s.Variant = &VariantSpec{Name: "sync", StubbornFrac: 0.1} }, "stubborn_frac"},
+		{"sync stray q", func(s *RunSpec) { s.Variant = &VariantSpec{Name: "sync", Q: 4} }, "only consumed by the plurality"},
+		{"async stray q", func(s *RunSpec) { s.Variant = &VariantSpec{Name: "async", Q: 4} }, "only consumed by the plurality"},
+		{"async noreplace", func(s *RunSpec) {
+			s.Variant = &VariantSpec{Name: "async"}
+			s.Rule = &RuleSpec{K: 3, WithoutReplacement: true}
+		}, "without-replacement"},
+		{"stubborn missing frac", func(s *RunSpec) { s.Variant = &VariantSpec{Name: "stubborn"} }, "stubborn_frac in (0, 0.5]"},
+		{"stubborn frac too big", func(s *RunSpec) { s.Variant = &VariantSpec{Name: "stubborn", StubbornFrac: 0.6} }, "stubborn_frac in (0, 0.5]"},
+		{"stubborn stray q", func(s *RunSpec) { s.Variant = &VariantSpec{Name: "stubborn", StubbornFrac: 0.1, Q: 3} }, "only consumed by the plurality"},
+		{"plurality missing q", func(s *RunSpec) { s.Variant = &VariantSpec{Name: "plurality"} }, "q in [2, 256]"},
+		{"plurality q too big", func(s *RunSpec) { s.Variant = &VariantSpec{Name: "plurality", Q: 300} }, "q in [2, 256]"},
+		{"plurality stray frac", func(s *RunSpec) { s.Variant = &VariantSpec{Name: "plurality", Q: 4, StubbornFrac: 0.1} }, "only consumed by the stubborn"},
+		{"plurality k=5", func(s *RunSpec) {
+			s.Variant = &VariantSpec{Name: "plurality", Q: 4}
+			s.Rule = &RuleSpec{K: 5}
+		}, "only k = 3"},
+		{"plurality noise", func(s *RunSpec) {
+			s.Variant = &VariantSpec{Name: "plurality", Q: 4}
+			s.Rule = &RuleSpec{K: 3, Noise: 0.05}
+		}, "noise"},
+		{"plurality noreplace", func(s *RunSpec) {
+			s.Variant = &VariantSpec{Name: "plurality", Q: 4}
+			s.Rule = &RuleSpec{K: 3, WithoutReplacement: true}
+		}, "without-replacement"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s := variantSpec(nil)
+			tc.mutate(&s)
+			err := s.Validate()
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("Validate() = %v, want ok", err)
+				}
+				return
+			}
+			if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("Validate() = %v, want error containing %q", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+// TestVariantEngineRejections proves every non-sync variant × explicit
+// mean-field engine combination is rejected at validation — one subtest per
+// registered variant, so a newly registered variant is forced to take a
+// position.
+func TestVariantEngineRejections(t *testing.T) {
+	params := map[string]VariantSpec{
+		"sync":      {Name: "sync"},
+		"async":     {Name: "async"},
+		"stubborn":  {Name: "stubborn", StubbornFrac: 0.1},
+		"plurality": {Name: "plurality", Q: 4},
+	}
+	for _, name := range Variants() {
+		v, ok := params[name]
+		if !ok {
+			t.Fatalf("variant %q registered but missing from the engine-rejection cases; add one", name)
+		}
+		t.Run(name, func(t *testing.T) {
+			s := variantSpec(&v)
+			s.Graph = GraphSpec{Family: "complete-virtual", N: 32} // mean-field eligible
+			s.Engine = "mean-field"
+			err := s.Validate()
+			if name == "sync" {
+				if err != nil {
+					t.Fatalf("sync × mean-field must validate, got %v", err)
+				}
+				return
+			}
+			if err == nil || !strings.Contains(err.Error(), "mean-field") {
+				t.Fatalf("%s × mean-field: Validate() = %v, want mean-field rejection", name, err)
+			}
+			// The auto engine resolves non-sync variants to the general
+			// engine instead of rejecting.
+			s.Engine = ""
+			if err := s.Validate(); err != nil {
+				t.Fatalf("%s × auto engine must validate, got %v", name, err)
+			}
+		})
+	}
+}
+
+// TestVariantKeys pins the canonical-key contract of the variant axis:
+// the default is key-invisible (every pre-variant key unchanged), each
+// non-default variant extends the key, and parameterised variants include
+// their parameters — so a stubborn run can never be answered from a plain
+// run's store record, nor frac=0.05 from frac=0.1.
+func TestVariantKeys(t *testing.T) {
+	base := variantSpec(nil)
+	baseKey := base.Key()
+	if strings.Contains(baseKey, "variant") {
+		t.Fatalf("nil-variant key %q mentions the variant axis; pre-variant keys must be unchanged", baseKey)
+	}
+	for _, v := range []*VariantSpec{{Name: "sync"}, {}} {
+		s := variantSpec(v)
+		if s.Key() != baseKey {
+			t.Fatalf("explicit sync key %q != nil-variant key %q", s.Key(), baseKey)
+		}
+	}
+	keys := map[string]string{"": baseKey}
+	for name, v := range map[string]*VariantSpec{
+		"async":         {Name: "async"},
+		"stubborn-0.05": {Name: "stubborn", StubbornFrac: 0.05},
+		"stubborn-0.1":  {Name: "stubborn", StubbornFrac: 0.1},
+		"plurality-q4":  {Name: "plurality", Q: 4},
+		"plurality-q5":  {Name: "plurality", Q: 5},
+	} {
+		k := variantSpec(v).Key()
+		for other, ok := range keys {
+			if k == ok {
+				t.Fatalf("variant %q and %q share the key %q", name, other, k)
+			}
+		}
+		keys[name] = k
+		if ck := variantSpec(v).ContentKey(); ck == base.ContentKey() {
+			t.Fatalf("variant %q content key collides with the plain run's", name)
+		}
+	}
+}
+
+// TestVariantJSONRoundTrip checks that the wire shape round-trips and that
+// an absent variant stays absent (no "variant" key is ever emitted for
+// plain runs, keeping pre-variant request/response bytes identical).
+func TestVariantJSONRoundTrip(t *testing.T) {
+	plain, err := json.Marshal(variantSpec(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(plain), "variant") {
+		t.Fatalf("plain spec JSON %s mentions variant", plain)
+	}
+	s := variantSpec(&VariantSpec{Name: "stubborn", StubbornFrac: 0.05})
+	raw, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back RunSpec
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Key() != s.Key() {
+		t.Fatalf("round-tripped key %q != original %q", back.Key(), s.Key())
+	}
+}
+
+// TestGridVariantsAxis checks the sweep axis: validation resolves names up
+// front, the cell count multiplies in, expansion attaches the variant to
+// every cell (leaving the zero-entry default nil so pre-variant grids
+// expand byte-identically), and the grid key is extended only when the
+// axis is present.
+func TestGridVariantsAxis(t *testing.T) {
+	base := Grid{
+		Graphs: []GraphSpec{{Family: "complete", N: 32}},
+		Deltas: []float64{0.1, 0.2},
+		Trials: []int{2},
+	}
+	base.Normalize()
+	baseKey := base.Key()
+	baseCells := base.Expand(9, 64)
+
+	bad := base
+	bad.Variants = []VariantSpec{{Name: "nope"}}
+	if err := bad.Validate(); err == nil || !strings.Contains(err.Error(), "unknown variant") {
+		t.Fatalf("grid with unknown variant: Validate() = %v, want unknown-variant error", err)
+	}
+
+	g := base
+	g.Variants = []VariantSpec{{Name: "sync"}, {Name: "async"}}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(g.Key(), "variants=[sync;async]") {
+		t.Fatalf("grid key %q missing the variant axis", g.Key())
+	}
+	if g.Key() == baseKey {
+		t.Fatalf("variant axis did not change the grid key")
+	}
+	n, err := g.CellCount()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := len(baseCells) * 2; n != want {
+		t.Fatalf("CellCount() = %d, want %d", n, want)
+	}
+	cells := g.Expand(9, 64)
+	if len(cells) != n {
+		t.Fatalf("Expand produced %d cells, want %d", len(cells), n)
+	}
+	var syncs, asyncs int
+	for _, c := range cells {
+		if err := c.Validate(); err != nil {
+			t.Fatalf("expanded cell invalid: %v", err)
+		}
+		switch c.VariantName() {
+		case "sync":
+			syncs++
+		case "async":
+			asyncs++
+		}
+	}
+	if syncs != len(baseCells) || asyncs != len(baseCells) {
+		t.Fatalf("expansion split sync=%d async=%d, want %d each", syncs, asyncs, len(baseCells))
+	}
+
+	// An absent axis expands byte-identically to the pre-variant grid.
+	again := base.Expand(9, 64)
+	for i := range again {
+		if again[i].Variant != nil {
+			t.Fatalf("cell %d of a variant-free grid carries a variant", i)
+		}
+		if again[i].Key() != baseCells[i].Key() {
+			t.Fatalf("variant-free expansion changed cell %d's key", i)
+		}
+	}
+}
