@@ -14,7 +14,11 @@
 #      subcommands cmd/bo3graph registers (bo3graph -list), and
 #   6. every json field of the serve Stats struct (the GET /v1/stats
 #      payload) must appear backticked somewhere in docs/API.md, so new
-#      counters cannot ship undocumented.
+#      counters cannot ship undocumented, and
+#   7. every metric family the service registers (go run
+#      ./internal/tools/metricnames) must appear backticked in the
+#      docs/API.md metrics reference table, so /metrics cannot grow
+#      undocumented series.
 # Also gates the spec layer with go vet + gofmt so a drifted or
 # unformatted spec/cli package fails the same check.
 set -eu
@@ -188,7 +192,25 @@ done <<EOF
 $stats_fields
 EOF
 
-# --- 7. vet + gofmt gate over the spec layer ---------------------------
+# --- 7. Metric families vs docs/API.md ---------------------------------
+# Every metric family the full service registers must appear backticked
+# in the docs/API.md metrics reference table.
+metric_names=$(go run ./internal/tools/metricnames)
+if [ -z "$metric_names" ]; then
+    echo "check-api-docs: no metric names from internal/tools/metricnames (pattern drift?)" >&2
+    status=1
+fi
+while IFS= read -r metric; do
+    [ -n "$metric" ] || continue
+    if ! grep -qF "\`$metric\`" docs/API.md; then
+        echo "check-api-docs: metric \"$metric\" is registered but not documented (backticked) in docs/API.md" >&2
+        status=1
+    fi
+done <<EOF
+$metric_names
+EOF
+
+# --- 8. vet + gofmt gate over the spec layer ---------------------------
 go vet ./spec/... ./internal/cli/... || status=1
 unformatted=$(gofmt -l spec internal/cli)
 if [ -n "$unformatted" ]; then

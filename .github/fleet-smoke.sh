@@ -118,6 +118,49 @@ if [ "$total" -ne "$want_trials" ]; then
     exit 1
 fi
 
+# --- /metrics over the live fleet --------------------------------------
+# Scrape both workers: the exposition must parse (every line a comment or
+# `name[{labels}] value`, at least one TYPE, at least one histogram), and
+# the fleet-wide jobs/trials totals must reconcile with the sweep grid —
+# each worker completed all 4 cells (executed or store-cached), and the
+# fleet executed exactly want_trials trials.
+scrape() {
+    curl -fsS "http://$1/metrics" >"$dir/metrics.$2"
+    awk '
+        /^# (HELP|TYPE) [a-zA-Z_:][a-zA-Z0-9_:]* / { if ($2 == "TYPE") types++; next }
+        /^#/ { print "bad comment: " $0; bad = 1; next }
+        /^[a-zA-Z_:][a-zA-Z0-9_:]*(\{.*\})? [-+0-9.eEInf]+$/ { samples++; next }
+        { print "bad sample: " $0; bad = 1 }
+        END { if (bad || types < 1 || samples < 1) exit 1 }
+    ' "$dir/metrics.$2" || {
+        echo "fleet-smoke: worker $2 /metrics exposition failed to parse" >&2
+        exit 1
+    }
+    if ! grep -q '^# TYPE bo3_job_exec_seconds histogram$' "$dir/metrics.$2"; then
+        echo "fleet-smoke: worker $2 /metrics is missing the job latency histogram" >&2
+        exit 1
+    fi
+    if ! grep -q '^bo3_build_info{' "$dir/metrics.$2"; then
+        echo "fleet-smoke: worker $2 /metrics is missing bo3_build_info" >&2
+        exit 1
+    fi
+}
+scrape 127.0.0.1:18080 a
+scrape 127.0.0.1:18081 b
+
+metric() { grep "^$2 " "$dir/metrics.$1" | cut -d' ' -f2; }
+jobs_total=$(($(metric a bo3_jobs_completed_total) + $(metric b bo3_jobs_completed_total)))
+if [ "$jobs_total" -ne 8 ]; then
+    echo "fleet-smoke: fleet bo3_jobs_completed_total = $jobs_total, want 8 (4 cells x 2 sweeps)" >&2
+    exit 1
+fi
+mtrials=$(($(metric a bo3_trials_total) + $(metric b bo3_trials_total)))
+if [ "$mtrials" -ne "$want_trials" ]; then
+    echo "fleet-smoke: fleet bo3_trials_total = $mtrials, want $want_trials" >&2
+    exit 1
+fi
+echo "fleet-smoke: ok — /metrics parsed on both workers, fleet totals reconcile (jobs=$jobs_total trials=$mtrials)"
+
 # Read-only inspection must work against the live fleet.
 "$bin/bo3store" -dir "$dir" claims >/dev/null
 "$bin/bo3store" -dir "$dir" ls >/dev/null

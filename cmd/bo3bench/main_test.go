@@ -21,6 +21,7 @@ func TestScenarioNamesStable(t *testing.T) {
 		"serve/cached-jobs",
 		"sweep/variant-sweep",
 		"serve/events-fanout",
+		"serve/metrics-overhead",
 	}
 	if len(scenarios) != len(want) {
 		t.Fatalf("registered %d scenarios, want %d", len(scenarios), len(want))

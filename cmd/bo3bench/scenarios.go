@@ -9,6 +9,8 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"os"
+	"strconv"
+	"strings"
 	"sync"
 	"time"
 
@@ -16,6 +18,7 @@ import (
 	"repro/internal/artifact"
 	"repro/internal/dynamics"
 	"repro/internal/graph"
+	"repro/internal/metrics"
 	"repro/internal/opinion"
 	"repro/internal/rng"
 	"repro/internal/serve"
@@ -105,6 +108,11 @@ var scenarios = []scenario{
 		name:        "serve/events-fanout",
 		description: "event-bus fan-out: one sweep streamed to K concurrent /events watchers (NDJSON, one deliberately slow), reporting delivered/published/dropped frames",
 		run:         serveEventsFanout,
+	},
+	{
+		name:        "serve/metrics-overhead",
+		description: "cost of the observability layer on the serve/jobs hot path: the registry operation mix one executed job drives, as a fraction of measured per-job wall time (errors at >= 2%)",
+		run:         serveMetricsOverhead,
 	},
 }
 
@@ -678,4 +686,154 @@ func submitAndDrain(url string, jobs, n, trials int, seed uint64) (float64, erro
 		}
 	}
 	return time.Since(start).Seconds(), nil
+}
+
+// serveMetricsOverhead prices the observability layer against the
+// serve/jobs hot path. It runs the same workload on an instrumented
+// server, reads back from /metrics how many registry operations that
+// workload actually drove (one middleware sample per HTTP request, one
+// publish sample per bus event, plus the fixed terminal bundle each
+// executed job pays: counters, label lookups, per-stage histograms),
+// then times that exact operation mix in isolation against a standalone
+// registry with the same label cardinality and bucket layouts. The
+// overhead is reported as a fraction of the measured per-job wall time,
+// and the scenario errors at >= 2% so an instrumentation regression
+// fails CI instead of quietly shifting the baseline.
+func serveMetricsOverhead(s Scale) (map[string]any, map[string]float64, error) {
+	reg := metrics.NewRegistry()
+	mgr := serve.NewManager(serve.Config{Workers: 4, RootSeed: s.Seed, Metrics: reg})
+	srv := httptest.NewServer(serve.NewServer(mgr))
+	defer srv.Close()
+	defer mgr.Close(context.Background())
+
+	jobs := s.pick(48, 8)
+	n, trials := 1<<12, 4
+	secs, err := submitAndDrain(srv.URL, jobs, n, trials, s.Seed)
+	if err != nil {
+		return nil, nil, err
+	}
+	jobNS := secs * 1e9 / float64(jobs)
+
+	reqs, err := scrapeFamilySum(srv.URL, "bo3_http_requests_total")
+	if err != nil {
+		return nil, nil, err
+	}
+	pubs, err := scrapeFamilySum(srv.URL, "bo3_bus_published_total")
+	if err != nil {
+		return nil, nil, err
+	}
+	reqsPerJob := reqs / float64(jobs)
+	pubsPerJob := pubs / float64(jobs)
+
+	micro := metrics.NewRegistry()
+	reqC := micro.CounterVec("req_total", "micro", "route", "code")
+	reqH := micro.HistogramVec("req_seconds", "micro", metrics.DefBuckets, "route")
+	pubC := micro.Counter("pub_total", "micro")
+	pubH := micro.Histogram("pub_seconds", "micro", metrics.FastBuckets)
+	done := micro.Counter("done_total", "micro")
+	engC := micro.CounterVec("eng_total", "micro", "engine")
+	varC := micro.CounterVec("var_total", "micro", "variant")
+	trialsC := micro.Counter("trials_total", "micro")
+	roundsC := micro.Counter("rounds_total", "micro")
+	qwH := micro.HistogramVec("qw_seconds", "micro", metrics.DefBuckets, "engine", "variant")
+	exH := micro.HistogramVec("ex_seconds", "micro", metrics.DefBuckets, "engine", "variant")
+	graphH := micro.Histogram("graph_seconds", "micro", metrics.DefBuckets)
+	persistH := micro.Histogram("persist_seconds", "micro", metrics.DefBuckets)
+	poolHits := micro.Counter("pool_hits_total", "micro")
+	coalesceH := micro.Histogram("coalesce_seconds", "micro", metrics.FastBuckets)
+
+	// Per HTTP request: the ServeHTTP middleware counts the (route, status
+	// class) pair and observes the route latency histogram.
+	midNS := timePerOp(s.pick(1_000_000, 100_000), func() {
+		reqC.With("POST /v1/runs", "2xx").Inc()
+		reqH.With("POST /v1/runs").Observe(1.2e-3)
+	})
+	// Per bus event: the topic counter (resolved at topic creation, so a
+	// plain Inc) and the publish-latency observation.
+	pubNS := timePerOp(s.pick(1_000_000, 100_000), func() {
+		pubC.Inc()
+		pubH.Observe(8e-6)
+	})
+	// Per executed job: the terminal transition's counters and the
+	// per-stage queue/exec/graph/persist observations, plus the graph
+	// pool's hit count and coalesce-wait sample.
+	termNS := timePerOp(s.pick(500_000, 50_000), func() {
+		done.Inc()
+		engC.With("mean-field").Inc()
+		varC.With("sync").Inc()
+		trialsC.Add(int64(trials))
+		roundsC.Add(64)
+		qwH.With("mean-field", "sync").Observe(3e-4)
+		exH.With("mean-field", "sync").Observe(2.5e-3)
+		graphH.Observe(4e-5)
+		persistH.Observe(1e-5)
+		poolHits.Inc()
+		coalesceH.Observe(2e-6)
+	})
+
+	instrNS := reqsPerJob*midNS + pubsPerJob*pubNS + termNS
+	frac := instrNS / jobNS
+	if frac >= 0.02 {
+		return nil, nil, fmt.Errorf("instrumentation costs %.2f%% of the serve/jobs hot path (%.0f ns of %.0f ns/job), want < 2%%",
+			frac*100, instrNS, jobNS)
+	}
+	return map[string]any{"jobs": jobs, "family": "complete-virtual", "n": n, "trials": trials, "workers": 4},
+		map[string]float64{
+			"job_ns":            jobNS,
+			"instr_ns_per_job":  instrNS,
+			"overhead_pct":      frac * 100,
+			"requests_per_job":  reqsPerJob,
+			"publishes_per_job": pubsPerJob,
+			"middleware_ns":     midNS,
+			"publish_ns":        pubNS,
+			"terminal_ns":       termNS,
+		}, nil
+}
+
+// timePerOp reports the mean cost of op in nanoseconds over a tight loop
+// of iters calls.
+func timePerOp(iters int, op func()) float64 {
+	start := time.Now()
+	for i := 0; i < iters; i++ {
+		op()
+	}
+	return float64(time.Since(start)) / float64(iters)
+}
+
+// scrapeFamilySum fetches /metrics and sums every sample of one family
+// across its label sets, so a scenario can count what a workload
+// actually recorded without reaching into server internals.
+func scrapeFamilySum(url, name string) (float64, error) {
+	resp, err := http.Get(url + "/metrics")
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	var sum float64
+	found := false
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, name) {
+			continue
+		}
+		rest := line[len(name):]
+		if !strings.HasPrefix(rest, " ") && !strings.HasPrefix(rest, "{") {
+			continue
+		}
+		i := strings.LastIndexByte(line, ' ')
+		v, err := strconv.ParseFloat(line[i+1:], 64)
+		if err != nil {
+			return 0, fmt.Errorf("metrics sample %q: %v", line, err)
+		}
+		sum += v
+		found = true
+	}
+	if err := sc.Err(); err != nil {
+		return 0, err
+	}
+	if !found {
+		return 0, fmt.Errorf("no %s samples in /metrics", name)
+	}
+	return sum, nil
 }

@@ -50,28 +50,39 @@
 // first — counted in the `dropped` field of the next frame it receives
 // and in /v1/stats events_dropped — and the simulations publish without
 // ever waiting on a subscriber.
+//
+// Observability: every subsystem counts into one metrics registry,
+// exposed as a Prometheus text exposition on GET /metrics (the /v1/stats
+// JSON reads the same instruments). Logs are structured (log/slog) —
+// -log-format json for machine ingestion, -log-level debug to widen —
+// and every job-scoped line carries worker_id, job_id/sweep_id, and the
+// spec's content key. -slowlog logs any job whose engine stage exceeds
+// the threshold with its full queue → graph → engine → persist timing
+// breakdown. -pprof serves net/http/pprof on a second listener, kept off
+// the public mux so profiling endpoints are never exposed by accident.
 package main
 
 import (
 	"context"
 	"errors"
 	"flag"
-	"log"
+	"fmt"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
 	"repro/internal/artifact"
+	"repro/internal/buildinfo"
+	"repro/internal/metrics"
 	"repro/internal/serve"
 	"repro/internal/store"
 )
 
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("bo3serve: ")
-
 	var (
 		addr      = flag.String("addr", ":8080", "listen address")
 		workers   = flag.Int("workers", 0, "concurrent jobs (0 = GOMAXPROCS)")
@@ -92,11 +103,32 @@ func main() {
 		workerID  = flag.String("worker-id", "", "fleet identity; opens -store-dir shared so several servers coordinate over it (empty = exclusive, single server)")
 		leaseTTL  = flag.Duration("lease-ttl", 0, "cell-claim lease duration in fleet mode (0 = 1m)")
 		eventBuf  = flag.Int("event-buffer", 0, "per-subscriber event ring on the /events streams; slower watchers drop oldest frames first (0 = 256)")
+		logLevel  = flag.String("log-level", "info", "minimum log level: debug, info, warn, error")
+		logFormat = flag.String("log-format", "text", "log encoding: text or json")
+		slowlog   = flag.Duration("slowlog", 0, "log any job whose engine stage exceeds this, with its full per-stage timing breakdown (0 = disabled)")
+		pprofAddr = flag.String("pprof", "", "serve net/http/pprof on this separate address (empty = disabled)")
+		version   = flag.Bool("version", false, "print build information and exit")
 	)
 	flag.Parse()
-	if *workerID != "" && *storeDir == "" {
-		log.Fatal("-worker-id requires -store-dir: fleet coordination lives in the shared store")
+	if *version {
+		fmt.Println("bo3serve", buildinfo.Short())
+		return
 	}
+
+	logger, err := newLogger(*logLevel, *logFormat)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bo3serve:", err)
+		os.Exit(1)
+	}
+	fatal := func(msg string, args ...any) {
+		logger.Error(msg, args...)
+		os.Exit(1)
+	}
+	if *workerID != "" && *storeDir == "" {
+		fatal("-worker-id requires -store-dir: fleet coordination lives in the shared store")
+	}
+
+	reg := metrics.NewRegistry()
 
 	limits := serve.DefaultLimits()
 	if *maxN > 0 {
@@ -113,23 +145,29 @@ func main() {
 		var err error
 		artifacts, err = artifact.OpenDir(*artDir, *artMax)
 		if err != nil {
-			log.Fatal(err)
+			fatal("artifact directory open failed", "dir", *artDir, "err", err)
 		}
-		log.Printf("artifact directory %s: %d artifacts", *artDir, artifacts.Len())
+		logger.Info("artifact directory open", "dir", *artDir, "artifacts", artifacts.Len())
 	} else if *artMax != 0 {
-		log.Fatal("-artifact-max-bytes requires -artifact-dir")
+		fatal("-artifact-max-bytes requires -artifact-dir")
 	}
 	var resultStore *store.Store
 	if *storeDir != "" {
 		var err error
-		resultStore, err = store.Open(*storeDir, store.Options{MaxBytes: *storeMax, Shared: *workerID != ""})
+		resultStore, err = store.Open(*storeDir, store.Options{
+			MaxBytes: *storeMax,
+			Shared:   *workerID != "",
+			Metrics:  store.NewMetrics(reg),
+			Logger:   logger,
+		})
 		if err != nil {
-			log.Fatal(err)
+			fatal("result store open failed", "dir", *storeDir, "err", err)
 		}
 		st := resultStore.Stats()
-		log.Printf("result store %s: %d results, %d sweeps, %d bytes", *storeDir, st.Results, st.Sweeps, st.Bytes)
+		logger.Info("result store open", "dir", *storeDir,
+			"results", st.Results, "sweeps", st.Sweeps, "bytes", st.Bytes)
 		if *workerID != "" {
-			log.Printf("fleet mode: worker %q, shared store, lease TTL %v", *workerID, max(*leaseTTL, time.Minute))
+			logger.Info("fleet mode", "worker_id", *workerID, "lease_ttl", max(*leaseTTL, time.Minute))
 		}
 	}
 	mgr := serve.NewManager(serve.Config{
@@ -146,6 +184,9 @@ func main() {
 		WorkerID:         *workerID,
 		LeaseTTL:         *leaseTTL,
 		EventBuffer:      *eventBuf,
+		Metrics:          reg,
+		Logger:           logger,
+		SlowThreshold:    *slowlog,
 	})
 	if resultStore != nil {
 		// Finish whatever a previous generation left mid-flight before
@@ -153,10 +194,10 @@ func main() {
 		// rest execute.
 		resumed, err := mgr.ResumeSweeps()
 		if err != nil {
-			log.Printf("sweep resume: %v", err)
+			logger.Warn("sweep resume failed", "err", err)
 		}
 		if resumed > 0 {
-			log.Printf("resumed %d interrupted sweep(s)", resumed)
+			logger.Info("resumed interrupted sweeps", "sweeps", resumed)
 		}
 	}
 	srv := &http.Server{
@@ -165,33 +206,71 @@ func main() {
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 
+	if *pprofAddr != "" {
+		// An explicit mux on its own listener: the profiling surface never
+		// rides the public API mux, and the DefaultServeMux registrations
+		// the pprof package performs at init are ignored.
+		pm := http.NewServeMux()
+		pm.HandleFunc("/debug/pprof/", pprof.Index)
+		pm.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		pm.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		pm.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		pm.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		psrv := &http.Server{Addr: *pprofAddr, Handler: pm, ReadHeaderTimeout: 10 * time.Second}
+		go func() {
+			if err := psrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				logger.Error("pprof listener failed", "addr", *pprofAddr, "err", err)
+			}
+		}()
+		logger.Info("pprof listening", "addr", *pprofAddr)
+	}
+
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()
-	log.Printf("listening on %s", *addr)
+	logger.Info("listening", "addr", *addr, "version", buildinfo.Get().Version)
 
 	sigc := make(chan os.Signal, 1)
 	signal.Notify(sigc, syscall.SIGINT, syscall.SIGTERM)
 	select {
 	case sig := <-sigc:
-		log.Printf("received %v, draining for up to %v", sig, *drain)
+		logger.Info("shutdown signal received", "signal", sig.String(), "drain", *drain)
 	case err := <-errc:
-		log.Fatal(err)
+		fatal("listener failed", "err", err)
 	}
 
 	ctx, cancel := context.WithTimeout(context.Background(), *drain)
 	defer cancel()
 	if err := srv.Shutdown(ctx); err != nil {
-		log.Printf("http shutdown: %v", err)
+		logger.Warn("http shutdown incomplete", "err", err)
 	}
 	if err := mgr.Close(ctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
-		log.Printf("manager shutdown: %v", err)
+		logger.Warn("manager shutdown incomplete", "err", err)
 	}
 	if resultStore != nil {
 		// Closed strictly after the manager: the final journal and result
 		// records are written during Close's drain.
 		if err := resultStore.Close(); err != nil {
-			log.Printf("store shutdown: %v", err)
+			logger.Warn("store shutdown failed", "err", err)
 		}
 	}
-	log.Print("bye")
+	logger.Info("bye")
+}
+
+// newLogger builds the process logger from the -log-level and -log-format
+// flags. Logs go to stderr so NDJSON piped from a future stdout mode
+// would stay clean.
+func newLogger(level, format string) (*slog.Logger, error) {
+	var lv slog.Level
+	if err := lv.UnmarshalText([]byte(level)); err != nil {
+		return nil, fmt.Errorf("bad -log-level %q: want debug, info, warn, or error", level)
+	}
+	opts := &slog.HandlerOptions{Level: lv}
+	switch format {
+	case "text":
+		return slog.New(slog.NewTextHandler(os.Stderr, opts)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(os.Stderr, opts)), nil
+	default:
+		return nil, fmt.Errorf("bad -log-format %q: want text or json", format)
+	}
 }

@@ -11,6 +11,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -39,6 +40,10 @@ type Dir struct {
 	maxBytes int64 // 0 = unbounded
 
 	mu sync.Mutex // serializes eviction scans within this process
+
+	// evictions counts files removed by the byte-bound eviction scan;
+	// exported by the serve layer as a counter metric.
+	evictions atomic.Int64
 
 	// failAfterBytes, when >= 0, makes the next Store abandon the temp
 	// file after writing that many bytes without renaming — the
@@ -226,9 +231,14 @@ func (d *Dir) evict(keep string) {
 		}
 		if os.Remove(f.path) == nil {
 			total -= f.size
+			d.evictions.Add(1)
 		}
 	}
 }
+
+// Evictions returns how many artifacts the byte-bound eviction scan has
+// removed over this Dir's lifetime.
+func (d *Dir) Evictions() int64 { return d.evictions.Load() }
 
 // Len returns how many artifacts the directory currently holds.
 func (d *Dir) Len() int {

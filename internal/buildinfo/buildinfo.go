@@ -1,0 +1,74 @@
+// Package buildinfo resolves the binary's version identity once and
+// exposes it to /healthz, -version output, and the build_info metric.
+//
+// Resolution order per field: ldflags override (-X repro/internal/
+// buildinfo.Version=...), then runtime/debug.ReadBuildInfo (module
+// version, vcs.revision, vcs.modified), then "unknown". Plain `go
+// build` with no tags and no VCS metadata yields Version "(devel)" or
+// "unknown" — still well-formed, never empty.
+package buildinfo
+
+import (
+	"runtime"
+	"runtime/debug"
+	"sync"
+)
+
+// Overridable at link time:
+//
+//	go build -ldflags "-X repro/internal/buildinfo.Version=v1.2.3 -X repro/internal/buildinfo.Commit=abc1234"
+var (
+	Version string
+	Commit  string
+)
+
+// Info is the resolved build identity.
+type Info struct {
+	Version   string `json:"version"`
+	Commit    string `json:"commit"`
+	GoVersion string `json:"go_version"`
+	Modified  bool   `json:"modified,omitempty"` // VCS tree was dirty at build
+}
+
+var get = sync.OnceValue(func() Info {
+	info := Info{Version: Version, Commit: Commit, GoVersion: runtime.Version()}
+	bi, ok := debug.ReadBuildInfo()
+	if ok {
+		if info.Version == "" {
+			info.Version = bi.Main.Version
+		}
+		for _, s := range bi.Settings {
+			switch s.Key {
+			case "vcs.revision":
+				if info.Commit == "" {
+					info.Commit = s.Value
+				}
+			case "vcs.modified":
+				info.Modified = s.Value == "true"
+			}
+		}
+	}
+	if info.Version == "" {
+		info.Version = "unknown"
+	}
+	if info.Commit == "" {
+		info.Commit = "unknown"
+	}
+	return info
+})
+
+// Get returns the build identity; resolved once, safe for concurrent use.
+func Get() Info { return get() }
+
+// Short returns "version (commit)" for -version banners.
+func Short() string {
+	i := Get()
+	c := i.Commit
+	if len(c) > 12 {
+		c = c[:12]
+	}
+	if i.Modified {
+		c += "+dirty"
+	}
+	return i.Version + " (" + c + ", " + i.GoVersion + ")"
+}

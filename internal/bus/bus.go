@@ -28,7 +28,13 @@
 // subscriber churn against hot publishers under the race detector.
 package bus
 
-import "sync"
+import (
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/metrics"
+)
 
 // Event is one frame on a topic.
 type Event struct {
@@ -57,25 +63,65 @@ type topic struct {
 	retainCap int
 	subs      map[*Subscription]struct{}
 	closed    bool
+	// pubC and dropC are the topic-class counter children, resolved once
+	// at topic creation so the publish hot path does no label lookups.
+	pubC, dropC *metrics.Counter
 }
 
 // Bus is the set of topics plus bus-wide counters.
 type Bus struct {
 	mu     sync.Mutex
 	topics map[string]*topic
+	mx     *Metrics
 
-	published uint64
-	dropped   uint64
-	subs      int
+	subs int
 }
 
 // DefaultRetain is the retained-history cap for topics created implicitly
 // by Publish rather than explicitly by Topic.
 const DefaultRetain = 256
 
-// New returns an empty bus.
+// Metrics is the bus's instrument bundle. Published and dropped frames
+// are counted per topic class — the prefix before the first "/" in the
+// topic name ("run", "sweep", "metrics") — so a fleet of run topics is
+// one wire series, not thousands.
+type Metrics struct {
+	// PublishSeconds is the full cost of one publish: lock, retention,
+	// fan-out to every subscriber ring.
+	PublishSeconds *metrics.Histogram
+	// Published and Dropped count frames per topic class; Dropped counts
+	// one per subscriber per lost frame, exactly like Stats.Dropped.
+	Published *metrics.CounterVec
+	Dropped   *metrics.CounterVec
+}
+
+// NewMetrics registers the bus instruments on reg.
+func NewMetrics(reg *metrics.Registry) *Metrics {
+	return &Metrics{
+		PublishSeconds: reg.Histogram("bo3_bus_publish_seconds", "Event-bus publish latency (retention plus fan-out to all subscriber rings).", metrics.FastBuckets),
+		Published:      reg.CounterVec("bo3_bus_published_total", "Events accepted onto the bus, by topic class.", "topic"),
+		Dropped:        reg.CounterVec("bo3_bus_dropped_total", "Frames lost to subscriber-ring overflow, by topic class (one per subscriber per lost frame).", "topic"),
+	}
+}
+
+// topicClass folds a topic name to its metrics label: the prefix before
+// the first "/" ("run/run-000001" -> "run"), or the whole name.
+func topicClass(name string) string {
+	if i := strings.IndexByte(name, '/'); i >= 0 {
+		return name[:i]
+	}
+	return name
+}
+
+// New returns an empty bus instrumented against a private registry (the
+// counters still drive Stats; they are just not exported anywhere).
 func New() *Bus {
-	return &Bus{topics: make(map[string]*topic)}
+	return NewInstrumented(NewMetrics(metrics.NewRegistry()))
+}
+
+// NewInstrumented returns an empty bus counting into m's instruments.
+func NewInstrumented(m *Metrics) *Bus {
+	return &Bus{topics: make(map[string]*topic), mx: m}
 }
 
 // Stats is a snapshot of the bus-wide counters.
@@ -89,11 +135,20 @@ type Stats struct {
 	Subscribers int
 }
 
-// Stats returns the current counters.
+// Stats returns the current counters, read back from the metrics
+// instruments (one source of truth for /v1/stats and /metrics).
 func (b *Bus) Stats() Stats {
 	b.mu.Lock()
-	defer b.mu.Unlock()
-	return Stats{Published: b.published, Dropped: b.dropped, Subscribers: b.subs}
+	subs := b.subs
+	b.mu.Unlock()
+	var published, dropped uint64
+	for _, v := range b.mx.Published.Values() {
+		published += uint64(v)
+	}
+	for _, v := range b.mx.Dropped.Values() {
+		dropped += uint64(v)
+	}
+	return Stats{Published: published, Dropped: dropped, Subscribers: subs}
 }
 
 // Topic ensures the named topic exists with the given retained-history
@@ -117,7 +172,13 @@ func (b *Bus) Topic(name string, retainCap int) {
 func (b *Bus) topicLocked(name string, retainCap int) *topic {
 	t, ok := b.topics[name]
 	if !ok {
-		t = &topic{retainCap: retainCap, subs: make(map[*Subscription]struct{})}
+		cls := topicClass(name)
+		t = &topic{
+			retainCap: retainCap,
+			subs:      make(map[*Subscription]struct{}),
+			pubC:      b.mx.Published.With(cls),
+			dropC:     b.mx.Dropped.With(cls),
+		}
 		b.topics[name] = t
 	}
 	return t
@@ -137,6 +198,7 @@ func (b *Bus) Publish(name, typ string, data any) { b.publish(name, typ, data, t
 func (b *Bus) PublishEphemeral(name, typ string, data any) { b.publish(name, typ, data, false) }
 
 func (b *Bus) publish(name, typ string, data any, retain bool) {
+	start := time.Now()
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	t := b.topicLocked(name, DefaultRetain)
@@ -145,7 +207,7 @@ func (b *Bus) publish(name, typ string, data any, retain bool) {
 	}
 	t.seq++
 	ev := Event{Seq: t.seq, Type: typ, Data: data}
-	b.published++
+	t.pubC.Inc()
 	if retain {
 		if len(t.retained) >= t.retainCap {
 			t.retained = append(t.retained[1:len(t.retained):len(t.retained)], ev)
@@ -155,9 +217,10 @@ func (b *Bus) publish(name, typ string, data any, retain bool) {
 	}
 	for s := range t.subs {
 		if s.wants(typ) {
-			s.pushLocked(ev, &b.dropped)
+			s.pushLocked(ev, t.dropC)
 		}
 	}
+	b.mx.PublishSeconds.ObserveSince(start)
 }
 
 // Close marks the topic terminal: attached subscribers drain their rings
@@ -295,12 +358,12 @@ func (s *Subscription) wants(typ string) bool {
 
 // pushLocked appends one event to the ring, dropping the oldest on
 // overflow; callers hold bus.mu.
-func (s *Subscription) pushLocked(ev Event, busDropped *uint64) {
+func (s *Subscription) pushLocked(ev Event, dropC *metrics.Counter) {
 	if s.n == len(s.ring) {
 		s.start = (s.start + 1) % len(s.ring)
 		s.n--
 		s.dropped++
-		*busDropped++
+		dropC.Inc()
 	}
 	s.ring[(s.start+s.n)%len(s.ring)] = ev
 	s.n++

@@ -1,0 +1,187 @@
+package metrics
+
+import (
+	"bufio"
+	"io"
+	"math"
+	"net/http"
+	"slices"
+	"strconv"
+	"strings"
+)
+
+// ContentType is the Prometheus text exposition content type served by
+// Handler.
+const ContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// WritePrometheus renders every family in Prometheus text format 0.0.4.
+// Families appear in name order, children in label-value order, so the
+// output is byte-deterministic for a fixed registry state.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	names := slices.Clone(r.names)
+	fams := make([]*family, len(names))
+	for i, n := range names {
+		fams[i] = r.families[n]
+	}
+	r.mu.Unlock()
+
+	slices.SortFunc(fams, func(a, b *family) int { return strings.Compare(a.name, b.name) })
+
+	bw := bufio.NewWriter(w)
+	for _, f := range fams {
+		if err := f.write(bw); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Handler returns an http.Handler serving the exposition.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", ContentType)
+		_ = r.WritePrometheus(w)
+	})
+}
+
+func (f *family) write(w *bufio.Writer) error {
+	w.WriteString("# HELP ")
+	w.WriteString(f.name)
+	w.WriteByte(' ')
+	w.WriteString(escapeHelp(f.help))
+	w.WriteString("\n# TYPE ")
+	w.WriteString(f.name)
+	w.WriteByte(' ')
+	w.WriteString(f.kind)
+	w.WriteByte('\n')
+
+	if f.fn != nil {
+		w.WriteString(f.name)
+		w.WriteByte(' ')
+		w.WriteString(formatFloat(f.fn()))
+		w.WriteByte('\n')
+		return nil
+	}
+
+	f.mu.Lock()
+	keys := slices.Clone(f.order)
+	children := make([]*series, len(keys))
+	for i, k := range keys {
+		children[i] = f.children[k]
+	}
+	f.mu.Unlock()
+	slices.SortFunc(keys, strings.Compare)
+	slices.SortFunc(children, func(a, b *series) int {
+		return strings.Compare(labelKey(a.labelValues), labelKey(b.labelValues))
+	})
+
+	for _, s := range children {
+		if f.kind == kindHistogram {
+			writeHistogram(w, f, s)
+			continue
+		}
+		w.WriteString(f.name)
+		writeLabels(w, f.labels, s.labelValues, "", 0)
+		w.WriteByte(' ')
+		w.WriteString(strconv.FormatInt(s.val.Load(), 10))
+		w.WriteByte('\n')
+	}
+	return nil
+}
+
+func writeHistogram(w *bufio.Writer, f *family, s *series) {
+	// Snapshot count first, then buckets: a concurrent Observe that lands
+	// between the loads can only make buckets sum to >= count, never lose
+	// an observation that count claims.
+	count := s.count.Load()
+	sum := math.Float64frombits(s.sumBits.Load())
+	var cum int64
+	for i := range f.buckets {
+		cum += s.counts[i].Load()
+		w.WriteString(f.name)
+		w.WriteString("_bucket")
+		writeLabels(w, f.labels, s.labelValues, "le", f.buckets[i])
+		w.WriteByte(' ')
+		w.WriteString(strconv.FormatInt(cum, 10))
+		w.WriteByte('\n')
+	}
+	cum += s.inf.Load()
+	w.WriteString(f.name)
+	w.WriteString("_bucket")
+	writeLabels(w, f.labels, s.labelValues, "le", math.Inf(1))
+	w.WriteByte(' ')
+	w.WriteString(strconv.FormatInt(cum, 10))
+	w.WriteByte('\n')
+
+	w.WriteString(f.name)
+	w.WriteString("_sum")
+	writeLabels(w, f.labels, s.labelValues, "", 0)
+	w.WriteByte(' ')
+	w.WriteString(formatFloat(sum))
+	w.WriteByte('\n')
+	w.WriteString(f.name)
+	w.WriteString("_count")
+	writeLabels(w, f.labels, s.labelValues, "", 0)
+	w.WriteByte(' ')
+	w.WriteString(strconv.FormatInt(count, 10))
+	w.WriteByte('\n')
+}
+
+// writeLabels renders {a="x",le="0.5"}; extra is the appended label name
+// ("le" for histogram buckets) or "" for none.
+func writeLabels(w *bufio.Writer, names, values []string, extra string, bound float64) {
+	if len(names) == 0 && extra == "" {
+		return
+	}
+	w.WriteByte('{')
+	for i, n := range names {
+		if i > 0 {
+			w.WriteByte(',')
+		}
+		w.WriteString(n)
+		w.WriteString(`="`)
+		w.WriteString(escapeLabel(values[i]))
+		w.WriteByte('"')
+	}
+	if extra != "" {
+		if len(names) > 0 {
+			w.WriteByte(',')
+		}
+		w.WriteString(extra)
+		w.WriteString(`="`)
+		w.WriteString(formatFloat(bound))
+		w.WriteByte('"')
+	}
+	w.WriteByte('}')
+}
+
+// formatFloat renders a float as Prometheus expects: shortest round-trip
+// form, "+Inf"/"-Inf"/"NaN" spelled out.
+func formatFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func escapeLabel(s string) string {
+	if !strings.ContainsAny(s, "\\\"\n") {
+		return s
+	}
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(s)
+}
+
+func escapeHelp(s string) string {
+	if !strings.ContainsAny(s, "\\\n") {
+		return s
+	}
+	r := strings.NewReplacer(`\`, `\\`, "\n", `\n`)
+	return r.Replace(s)
+}

@@ -1,0 +1,103 @@
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// Lint is a minimal Prometheus text-format checker used by tests and the
+// fleet smoke: every line must be a comment or `name[{labels}] value`,
+// every sample must belong to a TYPE-declared family, histogram samples
+// must carry the _bucket/_sum/_count suffixes of a declared histogram,
+// and values must parse as non-NaN floats. It is deliberately stricter
+// than Prometheus itself (no blank lines, no untyped samples): it lints
+// our own output, not arbitrary expositions.
+func Lint(text string) error {
+	types := map[string]string{}
+	for i, line := range strings.Split(strings.TrimSuffix(text, "\n"), "\n") {
+		lineNo := i + 1
+		if line == "" {
+			return fmt.Errorf("line %d: empty line in exposition", lineNo)
+		}
+		if rest, ok := strings.CutPrefix(line, "# TYPE "); ok {
+			parts := strings.Fields(rest)
+			if len(parts) != 2 {
+				return fmt.Errorf("line %d: malformed TYPE %q", lineNo, line)
+			}
+			switch parts[1] {
+			case "counter", "gauge", "histogram":
+			default:
+				return fmt.Errorf("line %d: unknown type %q", lineNo, parts[1])
+			}
+			types[parts[0]] = parts[1]
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		name := line
+		if j := strings.IndexByte(line, '{'); j >= 0 {
+			k := strings.LastIndexByte(line, '}')
+			if k < j {
+				return fmt.Errorf("line %d: unbalanced braces %q", lineNo, line)
+			}
+			name = line[:j]
+			if err := lintLabels(line[j+1 : k]); err != nil {
+				return fmt.Errorf("line %d: %w", lineNo, err)
+			}
+			line = name + line[k+1:]
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			return fmt.Errorf("line %d: want `name value`, got %q", lineNo, line)
+		}
+		if name == line {
+			name = fields[0]
+		}
+		if v, err := strconv.ParseFloat(fields[1], 64); err != nil || math.IsNaN(v) {
+			return fmt.Errorf("line %d: bad value %q (%v)", lineNo, fields[1], err)
+		}
+		base := name
+		for _, suf := range []string{"_bucket", "_sum", "_count"} {
+			if b, ok := strings.CutSuffix(name, suf); ok && types[b] == "histogram" {
+				base = b
+				break
+			}
+		}
+		if _, ok := types[base]; !ok {
+			return fmt.Errorf("line %d: sample %q has no preceding TYPE", lineNo, name)
+		}
+	}
+	return nil
+}
+
+// lintLabels validates a `a="x",b="y"` label body (commas inside quoted
+// values are respected).
+func lintLabels(s string) error {
+	inQuote := false
+	start := 0
+	var pairs []string
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '\\':
+			i++
+		case '"':
+			inQuote = !inQuote
+		case ',':
+			if !inQuote {
+				pairs = append(pairs, s[start:i])
+				start = i + 1
+			}
+		}
+	}
+	pairs = append(pairs, s[start:])
+	for _, p := range pairs {
+		name, val, ok := strings.Cut(p, "=")
+		if !ok || name == "" || len(val) < 2 || val[0] != '"' || val[len(val)-1] != '"' {
+			return fmt.Errorf("malformed label pair %q", p)
+		}
+	}
+	return nil
+}

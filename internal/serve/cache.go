@@ -4,11 +4,12 @@ import (
 	"container/list"
 	"errors"
 	"sync"
-	"sync/atomic"
+	"time"
 
 	"repro/internal/artifact"
 	"repro/internal/core"
 	"repro/internal/graph"
+	"repro/internal/metrics"
 )
 
 // GraphCache is an LRU pool of built topologies keyed by GraphSpec.Key().
@@ -28,15 +29,48 @@ type GraphCache struct {
 	items    map[string]*list.Element // key -> *entry element
 	building map[string]*buildCall
 
-	hits, misses, evictions int64
+	// mx holds the pool's instruments (counters and latency histograms);
+	// NewGraphCache starts it on a private registry so a bare pool still
+	// counts, and instrument() moves it onto the shared one before serving.
+	mx *cacheMetrics
 
 	// artifacts is the optional disk tier under the in-memory pool
 	// (bo3serve -artifact-dir): a cold build checks the artifact directory
 	// before invoking the generator and writes through on a miss, so a
 	// preprocessed (or fleet-peer-built) topology costs one checksummed
 	// file read instead of a full generator run. Nil = disabled.
-	artifacts                    *artifact.Dir
-	artifactHits, artifactMisses atomic.Int64
+	artifacts *artifact.Dir
+}
+
+// cacheMetrics is the graph pool's instrument bundle: the in-memory LRU
+// tier, the build/coalesce paths behind a miss, and the disk artifact
+// tier below it.
+type cacheMetrics struct {
+	hits      *metrics.Counter
+	misses    *metrics.Counter
+	evictions *metrics.Counter
+
+	buildSeconds    *metrics.Histogram // generator runs
+	coalesceSeconds *metrics.Histogram // waits on another caller's build
+
+	artifactHits   *metrics.Counter
+	artifactMisses *metrics.Counter
+	loadSeconds    *metrics.Histogram // artifact file reads (hit or not)
+}
+
+func newCacheMetrics(reg *metrics.Registry) *cacheMetrics {
+	return &cacheMetrics{
+		hits:      reg.Counter("bo3_graph_pool_hits_total", "Graph requests served from the in-memory pool."),
+		misses:    reg.Counter("bo3_graph_pool_misses_total", "Graph requests that missed the in-memory pool (coalesced waiters included)."),
+		evictions: reg.Counter("bo3_graph_pool_evictions_total", "Graphs evicted from the in-memory pool by its capacity bound."),
+
+		buildSeconds:    reg.Histogram("bo3_graph_build_seconds", "Generator build time for one topology (artifact write-through included).", metrics.DefBuckets),
+		coalesceSeconds: reg.Histogram("bo3_graph_coalesce_wait_seconds", "Time a graph request waited on a concurrent build of the same key.", metrics.DefBuckets),
+
+		artifactHits:   reg.Counter("bo3_artifact_hits_total", "Graph builds served from the disk artifact tier."),
+		artifactMisses: reg.Counter("bo3_artifact_misses_total", "CSR builds that missed the disk artifact tier (and were written through)."),
+		loadSeconds:    reg.Histogram("bo3_artifact_load_seconds", "Artifact file load time (read, decode, checksum).", metrics.DefBuckets),
+	}
 }
 
 type entry struct {
@@ -70,7 +104,21 @@ func NewGraphCache(capacity int) *GraphCache {
 		ll:       list.New(),
 		items:    make(map[string]*list.Element),
 		building: make(map[string]*buildCall),
+		mx:       newCacheMetrics(metrics.NewRegistry()),
 	}
+}
+
+// instrument re-registers the pool's instruments on reg (NewManager calls
+// it with the shared registry before any Get) and adds the pool-size
+// gauge. Counts accumulated on the private registry are discarded — call
+// before serving.
+func (c *GraphCache) instrument(reg *metrics.Registry) {
+	c.mx = newCacheMetrics(reg)
+	reg.GaugeFunc("bo3_graph_pool_size", "Graphs resident in the in-memory pool.", func() float64 {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		return float64(c.ll.Len())
+	})
 }
 
 // Get returns the graph for the spec, building it on a miss. The second
@@ -82,16 +130,18 @@ func (c *GraphCache) Get(spec GraphSpec) (core.Topology, bool, error) {
 	c.mu.Lock()
 	if el, ok := c.items[key]; ok {
 		c.ll.MoveToFront(el)
-		c.hits++
+		c.mx.hits.Inc()
 		g := el.Value.(*entry).g
 		c.mu.Unlock()
 		return g, true, nil
 	}
-	c.misses++
+	c.mx.misses.Inc()
 	if call, ok := c.building[key]; ok {
 		// Someone else is already building this key; wait for them.
 		c.mu.Unlock()
+		start := time.Now()
 		<-call.done
+		c.mx.coalesceSeconds.ObserveSince(start)
 		return call.g, false, call.err
 	}
 	call := &buildCall{done: make(chan struct{})}
@@ -129,19 +179,23 @@ func (c *GraphCache) UseArtifacts(d *artifact.Dir) { c.artifacts = d }
 func (c *GraphCache) buildOrLoad(spec GraphSpec, key string) (core.Topology, error) {
 	newerFormat := false
 	if c.artifacts != nil {
+		start := time.Now()
 		a, err := c.artifacts.Load(key)
+		c.mx.loadSeconds.ObserveSince(start)
 		if err == nil {
-			c.artifactHits.Add(1)
+			c.mx.artifactHits.Inc()
 			return a.Graph, nil
 		}
 		newerFormat = errors.Is(err, artifact.ErrVersion)
 	}
+	start := time.Now()
 	g, err := spec.Build()
+	c.mx.buildSeconds.ObserveSince(start)
 	if err != nil || c.artifacts == nil {
 		return g, err
 	}
 	if cg, ok := g.(*graph.Graph); ok {
-		c.artifactMisses.Add(1)
+		c.mx.artifactMisses.Inc()
 		// Best-effort write-through: the graph is correct whether or not
 		// it was persisted, and a concurrent peer writing the same key
 		// produces identical bytes, so last-rename-wins is harmless.
@@ -156,7 +210,7 @@ func (c *GraphCache) buildOrLoad(spec GraphSpec, key string) (core.Topology, err
 // artifact directory and CSR builds that missed it (and were written
 // through). Both are zero when no directory is attached.
 func (c *GraphCache) ArtifactStats() (hits, misses int64) {
-	return c.artifactHits.Load(), c.artifactMisses.Load()
+	return c.mx.artifactHits.Value(), c.mx.artifactMisses.Value()
 }
 
 // insert adds the entry and evicts from the LRU tail; callers hold c.mu.
@@ -171,7 +225,7 @@ func (c *GraphCache) insert(key string, g core.Topology) {
 		back := c.ll.Back()
 		c.ll.Remove(back)
 		delete(c.items, back.Value.(*entry).key)
-		c.evictions++
+		c.mx.evictions.Inc()
 	}
 }
 
@@ -191,8 +245,8 @@ func (c *GraphCache) Stats() CacheStats {
 	return CacheStats{
 		Size:      c.ll.Len(),
 		Capacity:  c.capacity,
-		Hits:      c.hits,
-		Misses:    c.misses,
-		Evictions: c.evictions,
+		Hits:      c.mx.hits.Value(),
+		Misses:    c.mx.misses.Value(),
+		Evictions: c.mx.evictions.Value(),
 	}
 }

@@ -5,12 +5,14 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"runtime"
 	"sync"
 	"time"
 
 	"repro/internal/artifact"
 	"repro/internal/bus"
+	"repro/internal/metrics"
 	"repro/internal/rng"
 	"repro/internal/sim"
 	"repro/internal/store"
@@ -127,6 +129,19 @@ type Config struct {
 	// MetricsInterval is how often the server-wide metrics topic publishes
 	// a stats frame while it has subscribers (0 = 1s).
 	MetricsInterval time.Duration
+	// Metrics is the registry every subsystem instrument registers on —
+	// the one GET /metrics exposes (nil = a private registry; counters
+	// still work, nothing is exported). The same registry should be passed
+	// to store.Options.Metrics so the store and fleet families share the
+	// exposition.
+	Metrics *metrics.Registry
+	// Logger receives the manager's structured logs (nil = discard). With
+	// WorkerID set, every line carries a worker_id attribute.
+	Logger *slog.Logger
+	// SlowThreshold makes the manager log any job whose engine stage runs
+	// longer than this, with its spec key and the full queue → graph →
+	// engine → persist timing breakdown (0 = disabled).
+	SlowThreshold time.Duration
 }
 
 // Sentinel errors mapped to HTTP status codes by the handlers.
@@ -162,6 +177,12 @@ type job struct {
 	created    time.Time
 	started    time.Time
 	finished   time.Time
+	// Per-stage wall times, written by the executing worker before the
+	// terminal transition; they feed the stage histograms and the slowlog
+	// breakdown.
+	graphDur   time.Duration
+	engineDur  time.Duration
+	persistDur time.Duration
 	cancel     context.CancelFunc // set while running
 	done       chan struct{}      // closed exactly once, at the terminal transition
 }
@@ -169,9 +190,12 @@ type job struct {
 // Manager owns the job table, the bounded worker pool, and the graph pool.
 // All exported methods are safe for concurrent use.
 type Manager struct {
-	cfg   Config
-	cache *GraphCache
-	bus   *bus.Bus
+	cfg    Config
+	cache  *GraphCache
+	bus    *bus.Bus
+	reg    *metrics.Registry
+	mx     *serveMetrics
+	logger *slog.Logger
 
 	baseCtx     context.Context
 	cancelBase  context.CancelFunc
@@ -196,17 +220,12 @@ type Manager struct {
 	// high-water-mark record.
 	doneSweepKeys map[string]string
 
-	// Counters; guarded by mu.
-	completed, failed, cancelled, rejected           int64
-	trialsRun, roundsRun                             int64
-	jobsMeanField, jobsGeneral, jobsCached           int64
-	jobsByVariant                                    map[string]int64
-	storeErrors                                      int64
-	queued, running                                  int
-	sweepsCompleted, sweepsCancelled, sweepsRejected int64
-	sweepCellsFinished                               int64
-	cellsCached, sweepsDeduped                       int64
-	startTime                                        time.Time
+	// Instantaneous pool state; guarded by mu, exported as gauge funcs.
+	// The lifecycle counters the old int64 fields held live in m.mx now —
+	// Stats() reads the instruments back, so /v1/stats and /metrics share
+	// one source of truth.
+	queued, running int
+	startTime       time.Time
 }
 
 // NewManager starts the worker pool and returns the manager.
@@ -253,13 +272,27 @@ func NewManager(cfg Config) *Manager {
 	if cfg.MetricsInterval <= 0 {
 		cfg.MetricsInterval = time.Second
 	}
+	if cfg.Metrics == nil {
+		cfg.Metrics = metrics.NewRegistry()
+	}
+	if cfg.Logger == nil {
+		cfg.Logger = slog.New(slog.DiscardHandler)
+	}
+	logger := cfg.Logger
+	if cfg.WorkerID != "" {
+		logger = logger.With("worker_id", cfg.WorkerID)
+	}
 	ctx, cancel := context.WithCancel(context.Background())
 	cache := NewGraphCache(cfg.CacheCapacity)
 	cache.UseArtifacts(cfg.Artifacts)
+	cache.instrument(cfg.Metrics)
 	m := &Manager{
 		cfg:           cfg,
 		cache:         cache,
-		bus:           bus.New(),
+		bus:           bus.NewInstrumented(bus.NewMetrics(cfg.Metrics)),
+		reg:           cfg.Metrics,
+		mx:            newServeMetrics(cfg.Metrics),
+		logger:        logger,
 		baseCtx:       ctx,
 		cancelBase:    cancel,
 		queue:         make(chan *job, cfg.QueueDepth),
@@ -269,6 +302,8 @@ func NewManager(cfg Config) *Manager {
 		doneSweepKeys: make(map[string]string),
 		startTime:     time.Now(),
 	}
+	m.mx.workers.Set(int64(cfg.Workers))
+	m.registerFuncMetrics(cfg.Metrics)
 	m.bus.Topic(MetricsTopic, metricsRetain)
 	m.wg.Add(1)
 	go m.metricsLoop()
@@ -293,16 +328,14 @@ func (m *Manager) Cache() *GraphCache { return m.cache }
 // client.
 func (m *Manager) Submit(req RunRequest) (JobView, error) {
 	if err := validateRun(&req, m.cfg.Limits); err != nil {
-		m.mu.Lock()
-		m.rejected++
-		m.mu.Unlock()
+		m.mx.jobsRejected.Inc()
 		return JobView{}, err
 	}
 	cached := m.lookupStored(req)
 	m.mu.Lock()
 	j, err := m.enqueueLocked(req, "", cached)
 	if err != nil {
-		m.rejected++
+		m.mx.jobsRejected.Inc()
 		m.mu.Unlock()
 		return JobView{}, err
 	}
@@ -381,8 +414,8 @@ func (m *Manager) enqueueLocked(req RunRequest, sweepID string, cached *RunResul
 		m.seq++
 		m.jobs[j.id] = j
 		m.order = append(m.order, j.id)
-		m.completed++
-		m.jobsCached++
+		m.mx.jobsCompleted.Inc()
+		m.mx.jobsCached.Inc()
 		// Born done: the topic's whole life is one terminal state event
 		// (with the cached result attached) followed by EOF.
 		m.bus.Topic(runTopic(j.id), m.cfg.FrameBudget+16)
@@ -488,7 +521,7 @@ func (m *Manager) cancelJobLocked(j *job) {
 		j.state = StateCancelled
 		j.finished = time.Now()
 		m.queued--
-		m.cancelled++
+		m.mx.jobsCancelled.Inc()
 		m.publishJobState(j)
 		close(j.done)
 	case StateRunning:
@@ -496,7 +529,10 @@ func (m *Manager) cancelJobLocked(j *job) {
 	}
 }
 
-// Stats returns a counter snapshot including the graph pool's.
+// Stats returns a counter snapshot including the graph pool's. The wire
+// counters are read back from the same registry instruments /metrics
+// exposes — one source of truth, so the JSON and the exposition can
+// never drift apart.
 func (m *Manager) Stats() Stats {
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -508,37 +544,36 @@ func (m *Manager) Stats() Stats {
 	}
 	st := Stats{
 		Submitted:          int64(m.seq),
-		Completed:          m.completed,
-		Failed:             m.failed,
-		Cancelled:          m.cancelled,
-		Rejected:           m.rejected,
+		Completed:          m.mx.jobsCompleted.Value(),
+		Failed:             m.mx.jobsFailed.Value(),
+		Cancelled:          m.mx.jobsCancelled.Value(),
+		Rejected:           m.mx.jobsRejected.Value(),
 		Queued:             m.queued,
 		Running:            m.running,
-		TrialsRun:          m.trialsRun,
-		RoundsRun:          m.roundsRun,
-		JobsMeanField:      m.jobsMeanField,
-		JobsGeneral:        m.jobsGeneral,
-		JobsCached:         m.jobsCached,
-		StoreErrors:        m.storeErrors,
+		TrialsRun:          m.mx.trialsRun.Value(),
+		RoundsRun:          m.mx.roundsRun.Value(),
+		JobsMeanField:      m.mx.jobsEngine.With("mean-field").Value(),
+		JobsGeneral:        m.mx.jobsEngine.With("general").Value(),
+		JobsCached:         m.mx.jobsCached.Value(),
+		StoreErrors:        m.mx.storeErrors.Value(),
 		SweepsSubmitted:    int64(m.sweepSeq),
-		SweepsCompleted:    m.sweepsCompleted,
-		SweepsCancelled:    m.sweepsCancelled,
-		SweepsRejected:     m.sweepsRejected,
+		SweepsCompleted:    m.mx.sweepsCompleted.Value(),
+		SweepsCancelled:    m.mx.sweepsCancelled.Value(),
+		SweepsRejected:     m.mx.sweepsRejected.Value(),
 		SweepsActive:       active,
-		SweepCellsFinished: m.sweepCellsFinished,
-		CellsCached:        m.cellsCached,
-		SweepsDeduped:      m.sweepsDeduped,
+		SweepCellsFinished: m.mx.sweepCellsFinished.Value(),
+		CellsCached:        m.mx.cellsCached.Value(),
+		SweepsDeduped:      m.mx.sweepsDeduped.Value(),
 		WorkerID:           m.cfg.WorkerID,
 		Cache:              m.cache.Stats(),
 		ArtifactsEnabled:   m.cfg.Artifacts != nil,
 		UptimeSeconds:      time.Since(m.startTime).Seconds(),
 		Workers:            m.cfg.Workers,
 	}
-	if len(m.jobsByVariant) > 0 {
-		st.JobsByVariant = make(map[string]int64, len(m.jobsByVariant))
-		for k, v := range m.jobsByVariant {
-			st.JobsByVariant[k] = v
-		}
+	// The variant vec only ever holds series for variants that executed,
+	// so this reproduces the old lazily-built map (nil until a job runs).
+	if vs := m.mx.jobsVariant.Values(); len(vs) > 0 {
+		st.JobsByVariant = vs
 	}
 	bs := m.bus.Stats()
 	st.EventsPublished = int64(bs.Published)
@@ -642,16 +677,17 @@ func (m *Manager) worker() {
 			// store (and a crash between the two recomputes, never loses).
 			// The result record also supersedes any claim on the key, so
 			// the completion path never writes a release.
+			pStart := time.Now()
 			m.persistResult(j, result)
+			j.persistDur = time.Since(pStart)
 		case j.claimed && !errors.Is(err, context.Canceled):
 			// Failed execution under a lease: give the key up so a peer may
 			// retry. Cancellation deliberately does NOT release — shutdown
 			// is indistinguishable from a crash fleet-wide, and the expiry
 			// path covers both.
 			if rerr := m.cfg.Store.Release(j.key, m.cfg.WorkerID, j.claimFence); rerr != nil && !errors.Is(rerr, store.ErrLeaseLost) {
-				m.mu.Lock()
-				m.storeErrors++
-				m.mu.Unlock()
+				m.mx.storeErrors.Inc()
+				m.logger.Warn("serve: lease release failed", "job_id", j.id, "key", j.key, "sweep_id", j.sweep, "err", rerr)
 			}
 		}
 
@@ -664,37 +700,54 @@ func (m *Manager) worker() {
 			j.state = StateDone
 			result.QueueMS = j.started.Sub(j.created).Milliseconds()
 			j.result = result
-			m.completed++
-			m.trialsRun += int64(result.Trials)
+			m.mx.jobsCompleted.Inc()
+			m.mx.trialsRun.Add(int64(result.Trials))
 			for _, r := range result.Reports {
-				m.roundsRun += int64(r.Rounds)
+				m.mx.roundsRun.Add(int64(r.Rounds))
 			}
-			if result.Engine == "mean-field" {
-				m.jobsMeanField++
-			} else {
-				m.jobsGeneral++
-			}
+			m.mx.jobsEngine.With(result.Engine).Inc()
 			// The wire result omits the sync default; the counter spells it
 			// out so the stats split always sums to the executed jobs.
 			variant := result.Variant
 			if variant == "" {
 				variant = "sync"
 			}
-			if m.jobsByVariant == nil {
-				m.jobsByVariant = make(map[string]int64)
-			}
-			m.jobsByVariant[variant]++
+			m.mx.jobsVariant.With(variant).Inc()
+			m.observeStages(j, result.Engine, variant)
 		case errors.Is(err, context.Canceled):
 			j.state = StateCancelled
-			m.cancelled++
+			m.mx.jobsCancelled.Inc()
 		default:
 			j.state = StateFailed
 			j.err = err
-			m.failed++
+			m.mx.jobsFailed.Inc()
+			m.logger.Warn("serve: job failed", "job_id", j.id, "key", j.key, "sweep_id", j.sweep, "err", err)
 		}
 		m.publishJobState(j) // terminal: closes the run topic
 		close(j.done)        // wakes the sweep watcher, if any
 		m.mu.Unlock()
+	}
+}
+
+// observeStages feeds an executed job's per-stage wall times into the
+// latency histograms and, when the engine stage exceeded the slowlog
+// threshold, logs the full breakdown. Called at the done transition with
+// m.mu held (the instruments themselves are lock-free).
+func (m *Manager) observeStages(j *job, engine, variant string) {
+	queueWait := j.started.Sub(j.created)
+	m.mx.queueWaitSeconds.With(engine, variant).Observe(queueWait.Seconds())
+	m.mx.execSeconds.With(engine, variant).Observe(j.engineDur.Seconds())
+	m.mx.graphSeconds.Observe(j.graphDur.Seconds())
+	m.mx.persistSeconds.Observe(j.persistDur.Seconds())
+	if t := m.cfg.SlowThreshold; t > 0 && j.engineDur > t {
+		m.logger.Warn("serve: slow job",
+			"job_id", j.id, "key", j.key, "sweep_id", j.sweep,
+			"engine", engine, "variant", variant,
+			"queue_ms", queueWait.Milliseconds(),
+			"graph_ms", j.graphDur.Milliseconds(),
+			"engine_ms", j.engineDur.Milliseconds(),
+			"persist_ms", j.persistDur.Milliseconds(),
+			"threshold_ms", t.Milliseconds())
 	}
 }
 
@@ -731,13 +784,17 @@ func (m *Manager) claimsEnabled() bool {
 // CLIs execute, a job's per-trial outcomes are byte-identical to running
 // its spec anywhere else.
 func (m *Manager) run(ctx context.Context, j *job) (*RunResult, error) {
+	gStart := time.Now()
 	g, cacheHit, err := m.cache.Get(j.req.Graph)
+	j.graphDur = time.Since(gStart)
 	if err != nil {
 		return nil, err
 	}
 	runSpec := j.req
 	runSpec.Seed = j.effSeed
+	eStart := time.Now()
 	res, err := executeSpec(ctx, runSpec, g, m.cfg.TrialParallelism, m.trajectoryObserver(j, g, runSpec))
+	j.engineDur = time.Since(eStart)
 	if err != nil {
 		return nil, err
 	}
@@ -760,9 +817,8 @@ func (m *Manager) persistResult(j *job, res *RunResult) {
 		}
 	}
 	if err != nil {
-		m.mu.Lock()
-		m.storeErrors++
-		m.mu.Unlock()
+		m.mx.storeErrors.Inc()
+		m.logger.Warn("serve: result persist failed", "job_id", j.id, "key", j.key, "sweep_id", j.sweep, "err", err)
 	}
 }
 

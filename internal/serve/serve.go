@@ -28,7 +28,8 @@
 //	GET    /v1/results              list stored results (family/n filters, pagination)
 //	GET    /v1/results/{key}        fetch one stored result by content key
 //	GET    /v1/stats                job, sweep, trial, graph-pool, and store counters
-//	GET    /healthz                 liveness
+//	GET    /metrics                 Prometheus text exposition of the same counters
+//	GET    /healthz                 liveness + build identity
 //
 // The /events endpoints stream from the bounded-backpressure event bus
 // (internal/bus): lifecycle transitions, round-decimated trajectory
@@ -57,7 +58,9 @@ import (
 	"fmt"
 	"net/http"
 	"strconv"
+	"time"
 
+	"repro/internal/buildinfo"
 	"repro/internal/bus"
 )
 
@@ -85,12 +88,28 @@ func NewServer(mgr *Manager) *Server {
 	s.mux.HandleFunc("GET /v1/results", s.handleResultList)
 	s.mux.HandleFunc("GET /v1/results/{key}", s.handleResultGet)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
 	return s
 }
 
-// ServeHTTP implements http.Handler.
-func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+// ServeHTTP implements http.Handler. Every request passes through the
+// metrics middleware: latency observed per route pattern (so /v1/runs/{id}
+// stays one series regardless of ID), requests counted per route × status
+// class. The pattern must come from the mux — the request the outer
+// handler sees is not the copy ServeMux annotates for the inner one.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	_, route := s.mux.Handler(r)
+	if route == "" {
+		route = "unmatched"
+	}
+	sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+	s.mux.ServeHTTP(sw, r)
+	mx := s.mgr.mx
+	mx.httpRequests.With(route, statusClass(sw.code)).Inc()
+	mx.httpSeconds.With(route).ObserveSince(start)
+}
 
 // Manager exposes the underlying manager (for shutdown wiring).
 func (s *Server) Manager() *Manager { return s.mgr }
@@ -300,6 +319,18 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, s.mgr.Stats())
 }
 
+// handleMetrics serves the Prometheus text exposition of the manager's
+// registry — the same instruments /v1/stats reads.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	s.mgr.Registry().Handler().ServeHTTP(w, r)
+}
+
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	bi := buildinfo.Get()
+	writeJSON(w, http.StatusOK, map[string]string{
+		"status":     "ok",
+		"version":    bi.Version,
+		"commit":     bi.Commit,
+		"go_version": bi.GoVersion,
+	})
 }

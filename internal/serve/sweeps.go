@@ -188,9 +188,7 @@ type sweep struct {
 func (m *Manager) SubmitSweep(req SweepRequest) (SweepView, error) {
 	view, err := m.submitSweep(req)
 	if err != nil {
-		m.mu.Lock()
-		m.sweepsRejected++
-		m.mu.Unlock()
+		m.mx.sweepsRejected.Inc()
 	}
 	return view, err
 }
@@ -218,7 +216,7 @@ func (m *Manager) submitSweep(req SweepRequest) (SweepView, error) {
 		// every cell is in the result store, so the sweep runs entirely
 		// from the journal — no claims, no queue, cells_cached == cells.
 		s.deduped = true
-		m.sweepsDeduped++
+		m.mx.sweepsDeduped.Inc()
 	}
 	entry := m.journalEntryLocked(s)
 	view := m.sweepViewLocked(s, true)
@@ -345,7 +343,7 @@ func (m *Manager) journalEntryLocked(s *sweep) []byte {
 	}
 	body, err := json.Marshal(sweepJournal{ID: s.id, State: s.state, Request: s.req, ContentKey: s.contentKey})
 	if err != nil {
-		m.storeErrors++
+		m.mx.storeErrors.Inc()
 		return nil
 	}
 	return body
@@ -359,9 +357,7 @@ func (m *Manager) writeJournal(id string, body []byte) {
 		return
 	}
 	if err := m.cfg.Store.PutSweep(id, body); err != nil {
-		m.mu.Lock()
-		m.storeErrors++
-		m.mu.Unlock()
+		m.mx.storeErrors.Inc()
 	}
 }
 
@@ -462,9 +458,7 @@ func (m *Manager) ResumeSweeps() (int, error) {
 	m.writeHWM()
 	for _, id := range collapse {
 		if err := m.cfg.Store.DeleteSweep(id); err != nil {
-			m.mu.Lock()
-			m.storeErrors++
-			m.mu.Unlock()
+			m.mx.storeErrors.Inc()
 		}
 	}
 	return resumed, errors.Join(errs...)
@@ -476,9 +470,7 @@ func (m *Manager) ResumeSweeps() (int, error) {
 func (m *Manager) loadHWM(body json.RawMessage, seq bool) {
 	var hwm sweepHWM
 	if json.Unmarshal(body, &hwm) != nil {
-		m.mu.Lock()
-		m.storeErrors++
-		m.mu.Unlock()
+		m.mx.storeErrors.Inc()
 		return
 	}
 	m.mu.Lock()
@@ -508,9 +500,7 @@ func (m *Manager) writeHWM() {
 		err = m.cfg.Store.PutSweep(m.hwmKey(), body)
 	}
 	if err != nil {
-		m.mu.Lock()
-		m.storeErrors++
-		m.mu.Unlock()
+		m.mx.storeErrors.Inc()
 	}
 }
 
@@ -556,9 +546,7 @@ func (m *Manager) tombstoneSweep(id string, req SweepRequest, cause error) {
 		err = m.cfg.Store.PutSweep(id, body)
 	}
 	if err != nil {
-		m.mu.Lock()
-		m.storeErrors++
-		m.mu.Unlock()
+		m.mx.storeErrors.Inc()
 	}
 }
 
@@ -703,7 +691,7 @@ func (m *Manager) scheduleCell(s *sweep, i int) (*job, error) {
 			j.claimed, j.claimFence = claimed, fence
 			if cached != nil {
 				s.cellsCached++
-				m.cellsCached++
+				m.mx.cellsCached.Inc()
 			}
 			s.cells[i].jobID = j.id
 			s.cells[i].state = StateQueued
@@ -760,9 +748,7 @@ func (m *Manager) claimCell(s *sweep, i int) (claimed bool, fence uint64, cached
 			}
 		default:
 			// Store trouble never fails the sweep; execute unclaimed.
-			m.mu.Lock()
-			m.storeErrors++
-			m.mu.Unlock()
+			m.mx.storeErrors.Inc()
 			return false, 0, nil
 		}
 	}
@@ -776,7 +762,7 @@ func (m *Manager) markCellLocked(s *sweep, i int, state, errMsg string) {
 	c := &s.cells[i]
 	c.state = state
 	c.err = errMsg
-	m.sweepCellsFinished++
+	m.mx.sweepCellsFinished.Inc()
 	cv := m.cellViewLocked(s, i)
 	m.bus.Publish(sweepTopic(s.id), EventCell, &cv)
 }
@@ -818,10 +804,10 @@ func (m *Manager) finalizeSweep(s *sweep) {
 	}
 	if s.cancelled || s.ctx.Err() != nil {
 		s.state = StateCancelled
-		m.sweepsCancelled++
+		m.mx.sweepsCancelled.Inc()
 	} else {
 		s.state = StateDone
-		m.sweepsCompleted++
+		m.mx.sweepsCompleted.Inc()
 		if s.contentKey != "" {
 			// Remember the completed grid: a repeated POST of this content
 			// key is answered entirely from the store, and the journal's

@@ -93,6 +93,8 @@ type ClaimInfo struct {
 // not expired (retry after its deadline). An expired lease is taken over
 // with a fresh fence.
 func (s *Store) Claim(key, worker string, ttl time.Duration) (fence uint64, err error) {
+	start := time.Now()
+	defer s.mx.ClaimSeconds.ObserveSince(start)
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.opts.ReadOnly {
@@ -115,6 +117,10 @@ func (s *Store) Claim(key, worker string, ttl time.Duration) (fence uint64, err 
 			return e.fence, s.putClaimLocked(key, worker, claimHeld, now.Add(ttl).UnixMilli(), e.fence)
 		}
 		// Expired: fall through to a fresh grant (takeover).
+		s.mx.LeaseTakeovers.Inc()
+		s.log.Info("store: lease takeover",
+			"key", key, "worker", worker, "prev_worker", e.worker,
+			"prev_fence", e.fence)
 	}
 	fence = s.seq // the grant record's sequence number
 	return fence, s.putClaimLocked(key, worker, claimHeld, now.Add(ttl).UnixMilli(), fence)
@@ -137,7 +143,11 @@ func (s *Store) Renew(key, worker string, fence uint64, ttl time.Duration) error
 	if !held || e.worker != worker || e.fence != fence {
 		return ErrLeaseLost
 	}
-	return s.putClaimLocked(key, worker, claimHeld, time.Now().Add(ttl).UnixMilli(), fence)
+	if err := s.putClaimLocked(key, worker, claimHeld, time.Now().Add(ttl).UnixMilli(), fence); err != nil {
+		return err
+	}
+	s.mx.LeaseRenewals.Inc()
+	return nil
 }
 
 // Release gives the lease up without a result (execution failed or was
@@ -164,7 +174,11 @@ func (s *Store) Release(key, worker string, fence uint64) error {
 	if e.worker != worker || e.fence != fence {
 		return ErrLeaseLost
 	}
-	return s.putClaimLocked(key, worker, claimReleased, 0, fence)
+	if err := s.putClaimLocked(key, worker, claimReleased, 0, fence); err != nil {
+		return err
+	}
+	s.mx.LeaseReleases.Inc()
+	return nil
 }
 
 // putClaimLocked appends and indexes one claim record; callers hold s.mu

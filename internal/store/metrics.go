@@ -1,0 +1,51 @@
+package store
+
+import (
+	"repro/internal/metrics"
+)
+
+// Metrics is the store's instrument bundle, covering both the log itself
+// (read/write latency, bytes, compaction) and the fleet claim/lease
+// protocol layered on it. Pass one via Options.Metrics to export these
+// on a shared registry; a store opened without one counts into a private
+// registry so the hot paths stay branch-free and Stats() always has a
+// source to read from.
+type Metrics struct {
+	// ReadSeconds covers GetResult (index lookup plus the record read,
+	// and in shared mode the tail refresh a miss triggers); WriteSeconds
+	// covers one record append to the active segment.
+	ReadSeconds  *metrics.Histogram
+	WriteSeconds *metrics.Histogram
+	// Hits/Misses count GetResult lookups; Appends counts records
+	// written; BytesAppended counts their encoded size.
+	Hits          *metrics.Counter
+	Misses        *metrics.Counter
+	Appends       *metrics.Counter
+	BytesAppended *metrics.Counter
+	// Compactions counts successful Compact runs.
+	Compactions *metrics.Counter
+
+	// Fleet claim/lease protocol.
+	ClaimSeconds   *metrics.Histogram
+	LeaseRenewals  *metrics.Counter
+	LeaseTakeovers *metrics.Counter
+	LeaseReleases  *metrics.Counter
+}
+
+// NewMetrics registers the store and fleet instruments on reg.
+func NewMetrics(reg *metrics.Registry) *Metrics {
+	return &Metrics{
+		ReadSeconds:   reg.Histogram("bo3_store_read_seconds", "Result-store read latency (GetResult: index lookup, shared-mode tail refresh on miss, record read).", metrics.FastBuckets),
+		WriteSeconds:  reg.Histogram("bo3_store_write_seconds", "Result-store append latency for one record.", metrics.FastBuckets),
+		Hits:          reg.Counter("bo3_store_hits_total", "GetResult lookups answered from the store."),
+		Misses:        reg.Counter("bo3_store_misses_total", "GetResult lookups that found no record."),
+		Appends:       reg.Counter("bo3_store_appends_total", "Records appended to the log by this process."),
+		BytesAppended: reg.Counter("bo3_store_bytes_appended_total", "Encoded bytes appended to the log by this process."),
+		Compactions:   reg.Counter("bo3_store_compactions_total", "Successful Compact runs."),
+
+		ClaimSeconds:   reg.Histogram("bo3_fleet_claim_seconds", "Claim call latency (shared-mode flock, tail refresh, grant append).", metrics.FastBuckets),
+		LeaseRenewals:  reg.Counter("bo3_fleet_lease_renewals_total", "Successful cell-lease renewals."),
+		LeaseTakeovers: reg.Counter("bo3_fleet_lease_takeovers_total", "Expired leases taken over from another worker."),
+		LeaseReleases:  reg.Counter("bo3_fleet_lease_releases_total", "Leases released without a result (failed or abandoned execution)."),
+	}
+}

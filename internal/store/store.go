@@ -80,10 +80,14 @@ import (
 	"fmt"
 	"hash/crc32"
 	"io"
+	"log/slog"
 	"os"
 	"path/filepath"
 	"sort"
 	"sync"
+	"time"
+
+	"repro/internal/metrics"
 )
 
 // Record kinds.
@@ -165,6 +169,14 @@ type Options struct {
 	// Every writer on a directory must agree on the mode: a shared writer
 	// blocks on an exclusive writer's lock until it closes.
 	Shared bool
+	// Metrics receives the store's latency histograms and counters
+	// (store.NewMetrics on the server's shared registry). Nil counts into
+	// a private registry: the instruments still back Stats(), they are
+	// just not exported anywhere.
+	Metrics *Metrics
+	// Logger receives structured recovery and compaction logs. Nil
+	// discards them.
+	Logger *slog.Logger
 }
 
 // ErrReadOnly rejects mutations on a read-only store.
@@ -259,7 +271,9 @@ type Store struct {
 	claims     map[string]*claimEntry
 	bytes      int64
 
-	hits, misses, appends, corrupt, evicted int64
+	corrupt, evicted int64
+	mx               *Metrics
+	log              *slog.Logger
 
 	// crashAfter (tests only, set via failAfterBytes) makes segment writes
 	// stop after this many more bytes reach the file and return
@@ -292,12 +306,20 @@ func Open(dir string, opts Options) (*Store, error) {
 		// Pruning deletes segments other writers hold open.
 		return nil, ErrShared
 	}
+	if opts.Metrics == nil {
+		opts.Metrics = NewMetrics(metrics.NewRegistry())
+	}
+	if opts.Logger == nil {
+		opts.Logger = slog.New(slog.DiscardHandler)
+	}
 	s := &Store{
 		dir:     dir,
 		opts:    opts,
 		results: make(map[string]*resultEntry),
 		sweeps:  make(map[string]*sweepEntry),
 		claims:  make(map[string]*claimEntry),
+		mx:      opts.Metrics,
+		log:     opts.Logger,
 	}
 	if opts.ReadOnly {
 		if _, err := os.Stat(dir); err != nil {
@@ -345,6 +367,10 @@ func Open(dir string, opts Options) (*Store, error) {
 			s.releaseLock()
 			return nil, err
 		}
+	}
+	if s.corrupt > 0 {
+		s.log.Warn("store: recovery dropped corrupt records",
+			"dir", dir, "corrupt", s.corrupt, "results", len(s.results), "sweeps", len(s.sweeps))
 	}
 	return s, nil
 }
@@ -678,6 +704,7 @@ func (s *Store) appendLocked(rec *Record) (loc, error) {
 // the caller's — Compact replays history under original numbers), rolling
 // beforehand when the segment is full; callers hold s.mu.
 func (s *Store) writeLocked(rec *Record) (loc, error) {
+	start := time.Now()
 	rec.Sum = checksum(rec.Kind, rec.Key, rec.Spec, rec.Body)
 	line, err := json.Marshal(rec)
 	if err != nil {
@@ -716,7 +743,9 @@ func (s *Store) writeLocked(rec *Record) (loc, error) {
 	l := loc{seg: active, off: active.size, n: int64(len(line))}
 	active.size += int64(len(line))
 	s.bytes += int64(len(line))
-	s.appends++
+	s.mx.Appends.Inc()
+	s.mx.BytesAppended.Add(int64(len(line)))
+	s.mx.WriteSeconds.ObserveSince(start)
 	return l, nil
 }
 
@@ -842,6 +871,11 @@ func (s *Store) PutResult(key string, spec, body []byte) (written bool, err erro
 // In shared mode a miss refreshes the index from the log tail first, so a
 // result another worker just recorded is a hit, not a miss.
 func (s *Store) GetResult(key string) (Record, bool, error) {
+	// The hit/miss counters are atomic instruments, so they need no lock
+	// transitions; the latency histogram covers the whole lookup,
+	// shared-mode refresh included.
+	start := time.Now()
+	defer s.mx.ReadSeconds.ObserveSince(start)
 	s.mu.RLock()
 	e, ok := s.results[key]
 	if !ok && s.opts.Shared {
@@ -853,24 +887,21 @@ func (s *Store) GetResult(key string) (Record, bool, error) {
 		}
 		e, ok = s.results[key]
 		if !ok {
-			s.misses++
 			s.mu.Unlock()
+			s.mx.Misses.Inc()
 			return Record{}, false, nil
 		}
 		rec, err := s.readLocked(e.loc)
+		s.mu.Unlock()
 		if err != nil {
-			s.mu.Unlock()
 			return Record{}, false, err
 		}
-		s.hits++
-		s.mu.Unlock()
+		s.mx.Hits.Inc()
 		return rec, true, nil
 	}
 	if !ok {
 		s.mu.RUnlock()
-		s.mu.Lock()
-		s.misses++
-		s.mu.Unlock()
+		s.mx.Misses.Inc()
 		return Record{}, false, nil
 	}
 	rec, err := s.readLocked(e.loc)
@@ -878,9 +909,7 @@ func (s *Store) GetResult(key string) (Record, bool, error) {
 	if err != nil {
 		return Record{}, false, err
 	}
-	s.mu.Lock()
-	s.hits++
-	s.mu.Unlock()
+	s.mx.Hits.Inc()
 	return rec, true, nil
 }
 
@@ -1082,6 +1111,10 @@ func (s *Store) Compact() error {
 		seg.f.Close()
 		os.Remove(seg.path)
 	}
+	s.mx.Compactions.Inc()
+	s.log.Info("store: compacted log",
+		"dir", s.dir, "records", len(live),
+		"bytes_before", oldBytes, "bytes_after", s.bytes)
 	return nil
 }
 
@@ -1095,9 +1128,9 @@ func (s *Store) Stats() Stats {
 		Claims:   len(s.claims),
 		Segments: len(s.segs),
 		Bytes:    s.bytes,
-		Hits:     s.hits,
-		Misses:   s.misses,
-		Appends:  s.appends,
+		Hits:     s.mx.Hits.Value(),
+		Misses:   s.mx.Misses.Value(),
+		Appends:  s.mx.Appends.Value(),
 		Corrupt:  s.corrupt,
 		Evicted:  s.evicted,
 	}

@@ -1,0 +1,17 @@
+// Command metricnames prints every metric family name the full bo3serve
+// service can expose on GET /metrics, one per line. It is the source of
+// truth for the .github/check-api-docs.sh doc-drift check: each printed
+// name must appear in the docs/API.md metrics reference table.
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/serve"
+)
+
+func main() {
+	for _, name := range serve.AllMetricNames() {
+		fmt.Println(name)
+	}
+}
